@@ -1,0 +1,17 @@
+"""Benchmark regenerating Discussion VIII: prediction-driven ECC policy.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ecc(benchmark, context):
+    """Discussion VIII: prediction-driven ECC policy."""
+    result = run_once(benchmark, lambda: run_experiment("ecc", context))
+    print()
+    print(result)
+    assert result.data

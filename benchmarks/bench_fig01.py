@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 1: SBE offender nodes per cabinet.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig01(benchmark, context):
+    """Fig. 1: SBE offender nodes per cabinet."""
+    result = run_once(benchmark, lambda: run_experiment("fig1", context))
+    print()
+    print(result)
+    assert result.data

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 2: SBE-affected apruns per cabinet.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig02(benchmark, context):
+    """Fig. 2: SBE-affected apruns per cabinet."""
+    result = run_once(benchmark, lambda: run_experiment("fig2", context))
+    print()
+    print(result)
+    assert result.data

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 4: SBE vs utilization correlations.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig04(benchmark, context):
+    """Fig. 4: SBE vs utilization correlations."""
+    result = run_once(benchmark, lambda: run_experiment("fig4", context))
+    print()
+    print(result)
+    assert result.data

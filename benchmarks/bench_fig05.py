@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 5: temperature/power cabinet grids.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig05(benchmark, context):
+    """Fig. 5: temperature/power cabinet grids."""
+    result = run_once(benchmark, lambda: run_experiment("fig5", context))
+    print()
+    print(result)
+    assert result.data

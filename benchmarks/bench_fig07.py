@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 7: power by SBE period.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig07(benchmark, context):
+    """Fig. 7: power by SBE period."""
+    result = run_once(benchmark, lambda: run_experiment("fig7", context))
+    print()
+    print(result)
+    assert result.data

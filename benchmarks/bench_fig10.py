@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 10: model comparison on DS1.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig10(benchmark, context):
+    """Fig. 10: model comparison on DS1."""
+    result = run_once(benchmark, lambda: run_experiment("fig10", context))
+    print()
+    print(result)
+    assert result.data

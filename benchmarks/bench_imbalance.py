@@ -1,0 +1,17 @@
+"""Benchmark regenerating the imbalance-mitigation comparison (paper VI-B).
+
+Compares SMOTE, random under-sampling, and k-means under-sampling against
+the paper's TwoStage method, all with the same GBDT stage-2 model.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_imbalance(benchmark, context):
+    """Section VI-B: generic resampling vs the TwoStage design."""
+    result = run_once(benchmark, lambda: run_experiment("imbalance", context))
+    print()
+    print(result)
+    assert result.data

@@ -1,0 +1,79 @@
+"""Microbenchmarks for the from-scratch ML substrate.
+
+These time each model's fit/predict on a fixed synthetic dataset, which
+complements Table III (whose numbers come from real stage-2 training data
+inside the TwoStage pipeline).
+"""
+
+import numpy as np
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    KMeans,
+    LogisticRegression,
+    MLPClassifier,
+    SMOTE,
+    SVC,
+)
+
+
+def test_fit_logistic_regression(benchmark, ml_dataset):
+    X, y = ml_dataset
+    benchmark(
+        lambda: LogisticRegression(epochs=20, random_state=0).fit(X, y)
+    )
+
+
+def test_fit_gbdt(benchmark, ml_dataset):
+    X, y = ml_dataset
+    benchmark.pedantic(
+        lambda: GradientBoostingClassifier(
+            n_estimators=50, max_depth=4, random_state=0
+        ).fit(X, y),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fit_svm_capped(benchmark, ml_dataset):
+    X, y = ml_dataset
+    benchmark.pedantic(
+        lambda: SVC(max_train_size=2000, max_iter=20, random_state=0).fit(X, y),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fit_mlp(benchmark, ml_dataset):
+    X, y = ml_dataset
+    benchmark.pedantic(
+        lambda: MLPClassifier(
+            hidden_layers=(32, 16), epochs=20, random_state=0
+        ).fit(X, y),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_predict_gbdt(benchmark, ml_dataset):
+    X, y = ml_dataset
+    model = GradientBoostingClassifier(
+        n_estimators=50, max_depth=4, random_state=0
+    ).fit(X, y)
+    benchmark(lambda: model.predict(X))
+
+
+def test_kmeans(benchmark, ml_dataset):
+    X, _ = ml_dataset
+    benchmark.pedantic(
+        lambda: KMeans(n_clusters=8, n_init=1, random_state=0).fit(X[:5000]),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_smote(benchmark, ml_dataset):
+    X, y = ml_dataset
+    rng = np.random.default_rng(0)
+    y_imb = np.where(rng.random(y.size) < 0.03, y, 0)
+    benchmark(lambda: SMOTE(random_state=0).fit_resample(X[:5000], y_imb[:5000]))

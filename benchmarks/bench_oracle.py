@@ -1,0 +1,17 @@
+"""Benchmark regenerating the oracle-per-cabinet analysis (paper VII-D1).
+
+Reuses the four models trained by the Fig. 10 benchmark in the same
+session, so the timed unit is the oracle analysis itself.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_oracle(benchmark, context):
+    """Section VII-D1: oracle model choice barely beats global GBDT."""
+    result = run_once(benchmark, lambda: run_experiment("oracle", context))
+    print()
+    print(result)
+    assert result.data

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table I: basic schemes.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table1(benchmark, context):
+    """Table I: basic schemes."""
+    result = run_once(benchmark, lambda: run_experiment("table1", context))
+    print()
+    print(result)
+    assert result.data

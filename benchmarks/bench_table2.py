@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table II: F1 across datasets.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table2(benchmark, context):
+    """Table II: F1 across datasets."""
+    result = run_once(benchmark, lambda: run_experiment("table2", context))
+    print()
+    print(result)
+    assert result.data

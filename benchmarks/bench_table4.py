@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table IV: temp/power feature variants.
+
+The benchmarked unit is the full experiment driver (analysis + any model
+training not already cached by earlier benchmarks in the session).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table4(benchmark, context):
+    """Table IV: temp/power feature variants."""
+    result = run_once(benchmark, lambda: run_experiment("table4", context))
+    print()
+    print(result)
+    assert result.data

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every table and figure of the paper on the
+``default`` preset (full 25 x 8 cabinet grid, 126 simulated days).  The
+trace is simulated once and cached on disk (see ``REPRO_CACHE_DIR``), so
+the first benchmark session pays ~1 minute of simulation and later
+sessions start immediately.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see each regenerated table/figure rendered as text.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+#: Preset used by the experiment benchmarks; override for quick runs.
+BENCH_PRESET = os.environ.get("REPRO_BENCH_PRESET", "default")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Experiment context on the benchmark preset (disk-cached trace)."""
+    return ExperimentContext(BENCH_PRESET)
+
+
+@pytest.fixture(scope="session")
+def ml_dataset() -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic nonlinear dataset for ML microbenchmarks."""
+    rng = np.random.default_rng(7)
+    n = 20_000
+    X = rng.normal(size=(n, 30))
+    score = (
+        np.sin(2 * X[:, 0]) + X[:, 1] * X[:, 2] - 0.4 * X[:, 3] ** 2
+        + 0.3 * rng.normal(size=n)
+    )
+    y = (score > -0.2).astype(int)
+    return X, y
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under timing and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

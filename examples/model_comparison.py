@@ -1,0 +1,58 @@
+"""Compare the four stage-2 models across all three datasets.
+
+Reproduces the substance of the paper's Fig. 10 and Tables II-III at the
+scale of your choice: F1/precision/recall per model per dataset plus
+training time, next to the Basic A baseline.
+
+Run:  python examples/model_comparison.py [preset]
+"""
+
+import sys
+
+from repro.core.registry import MODEL_NAMES
+from repro.experiments import ExperimentContext
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "small"
+    context = ExperimentContext(preset, use_disk_cache=False)
+    print(f"simulating + building features for preset {preset!r} ...\n")
+
+    rows = []
+    for split in context.split_names():
+        basic = context.basic(split, "basic_a")
+        rows.append((split, "basic_a", basic.f1, basic.precision, basic.recall, 0.0))
+        for model in MODEL_NAMES:
+            result = context.twostage(split, model)
+            rows.append(
+                (
+                    split,
+                    model,
+                    result.f1,
+                    result.precision,
+                    result.recall,
+                    result.train_seconds,
+                )
+            )
+    print(
+        format_table(
+            ["dataset", "model", "F1", "precision", "recall", "train (s)"],
+            rows,
+            title="TwoStage model comparison (paper Fig. 10 / Tables II-III)",
+        )
+    )
+
+    by_model = {
+        model: [r[2] for r in rows if r[1] == model] for model in MODEL_NAMES
+    }
+    mean_f1 = {model: sum(v) / len(v) for model, v in by_model.items()}
+    best = max(mean_f1, key=mean_f1.get)
+    print(
+        f"\nBest mean F1 across datasets: {best} ({mean_f1[best]:.3f}) "
+        "-- the paper's winner is GBDT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: reproduction of "Machine Learning Models for GPU Error Prediction
+in a Large Scale HPC System" (Nie et al., DSN 2018).
+
+Quickstart::
+
+    from repro import ExperimentContext, run_experiment
+
+    context = ExperimentContext(preset="small")
+    print(run_experiment("fig10", context).text)
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.topology` -- the Titan-style machine hierarchy;
+* :mod:`repro.telemetry` -- the synthetic trace substrate (scheduler,
+  power/thermal physics, SBE injection, out-of-band sampler);
+* :mod:`repro.features` -- the paper's temporal/spatial/history features;
+* :mod:`repro.ml` -- from-scratch LR/GBDT/SVM/NN plus supporting tools;
+* :mod:`repro.core` -- the TwoStage prediction framework and baselines;
+* :mod:`repro.analysis` -- trace characterization (paper Section III);
+* :mod:`repro.experiments` -- one driver per paper table/figure.
+"""
+
+from repro.core import PredictionPipeline, TwoStagePredictor
+from repro.experiments import ExperimentContext, run_experiment
+from repro.features import build_features
+from repro.telemetry import Trace, TraceConfig, simulate_trace
+from repro.topology import Machine, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PredictionPipeline",
+    "TwoStagePredictor",
+    "ExperimentContext",
+    "run_experiment",
+    "build_features",
+    "Trace",
+    "TraceConfig",
+    "simulate_trace",
+    "Machine",
+    "MachineConfig",
+    "__version__",
+]

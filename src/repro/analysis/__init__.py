@@ -1,0 +1,32 @@
+"""Trace characterization (paper Section III).
+
+Every statistic and distribution behind Figs. 1-8 is computed here from a
+:class:`~repro.telemetry.trace.Trace`:
+
+* offender-node and SBE-affected-aprun cabinet grids (Figs. 1-2);
+* application SBE skew and affected-execution fractions (Fig. 3);
+* SBE-vs-utilization rank correlations (Fig. 4);
+* cumulative temperature/power cabinet grids and their (weak) correlation
+  with the offender grid (Fig. 5);
+* temperature/power distributions during SBE-free vs SBE-affected periods
+  (Figs. 6-7);
+* repeated-run temperature/power profiles with neighbour context (Fig. 8).
+"""
+
+from repro.analysis.characterization import (
+    app_sbe_skew,
+    cabinet_grids,
+    offender_day_coverage,
+    period_distributions,
+    run_profile_pairs,
+    utilization_correlations,
+)
+
+__all__ = [
+    "app_sbe_skew",
+    "cabinet_grids",
+    "offender_day_coverage",
+    "period_distributions",
+    "run_profile_pairs",
+    "utilization_correlations",
+]

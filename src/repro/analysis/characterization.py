@@ -1,0 +1,257 @@
+"""Computations behind the paper's characterization figures (Section III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.trace import Trace
+from repro.utils.errors import ValidationError
+from repro.utils.stats import spearman
+
+__all__ = [
+    "CabinetGrids",
+    "cabinet_grids",
+    "AppSkew",
+    "app_sbe_skew",
+    "utilization_correlations",
+    "PeriodDistributions",
+    "period_distributions",
+    "offender_day_coverage",
+    "run_profile_pairs",
+]
+
+MINUTES_PER_DAY = 1440.0
+
+
+# ----------------------------------------------------------------------
+# Figs. 1, 2, 5: cabinet-level grids
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CabinetGrids:
+    """Cabinet-level aggregates, each shaped ``(grid_y, grid_x)``."""
+
+    offender_nodes: np.ndarray
+    affected_apruns: np.ndarray
+    mean_temperature: np.ndarray
+    mean_power: np.ndarray
+    #: Node-level Spearman correlations with SBE-affectedness.
+    temp_sbe_spearman: float
+    power_sbe_spearman: float
+
+
+def cabinet_grids(trace: Trace) -> CabinetGrids:
+    """Compute the grids of Figs. 1, 2 and 5 plus their correlations."""
+    machine = trace.machine
+    s = trace.samples
+    node_sbe = trace.node_sbe_totals()
+    offender_per_node = (node_sbe > 0).astype(float)
+
+    affected = s["sbe_count"] > 0
+    affected_per_node = np.zeros(machine.num_nodes)
+    np.add.at(affected_per_node, s["node_id"][affected].astype(int), 1.0)
+
+    sbe_binary = offender_per_node
+    return CabinetGrids(
+        offender_nodes=machine.cabinet_grid(offender_per_node, reduce="sum"),
+        affected_apruns=machine.cabinet_grid(affected_per_node, reduce="sum"),
+        mean_temperature=machine.cabinet_grid(trace.node_mean_temp, reduce="mean"),
+        mean_power=machine.cabinet_grid(trace.node_mean_power, reduce="mean"),
+        temp_sbe_spearman=spearman(trace.node_mean_temp, sbe_binary),
+        power_sbe_spearman=spearman(trace.node_mean_power, sbe_binary),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: application skew
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppSkew:
+    """Application-level SBE distribution (paper Fig. 3)."""
+
+    #: Cumulative SBE share of SBE-affected apps, sorted most-affected
+    #: first (Fig. 3(a)'s curve, evaluated at every app).
+    cumulative_share: np.ndarray
+    #: Fraction of each SBE-affected app's executions that saw an SBE,
+    #: sorted in the same order (basis of Fig. 3(b)).
+    affected_run_fraction: np.ndarray
+    #: Share of all SBEs held by the top 20% most-affected apps.
+    top20_share: float
+    #: Number of SBE-affected applications / total applications.
+    num_affected: int
+    num_apps: int
+
+
+def app_sbe_skew(trace: Trace) -> AppSkew:
+    """Compute the SBE skew across applications."""
+    s = trace.samples
+    num_apps = len(trace.app_names)
+    sbe_per_app = np.zeros(num_apps, dtype=np.int64)
+    np.add.at(sbe_per_app, s["app_id"].astype(int), s["sbe_count"].astype(np.int64))
+
+    runs = trace.runs
+    run_apps = runs["app_id"].astype(int)
+    run_affected = runs["sbe_total"] > 0
+    runs_per_app = np.bincount(run_apps, minlength=num_apps).astype(float)
+    affected_per_app = np.bincount(
+        run_apps[run_affected], minlength=num_apps
+    ).astype(float)
+
+    affected_apps = np.nonzero(sbe_per_app > 0)[0]
+    if affected_apps.size == 0:
+        raise ValidationError("trace has no SBE-affected applications")
+    order = affected_apps[np.argsort(sbe_per_app[affected_apps])[::-1]]
+    sorted_counts = sbe_per_app[order].astype(float)
+    cumulative = np.cumsum(sorted_counts) / sorted_counts.sum()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = np.where(
+            runs_per_app[order] > 0, affected_per_app[order] / runs_per_app[order], 0.0
+        )
+    top_k = max(1, int(np.ceil(0.2 * order.size)))
+    return AppSkew(
+        cumulative_share=cumulative,
+        affected_run_fraction=frac,
+        top20_share=float(cumulative[top_k - 1]),
+        num_affected=int(order.size),
+        num_apps=num_apps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: SBE vs utilization correlations
+# ----------------------------------------------------------------------
+def utilization_correlations(trace: Trace) -> dict[str, float]:
+    """Spearman correlations of per-app normalized SBE rate with
+    utilization (paper Fig. 4 insets: core-hours 0.89, memory 0.70).
+
+    Points are SBE-affected applications; the SBE count is normalized by
+    the application's accumulated GPU core-hours.
+    """
+    s = trace.samples
+    num_apps = len(trace.app_names)
+    app_ids = s["app_id"].astype(int)
+    sbe = np.zeros(num_apps)
+    core_hours = np.zeros(num_apps)
+    mem = np.zeros(num_apps)
+    counts = np.bincount(app_ids, minlength=num_apps).astype(float)
+    np.add.at(sbe, app_ids, s["sbe_count"].astype(float))
+    np.add.at(core_hours, app_ids, s["gpu_core_hours"] / np.maximum(s["n_nodes"], 1))
+    np.add.at(mem, app_ids, s["max_mem_gb"])
+    affected = sbe > 0
+    if affected.sum() < 3:
+        raise ValidationError("not enough SBE-affected applications")
+    norm_sbe = sbe[affected] / np.maximum(core_hours[affected], 1e-9)
+    mean_mem = mem[affected] / np.maximum(counts[affected], 1.0)
+    return {
+        "core_hours": spearman(norm_sbe, core_hours[affected]),
+        "memory": spearman(norm_sbe, mean_mem),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figs. 6-7: temperature/power in SBE-free vs SBE-affected periods
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PeriodDistributions:
+    """Telemetry distributions on offender nodes, split by SBE outcome."""
+
+    temp_free: np.ndarray
+    temp_affected: np.ndarray
+    power_free: np.ndarray
+    power_affected: np.ndarray
+
+    @property
+    def temp_elevation(self) -> float:
+        """Mean temperature difference, affected minus free (paper: >3C)."""
+        return float(self.temp_affected.mean() - self.temp_free.mean())
+
+    @property
+    def power_elevation(self) -> float:
+        """Mean power difference, affected minus free (paper: >15W)."""
+        return float(self.power_affected.mean() - self.power_free.mean())
+
+
+def period_distributions(trace: Trace) -> PeriodDistributions:
+    """Per-run mean temperature/power on offender nodes, split by outcome."""
+    s = trace.samples
+    node_sbe = trace.node_sbe_totals()
+    offenders = np.nonzero(node_sbe > 0)[0]
+    if offenders.size == 0:
+        raise ValidationError("trace has no offender nodes")
+    on_offender = np.isin(s["node_id"].astype(int), offenders)
+    affected = s["sbe_count"] > 0
+    return PeriodDistributions(
+        temp_free=s["gpu_temp_mean"][on_offender & ~affected].astype(float),
+        temp_affected=s["gpu_temp_mean"][on_offender & affected].astype(float),
+        power_free=s["gpu_power_mean"][on_offender & ~affected].astype(float),
+        power_affected=s["gpu_power_mean"][on_offender & affected].astype(float),
+    )
+
+
+def offender_day_coverage(trace: Trace) -> np.ndarray:
+    """Per-offender-node fraction of trace days with at least one SBE.
+
+    Paper §III-A: 80% of offender nodes err on fewer than 20% of days.
+    """
+    s = trace.samples
+    affected = s["sbe_count"] > 0
+    if not affected.any():
+        raise ValidationError("trace has no SBEs")
+    nodes = s["node_id"][affected].astype(int)
+    days = (s["start_minute"][affected] // MINUTES_PER_DAY).astype(int)
+    total_days = int(np.ceil(trace.config.duration_days))
+    coverage = []
+    for node in np.unique(nodes):
+        node_days = np.unique(days[nodes == node])
+        coverage.append(node_days.size / max(total_days, 1))
+    return np.asarray(coverage)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8: repeated-run profiles
+# ----------------------------------------------------------------------
+def run_profile_pairs(
+    trace: Trace,
+    node_id: int,
+    *,
+    context_minutes: float = 30.0,
+    max_pairs: int = 2,
+) -> list[dict[str, np.ndarray]]:
+    """Telemetry profiles of repeated runs of one app on a recorded node.
+
+    Returns up to ``max_pairs`` run windows (the paper shows two) of the
+    most-repeated application on ``node_id``, each with the node's GPU
+    temperature/power, CPU temperature, and slot/cage averages, including
+    ``context_minutes`` before and after the run.  Requires the node to be
+    in ``trace.config.record_nodes``.
+    """
+    if node_id not in trace.recorded_series:
+        raise ValidationError(
+            f"node {node_id} was not recorded; set record_nodes in TraceConfig"
+        )
+    series = trace.recorded_series[node_id]
+    minutes = series["minute"]
+
+    s = trace.samples
+    on_node = s["node_id"].astype(int) == node_id
+    app_ids = s["app_id"][on_node].astype(int)
+    if app_ids.size == 0:
+        raise ValidationError(f"node {node_id} ran no applications")
+    top_app = int(np.bincount(app_ids).argmax())
+    chosen = on_node & (s["app_id"] == top_app)
+    starts = s["start_minute"][chosen]
+    ends = s["end_minute"][chosen]
+    order = np.argsort(starts)
+
+    profiles = []
+    for idx in order[: max(0, int(max_pairs))]:
+        lo = starts[idx] - context_minutes
+        hi = ends[idx] + context_minutes
+        window = (minutes >= lo) & (minutes <= hi)
+        profile = {name: values[window] for name, values in series.items()}
+        profile["run_start"] = np.asarray([starts[idx]])
+        profile["run_end"] = np.asarray([ends[idx]])
+        profile["app_id"] = np.asarray([top_app])
+        profiles.append(profile)
+    return profiles

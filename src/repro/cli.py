@@ -1,0 +1,110 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro simulate --preset default --out trace        # simulate + save
+    repro characterize --preset default                # figs 1-8 stats
+    repro evaluate --preset default --split DS1 --model gbdt
+    repro experiment fig10 table2 ...                  # named artifacts
+    repro experiment all                               # the full sweep
+
+All subcommands share the preset-keyed trace cache (see
+``repro.experiments.runner.default_cache_dir``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments.presets import PRESETS, preset_config
+from repro.telemetry.simulator import simulate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU SBE prediction reproduction (DSN 2018)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=sorted(PRESETS),
+        help="simulation scale preset",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read/write the on-disk trace cache",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a trace and save it")
+    sim.add_argument("--out", required=True, help="output path (without extension)")
+
+    sub.add_parser("characterize", help="run the characterization experiments")
+
+    ev = sub.add_parser("evaluate", help="train and evaluate one predictor")
+    ev.add_argument("--split", default="DS1")
+    ev.add_argument(
+        "--model",
+        default="gbdt",
+        choices=["lr", "gbdt", "svm", "nn", "basic_a", "basic_b", "basic_c", "random"],
+    )
+
+    ex = sub.add_parser("experiment", help="run named experiments (or 'all')")
+    ex.add_argument("ids", nargs="+", help=f"ids from {sorted(EXPERIMENTS)} or 'all'")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    context = ExperimentContext(args.preset, use_disk_cache=not args.no_cache)
+
+    if args.command == "simulate":
+        started = time.perf_counter()
+        trace = simulate_trace(preset_config(args.preset))
+        trace.save(args.out)
+        print(
+            f"simulated {trace.num_samples} samples over "
+            f"{trace.config.duration_days:.0f} days in "
+            f"{time.perf_counter() - started:.0f}s -> {args.out}.npz"
+        )
+        return 0
+
+    if args.command == "characterize":
+        for experiment_id in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            print(run_experiment(experiment_id, context))
+            print()
+        return 0
+
+    if args.command == "evaluate":
+        if args.model in ("basic_a", "basic_b", "basic_c", "random"):
+            result = context.basic(args.split, args.model)
+        else:
+            result = context.twostage(args.split, args.model)
+        print(
+            f"{result.predictor} on {result.split}: "
+            f"F1={result.f1:.3f} precision={result.precision:.3f} "
+            f"recall={result.recall:.3f} (trained in {result.train_seconds:.1f}s)"
+        )
+        return 0
+
+    if args.command == "experiment":
+        ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+        for experiment_id in ids:
+            print(run_experiment(experiment_id, context))
+            print()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

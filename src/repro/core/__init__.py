@@ -1,0 +1,42 @@
+"""The paper's prediction framework.
+
+* :mod:`baselines` -- the Random and Basic A/B/C schemes of Table I;
+* :mod:`twostage` -- the TwoStage method (Fig. 9): stage 1 passes only
+  samples from nodes that have erred before, stage 2 classifies them with
+  a machine-learning model;
+* :mod:`registry` -- the four stage-2 models (LR, GBDT, SVM, NN) with the
+  paper's roles and sensible defaults;
+* :mod:`pipeline` -- trace -> features -> split -> train -> evaluate;
+* :mod:`evaluation` -- the analysis helpers behind Figs. 10-13 and
+  Tables II-VI;
+* :mod:`ecc` -- the Discussion-section application: prediction-driven
+  dynamic ECC protection.
+"""
+
+from repro.core.baselines import BasicA, BasicB, BasicC, RandomBaseline
+from repro.core.ecc import EccPolicyReport, EccPolicySimulator
+from repro.core.evaluation import (
+    cabinet_prediction_error,
+    runtime_class_report,
+    severity_level_report,
+)
+from repro.core.pipeline import PredictionPipeline, SplitResult
+from repro.core.registry import MODEL_NAMES, make_model
+from repro.core.twostage import TwoStagePredictor
+
+__all__ = [
+    "BasicA",
+    "BasicB",
+    "BasicC",
+    "RandomBaseline",
+    "EccPolicyReport",
+    "EccPolicySimulator",
+    "cabinet_prediction_error",
+    "runtime_class_report",
+    "severity_level_report",
+    "PredictionPipeline",
+    "SplitResult",
+    "MODEL_NAMES",
+    "make_model",
+    "TwoStagePredictor",
+]

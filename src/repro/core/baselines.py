@@ -1,0 +1,122 @@
+"""Non-ML baseline prediction schemes (paper Table I).
+
+* ``Random`` -- coin flip (p = 0.5) regardless of the sample.
+* ``Basic A`` -- any run on a previously-SBE-affected *node* is predicted
+  SBE-affected.
+* ``Basic B`` -- any run of a previously-SBE-affected *application* is
+  predicted SBE-affected.
+* ``Basic C`` -- only runs of the *top 20%* SBE-affected applications (by
+  training-period SBE count) are predicted SBE-affected.
+
+All schemes consume the :class:`~repro.features.builder.FeatureMatrix`
+metadata (node/app ids and observed SBE counts), never the feature matrix
+itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.builder import FeatureMatrix
+from repro.utils.errors import NotFittedError
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_fraction
+
+__all__ = ["RandomBaseline", "BasicA", "BasicB", "BasicC"]
+
+
+class RandomBaseline:
+    """Predicts SBE with probability 0.5, independent of the sample."""
+
+    def __init__(self, random_state: int | np.random.Generator | None = None) -> None:
+        self._rng = child_rng(random_state)
+
+    def fit(self, features: FeatureMatrix) -> "RandomBaseline":
+        """No-op; present for interface symmetry."""
+        return self
+
+    def predict(self, features: FeatureMatrix) -> np.ndarray:
+        """Coin-flip labels for each sample."""
+        return (self._rng.random(features.num_samples) < 0.5).astype(int)
+
+
+class BasicA:
+    """Offender-node scheme: erred-before nodes always predicted positive."""
+
+    def __init__(self) -> None:
+        self._offenders: set[int] | None = None
+
+    @property
+    def offender_nodes(self) -> set[int]:
+        """Node ids observed to err during training."""
+        if self._offenders is None:
+            raise NotFittedError("BasicA is not fitted")
+        return set(self._offenders)
+
+    def fit(self, features: FeatureMatrix) -> "BasicA":
+        """Record which nodes erred in the training window."""
+        erred = features.meta["sbe_count"] > 0
+        self._offenders = set(features.meta["node_id"][erred].tolist())
+        return self
+
+    def predict(self, features: FeatureMatrix) -> np.ndarray:
+        """1 for samples on offender nodes, 0 elsewhere."""
+        if self._offenders is None:
+            raise NotFittedError("BasicA is not fitted")
+        nodes = features.meta["node_id"]
+        offenders = np.asarray(sorted(self._offenders), dtype=nodes.dtype)
+        return np.isin(nodes, offenders).astype(int)
+
+
+class BasicB:
+    """Offender-application scheme: erred-before apps predicted positive."""
+
+    def __init__(self) -> None:
+        self._apps: set[int] | None = None
+
+    def fit(self, features: FeatureMatrix) -> "BasicB":
+        """Record which applications erred in the training window."""
+        erred = features.meta["sbe_count"] > 0
+        self._apps = set(features.meta["app_id"][erred].tolist())
+        return self
+
+    def predict(self, features: FeatureMatrix) -> np.ndarray:
+        """1 for samples of offender applications, 0 elsewhere."""
+        if self._apps is None:
+            raise NotFittedError("BasicB is not fitted")
+        apps = features.meta["app_id"]
+        offender_apps = np.asarray(sorted(self._apps), dtype=apps.dtype)
+        return np.isin(apps, offender_apps).astype(int)
+
+
+class BasicC:
+    """Top-offender-application scheme (top 20% by training SBE count)."""
+
+    def __init__(self, *, top_fraction: float = 0.2) -> None:
+        check_fraction(top_fraction, "top_fraction", inclusive=False)
+        self.top_fraction = top_fraction
+        self._apps: set[int] | None = None
+
+    def fit(self, features: FeatureMatrix) -> "BasicC":
+        """Rank SBE-affected applications and keep the top fraction."""
+        apps = features.meta["app_id"]
+        counts = np.zeros(int(apps.max()) + 1, dtype=np.int64)
+        np.add.at(counts, apps, features.meta["sbe_count"])
+        affected = np.nonzero(counts > 0)[0]
+        if affected.size == 0:
+            self._apps = set()
+            return self
+        k = max(1, int(np.ceil(self.top_fraction * affected.size)))
+        ranked = affected[np.argsort(counts[affected])[::-1]]
+        self._apps = set(ranked[:k].tolist())
+        return self
+
+    def predict(self, features: FeatureMatrix) -> np.ndarray:
+        """1 for samples of top offender applications, 0 elsewhere."""
+        if self._apps is None:
+            raise NotFittedError("BasicC is not fitted")
+        apps = features.meta["app_id"]
+        if not self._apps:
+            return np.zeros(features.num_samples, dtype=int)
+        offender_apps = np.asarray(sorted(self._apps), dtype=apps.dtype)
+        return np.isin(apps, offender_apps).astype(int)

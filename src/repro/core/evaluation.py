@@ -1,0 +1,208 @@
+"""Prediction-quality analyses behind the paper's Figs. 12-13, Tables V-VI.
+
+All helpers consume a :class:`~repro.core.pipeline.SplitResult` (whose
+``test_features`` carries sample metadata) so they compose with any
+predictor the pipeline produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import SplitResult
+from repro.ml.metrics import precision_recall_f1
+from repro.topology.machine import Machine
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "cabinet_prediction_error",
+    "runtime_class_report",
+    "severity_level_report",
+    "prediction_cdfs",
+    "oracle_model_analysis",
+    "precision_recall_curve",
+]
+
+
+def _require_meta(result: SplitResult) -> dict[str, np.ndarray]:
+    if result.test_features is None:
+        raise ValidationError("SplitResult carries no test feature metadata")
+    return result.test_features.meta
+
+
+def cabinet_prediction_error(result: SplitResult, machine: Machine) -> np.ndarray:
+    """Per-cabinet (ground truth - prediction) counts, shape (y, x).
+
+    The paper's Fig. 13(b): for each cabinet, the difference between the
+    number of SBE-affected samples and the number of predicted-positive
+    samples over the test window.
+    """
+    meta = _require_meta(result)
+    nodes = meta["node_id"].astype(int)
+    cab = machine.cabinet_linear[nodes]
+    truth = np.bincount(cab, weights=result.y_true, minlength=machine.num_cabinets)
+    pred = np.bincount(cab, weights=result.y_pred, minlength=machine.num_cabinets)
+    grid_shape = (machine.config.grid_y, machine.config.grid_x)
+    return (truth - pred).reshape(grid_shape)
+
+
+def prediction_cdfs(result: SplitResult, machine: Machine) -> dict[str, np.ndarray]:
+    """Per-cabinet SBE occurrence counts for ground truth, prediction, and
+    true positives (paper Fig. 13(a) plots their CDFs)."""
+    meta = _require_meta(result)
+    nodes = meta["node_id"].astype(int)
+    cab = machine.cabinet_linear[nodes]
+    n = machine.num_cabinets
+    true_positive = (result.y_true == 1) & (result.y_pred == 1)
+    return {
+        "ground_truth": np.bincount(cab, weights=result.y_true, minlength=n),
+        "prediction": np.bincount(cab, weights=result.y_pred, minlength=n),
+        "true_positives": np.bincount(
+            cab, weights=true_positive.astype(float), minlength=n
+        ),
+    }
+
+
+def runtime_class_report(
+    result: SplitResult, *, quantile: float = 0.25
+) -> dict[str, dict[str, float]]:
+    """Precision/recall/F1 for all, short-running, and long-running apps.
+
+    Short-running samples fall in the bottom ``quantile`` of test-window
+    run durations, long-running in the top ``quantile`` (paper Table V
+    uses the 25th/75th percentiles).
+    """
+    meta = _require_meta(result)
+    durations = meta["duration_minutes"].astype(float)
+    lo = np.quantile(durations, quantile)
+    hi = np.quantile(durations, 1.0 - quantile)
+    masks = {
+        "all": np.ones(durations.size, dtype=bool),
+        "short": durations <= lo,
+        "long": durations >= hi,
+    }
+    out = {}
+    for name, mask in masks.items():
+        if not mask.any():
+            out[name] = {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+            continue
+        p, r, f1 = precision_recall_f1(result.y_true[mask], result.y_pred[mask])
+        out[name] = {"precision": p, "recall": r, "f1": f1}
+    return out
+
+
+def oracle_model_analysis(
+    results: dict[str, SplitResult], machine: Machine
+) -> dict[str, object]:
+    """Per-cabinet oracle model choice vs one global model (paper §VII-D1).
+
+    The paper checks whether TwoStage+GBDT is only good "in selected
+    sections of the machine": it compares the global F1 of each model
+    against an *oracle* that picks, per cabinet, whichever model scores
+    best there.  The oracle's improvement over the best global model was
+    only 0.01-0.02 on Titan.  ``results`` maps model name to its
+    :class:`SplitResult` on one split (same split for all).
+
+    Returns the global F1 per model, the oracle F1, the improvement over
+    the best single model, and the per-cabinet winning model names.
+    """
+    if not results:
+        raise ValidationError("results must contain at least one model")
+    names = sorted(results)
+    first = results[names[0]]
+    meta = _require_meta(first)
+    cab = machine.cabinet_linear[meta["node_id"].astype(int)]
+    y_true = first.y_true
+    for name in names[1:]:
+        if not np.array_equal(results[name].y_true, y_true):
+            raise ValidationError("all results must share one test window")
+
+    global_f1 = {
+        name: precision_recall_f1(result.y_true, result.y_pred)[2]
+        for name, result in results.items()
+    }
+    best_global = max(global_f1, key=global_f1.get)
+
+    oracle_pred = np.zeros_like(y_true)
+    winners: dict[int, str] = {}
+    for cabinet in np.unique(cab):
+        rows = cab == cabinet
+        if not rows.any():
+            continue
+        best_name, best_score = best_global, -1.0
+        for name in names:
+            pred = results[name].y_pred[rows]
+            if y_true[rows].sum() == 0 and pred.sum() == 0:
+                score = 1.0  # nothing to find, nothing claimed
+            else:
+                score = precision_recall_f1(y_true[rows], pred)[2]
+            if score > best_score:
+                best_name, best_score = name, score
+        winners[int(cabinet)] = best_name
+        oracle_pred[rows] = results[best_name].y_pred[rows]
+
+    oracle_f1 = precision_recall_f1(y_true, oracle_pred)[2]
+    return {
+        "global_f1": global_f1,
+        "best_global_model": best_global,
+        "oracle_f1": oracle_f1,
+        "oracle_gain": oracle_f1 - global_f1[best_global],
+        "winning_model_per_cabinet": winners,
+    }
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, proba: np.ndarray, *, num_thresholds: int = 50
+) -> dict[str, np.ndarray]:
+    """Precision/recall/F1 across decision thresholds.
+
+    The paper notes precision and recall "sometimes can be conflicting";
+    this sweep exposes the trade-off the F1 metric condenses.
+    """
+    y_true = np.asarray(y_true).astype(int).ravel()
+    proba = np.asarray(proba, dtype=float).ravel()
+    if y_true.shape != proba.shape:
+        raise ValidationError("y_true and proba must share one shape")
+    thresholds = np.linspace(0.0, 1.0, int(num_thresholds), endpoint=False)
+    precisions = np.empty(thresholds.size)
+    recalls = np.empty(thresholds.size)
+    f1s = np.empty(thresholds.size)
+    for i, threshold in enumerate(thresholds):
+        pred = (proba >= threshold).astype(int)
+        precisions[i], recalls[i], f1s[i] = precision_recall_f1(y_true, pred)
+    return {
+        "thresholds": thresholds,
+        "precision": precisions,
+        "recall": recalls,
+        "f1": f1s,
+    }
+
+
+def severity_level_report(result: SplitResult) -> dict[str, float]:
+    """Fraction of SBE-affected samples correctly labelled, per severity.
+
+    SBE-affected test samples are grouped into quartiles of their SBE
+    count — Light, Moderate, Severe, Extreme — and each level reports its
+    correctly-classified percentage (paper Table VI).
+    """
+    meta = _require_meta(result)
+    counts = meta["sbe_count"].astype(float)
+    affected = result.y_true == 1
+    if not affected.any():
+        raise ValidationError("test window has no SBE-affected samples")
+    affected_counts = counts[affected]
+    correct = (result.y_pred[affected] == 1).astype(float)
+    # Quartile edges over SBE-affected samples only; severity rises with
+    # count.  Ties are common for count == 1, so edges may coincide; rank
+    # percentiles keep the buckets near-equal regardless.
+    order = np.argsort(affected_counts, kind="mergesort")
+    ranks = np.empty(order.size)
+    ranks[order] = np.arange(order.size)
+    quartile = np.minimum((ranks / order.size * 4).astype(int), 3)
+    names = ("light", "moderate", "severe", "extreme")
+    return {
+        names[level]: float(correct[quartile == level].mean())
+        if (quartile == level).any()
+        else 0.0
+        for level in range(4)
+    }

@@ -1,0 +1,186 @@
+"""End-to-end prediction pipeline: features -> split -> train -> metrics.
+
+:class:`PredictionPipeline` wraps a built feature matrix and the paper's
+sliding splits; each :meth:`evaluate` call trains one predictor on one
+split's training window and reports SBE-class precision/recall/F1 on the
+test window, plus the training wall-clock (Table III's quantity).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines import BasicA, BasicB, BasicC, RandomBaseline
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import FeatureMatrix, build_features
+from repro.features.splits import DatasetSplit, make_paper_splits
+from repro.ml.metrics import classification_report
+from repro.telemetry.trace import Trace
+from repro.utils.errors import ValidationError
+
+__all__ = ["SplitResult", "PredictionPipeline"]
+
+
+@dataclass
+class SplitResult:
+    """Outcome of one (predictor, split) evaluation."""
+
+    split: str
+    predictor: str
+    y_true: np.ndarray
+    y_pred: np.ndarray
+    train_seconds: float
+    report: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Test-window rows of the feature matrix (metadata for downstream
+    #: analyses such as per-cabinet or severity breakdowns).
+    test_features: FeatureMatrix | None = None
+
+    @property
+    def precision(self) -> float:
+        """SBE-class precision."""
+        return self.report["sbe"]["precision"]
+
+    @property
+    def recall(self) -> float:
+        """SBE-class recall."""
+        return self.report["sbe"]["recall"]
+
+    @property
+    def f1(self) -> float:
+        """SBE-class F1 score."""
+        return self.report["sbe"]["f1"]
+
+
+class PredictionPipeline:
+    """Holds features and splits; trains and evaluates predictors."""
+
+    BASIC_SCHEMES = ("random", "basic_a", "basic_b", "basic_c")
+
+    def __init__(
+        self,
+        features: FeatureMatrix,
+        splits: list[DatasetSplit] | None = None,
+    ) -> None:
+        self._features = features
+        if splits is None:
+            horizon = float(features.meta["start_minute"].max()) / 1440.0 + 1.0
+            if horizon >= 84.0 + 14.0 + 28.0:
+                splits = make_paper_splits(duration_days=horizon)
+            else:
+                # Short trace: scale the paper's protocol to the horizon
+                # (same 3-window sliding structure, same test:train band).
+                train = horizon * 0.6
+                test = horizon * 0.12
+                splits = make_paper_splits(
+                    train_days=train,
+                    test_days=test,
+                    offsets_days=(0.0, test, 2 * test),
+                    duration_days=horizon,
+                )
+        self._splits = {split.name: split for split in splits}
+
+    @classmethod
+    def from_trace(cls, trace: Trace, **kwargs) -> "PredictionPipeline":
+        """Build features from ``trace`` and construct the pipeline."""
+        return cls(build_features(trace), **kwargs)
+
+    @property
+    def features(self) -> FeatureMatrix:
+        """The full feature matrix."""
+        return self._features
+
+    @property
+    def splits(self) -> list[DatasetSplit]:
+        """The configured dataset splits, in order."""
+        return list(self._splits.values())
+
+    def split(self, name: str) -> DatasetSplit:
+        """Look up a split by name (e.g. ``"DS1"``)."""
+        try:
+            return self._splits[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown split {name!r}; options: {sorted(self._splits)}"
+            ) from None
+
+    def train_test(self, name: str) -> tuple[FeatureMatrix, FeatureMatrix]:
+        """Materialize the (train, test) row subsets of one split."""
+        split = self.split(name)
+        starts = self._features.meta["start_minute"]
+        train = self._features.rows(split.train_mask(starts))
+        test = self._features.rows(split.test_mask(starts))
+        if train.num_samples == 0 or test.num_samples == 0:
+            raise ValidationError(f"split {name} produced an empty window")
+        return train, test
+
+    # ------------------------------------------------------------------
+    def evaluate_twostage(
+        self,
+        split_name: str,
+        model: str = "gbdt",
+        *,
+        include: set[str] | None = None,
+        exclude: set[str] | None = None,
+        random_state: int | None = 0,
+        fast: bool = False,
+    ) -> SplitResult:
+        """Train a TwoStage predictor on one split and score its test set."""
+        train, test = self.train_test(split_name)
+        predictor = TwoStagePredictor(
+            model,
+            include=include,
+            exclude=exclude,
+            random_state=random_state,
+            fast=fast,
+        )
+        started = time.perf_counter()
+        predictor.fit(train)
+        train_seconds = time.perf_counter() - started
+        y_pred = predictor.predict(test)
+        return SplitResult(
+            split=split_name,
+            predictor=f"twostage-{model}" if isinstance(model, str) else "twostage",
+            y_true=test.y,
+            y_pred=y_pred,
+            train_seconds=train_seconds,
+            report=classification_report(test.y, y_pred),
+            test_features=test,
+        )
+
+    def evaluate_basic(
+        self,
+        split_name: str,
+        scheme: str,
+        *,
+        random_state: int | None = 0,
+    ) -> SplitResult:
+        """Evaluate one of the non-ML baseline schemes on a split."""
+        train, test = self.train_test(split_name)
+        if scheme == "random":
+            baseline = RandomBaseline(random_state=random_state)
+        elif scheme == "basic_a":
+            baseline = BasicA()
+        elif scheme == "basic_b":
+            baseline = BasicB()
+        elif scheme == "basic_c":
+            baseline = BasicC()
+        else:
+            raise ValidationError(
+                f"unknown scheme {scheme!r}; options: {self.BASIC_SCHEMES}"
+            )
+        started = time.perf_counter()
+        baseline.fit(train)
+        train_seconds = time.perf_counter() - started
+        y_pred = baseline.predict(test)
+        return SplitResult(
+            split=split_name,
+            predictor=scheme,
+            y_true=test.y,
+            y_pred=y_pred,
+            train_seconds=train_seconds,
+            report=classification_report(test.y, y_pred),
+            test_features=test,
+        )

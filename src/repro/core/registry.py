@@ -1,0 +1,84 @@
+"""Factory for the paper's four stage-2 models.
+
+The paper's characterization of each model (Section VI-D) drives the
+defaults here: LR is the fast linear baseline; GBDT is the boosted-tree
+ensemble that wins on quality; SVM uses the expensive RBF kernel (its
+training cost is the point of Table III), and NN is a small MLP (the
+paper explicitly avoids deep networks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.nn import MLPClassifier
+from repro.ml.svm import SVC
+from repro.utils.errors import ValidationError
+
+__all__ = ["MODEL_NAMES", "make_model", "needs_scaling"]
+
+#: Canonical model names, in the paper's presentation order.
+MODEL_NAMES = ("lr", "gbdt", "svm", "nn")
+
+_SCALING = {"lr": True, "gbdt": False, "svm": True, "nn": True}
+
+
+def needs_scaling(name: str) -> bool:
+    """Whether the model expects standardized inputs."""
+    if name not in _SCALING:
+        raise ValidationError(f"unknown model: {name!r}; options: {MODEL_NAMES}")
+    return _SCALING[name]
+
+
+def make_model(
+    name: str,
+    *,
+    random_state: int | np.random.Generator | None = None,
+    fast: bool = False,
+) -> BaseClassifier:
+    """Instantiate a stage-2 model by name.
+
+    ``fast=True`` shrinks capacity/iterations for unit tests; experiment
+    code always uses the full configuration.
+    """
+    if name == "lr":
+        return LogisticRegression(
+            class_weight="balanced",
+            epochs=20 if fast else 80,
+            learning_rate=0.1,
+            l2=1e-4,
+            random_state=random_state,
+        )
+    if name == "gbdt":
+        return GradientBoostingClassifier(
+            n_estimators=40 if fast else 200,
+            learning_rate=0.1,
+            max_depth=3 if fast else 5,
+            min_samples_leaf=20,
+            subsample=0.8,
+            class_weight="balanced",
+            early_stopping_fraction=0.0 if fast else 0.1,
+            random_state=random_state,
+        )
+    if name == "svm":
+        return SVC(
+            C=1.0,
+            kernel="rbf",
+            gamma="scale",
+            class_weight="balanced",
+            max_train_size=1000 if fast else 4000,
+            max_iter=10 if fast else 60,
+            random_state=random_state,
+        )
+    if name == "nn":
+        return MLPClassifier(
+            hidden_layers=(16,) if fast else (64, 32),
+            epochs=15 if fast else 120,
+            learning_rate=1e-3,
+            class_weight="balanced",
+            random_state=random_state,
+        )
+    raise ValidationError(f"unknown model: {name!r}; options: {MODEL_NAMES}")

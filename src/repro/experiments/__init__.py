@@ -1,0 +1,22 @@
+"""Per-figure/table experiment drivers.
+
+Each paper artifact (Figs. 1-8, 10-13; Tables I-VI) has a module exposing
+``run(context) -> ExperimentResult``; the registry maps experiment ids
+(``"fig1"``, ``"table2"``, ...) to them.  :class:`ExperimentContext`
+simulates and caches the shared trace, features, pipeline, and trained
+models so a full sweep pays for each expensive step once.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.presets import PRESETS, preset_config
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "ExperimentContext",
+    "PRESETS",
+    "preset_config",
+]

@@ -1,0 +1,218 @@
+"""Experiments for the paper's characterization figures (Figs. 1-8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.characterization import (
+    app_sbe_skew,
+    cabinet_grids,
+    offender_day_coverage,
+    period_distributions,
+    run_profile_pairs,
+    utilization_correlations,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.utils.tables import format_grid, format_table
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+]
+
+
+def run_fig1(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 1: non-uniform cabinet distribution of SBE offender nodes."""
+    grids = cabinet_grids(context.trace)
+    coverage = offender_day_coverage(context.trace)
+    text = format_grid(grids.offender_nodes, title="SBE offender nodes per cabinet")
+    text += (
+        f"\noffenders erring on <20% of days: {(coverage < 0.2).mean():.0%} "
+        "(paper: ~80%)"
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Offender-node distribution at the cabinet level",
+        text=text,
+        data={
+            "grid": grids.offender_nodes,
+            "day_coverage": coverage,
+            "frac_offenders_lt20pct_days": float((coverage < 0.2).mean()),
+        },
+    )
+
+
+def run_fig2(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 2: non-uniform cabinet distribution of SBE-affected apruns."""
+    grids = cabinet_grids(context.trace)
+    text = format_grid(grids.affected_apruns, title="SBE-affected aprun samples per cabinet")
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="SBE-affected application runs at the cabinet level",
+        text=text,
+        data={"grid": grids.affected_apruns},
+    )
+
+
+def run_fig3(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 3: a small set of applications holds most SBEs."""
+    skew = app_sbe_skew(context.trace)
+    quintiles = np.linspace(0.2, 1.0, 5)
+    rows = []
+    n = skew.cumulative_share.size
+    for q in quintiles:
+        idx = max(1, int(np.ceil(q * n))) - 1
+        frac_row = skew.affected_run_fraction[: idx + 1].mean()
+        rows.append((f"top {q:.0%}", skew.cumulative_share[idx], frac_row))
+    text = format_table(
+        ["SBE-affected apps", "cumulative SBE share", "mean affected-run fraction"],
+        rows,
+        title=(
+            f"{skew.num_affected}/{skew.num_apps} apps SBE-affected; "
+            f"top 20% hold {skew.top20_share:.0%} of SBEs (paper: >90%)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Workload and GPU error distribution",
+        text=text,
+        data={
+            "cumulative_share": skew.cumulative_share,
+            "affected_run_fraction": skew.affected_run_fraction,
+            "top20_share": skew.top20_share,
+        },
+    )
+
+
+def run_fig4(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 4: SBE rate vs GPU utilization rank correlations."""
+    corr = utilization_correlations(context.trace)
+    text = format_table(
+        ["axis", "spearman (measured)", "paper"],
+        [
+            ("GPU core-hours", corr["core_hours"], 0.89),
+            ("GPU memory", corr["memory"], 0.70),
+        ],
+        title="Normalized SBE count vs utilization (SBE-affected apps)",
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="SBE count vs GPU utilization",
+        text=text,
+        data=dict(corr),
+    )
+
+
+def run_fig5(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 5: cumulative temperature/power grids; weak link to offenders."""
+    grids = cabinet_grids(context.trace)
+    text = format_grid(grids.mean_temperature, title="Mean GPU temperature per cabinet (C)")
+    text += "\n" + format_grid(grids.mean_power, title="Mean GPU power per cabinet (W)")
+    text += (
+        f"\nspearman(temp, offender) = {grids.temp_sbe_spearman:.2f} (paper 0.07); "
+        f"spearman(power, offender) = {grids.power_sbe_spearman:.2f} (weak)"
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Temperature and power distribution over the machine",
+        text=text,
+        data={
+            "temperature_grid": grids.mean_temperature,
+            "power_grid": grids.mean_power,
+            "temp_sbe_spearman": grids.temp_sbe_spearman,
+            "power_sbe_spearman": grids.power_sbe_spearman,
+        },
+    )
+
+
+def _period_result(
+    context: ExperimentContext, experiment_id: str, quantity: str
+) -> ExperimentResult:
+    dist = period_distributions(context.trace)
+    if quantity == "temp":
+        free, affected = dist.temp_free, dist.temp_affected
+        elevation, unit, paper = dist.temp_elevation, "C", ">3 C"
+        title = "Temperature of offender nodes: SBE-free vs SBE-affected periods"
+    else:
+        free, affected = dist.power_free, dist.power_affected
+        elevation, unit, paper = dist.power_elevation, "W", ">15 W"
+        title = "Power of offender nodes: SBE-free vs SBE-affected periods"
+    rows = [
+        ("SBE-free", free.mean(), free.std(), len(free)),
+        ("SBE-affected", affected.mean(), affected.std(), len(affected)),
+    ]
+    text = format_table(
+        ["period", f"mean ({unit})", f"std ({unit})", "samples"],
+        rows,
+        title=f"{title}; elevation {elevation:+.1f} {unit} (paper {paper})",
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        text=text,
+        data={
+            "free_mean": float(free.mean()),
+            "affected_mean": float(affected.mean()),
+            "elevation": elevation,
+            "free": free,
+            "affected": affected,
+        },
+    )
+
+
+def run_fig6(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 6: offender-node temperature, SBE-free vs SBE-affected."""
+    return _period_result(context, "fig6", "temp")
+
+
+def run_fig7(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 7: offender-node power, SBE-free vs SBE-affected."""
+    return _period_result(context, "fig7", "power")
+
+
+def run_fig8(context: ExperimentContext) -> ExperimentResult:
+    """Fig. 8: same app, same node, different runs -> different profiles."""
+    trace = context.trace
+    node = trace.config.record_nodes[0]
+    profiles = run_profile_pairs(trace, node, max_pairs=2)
+    rows = []
+    for i, profile in enumerate(profiles, start=1):
+        rows.append(
+            (
+                f"run {i}",
+                float(profile["gpu_temp"].mean()),
+                float(profile["gpu_temp"].max()),
+                float(profile["gpu_power"].mean()),
+                float(profile["slot_avg_temp"].mean()),
+                float(profile["cpu_temp"].mean()),
+            )
+        )
+    divergence = 0.0
+    if len(profiles) >= 2:
+        shared = min(profiles[0]["gpu_temp"].size, profiles[1]["gpu_temp"].size)
+        divergence = float(
+            np.abs(
+                profiles[0]["gpu_temp"][:shared] - profiles[1]["gpu_temp"][:shared]
+            ).mean()
+        )
+    text = format_table(
+        ["run", "temp mean", "temp max", "power mean", "slot avg temp", "cpu temp"],
+        rows,
+        title=(
+            f"Repeated runs of the same app on node {node}; mean absolute "
+            f"temperature divergence between runs: {divergence:.2f} C"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Temperature/power profiles across repeated runs",
+        text=text,
+        data={"profiles": profiles, "temperature_divergence": divergence},
+    )

@@ -1,0 +1,123 @@
+"""Imbalance-mitigation comparison (paper Section VI-B).
+
+Before proposing TwoStage, the paper surveys the standard answers to a
+~50:1 class imbalance: over-sampling the minority class with synthetic
+samples (SMOTE), random under-sampling of the majority, and
+clustering-controlled (k-means) under-sampling.  This experiment trains
+the same GBDT on the *full* (un-filtered) DS1 training window under each
+strategy and compares against the TwoStage method, quantifying the
+paper's argument that exploiting the dataset's own structure beats
+generic resampling.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.registry import make_model
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.ml.metrics import precision_recall_f1
+from repro.ml.sampling import KMeansUnderSampler, RandomUnderSampler, SMOTE
+from repro.utils.tables import format_table
+
+__all__ = ["run_imbalance"]
+
+#: Majority:minority ratio targeted by the resamplers (the ~2:1 balance
+#: the paper says stage 1 produces).
+_TARGET_RATIO = 2.0
+
+#: Row cap for the strategies that train on the full (un-filtered)
+#: window; keeps the comparison tractable on one core while preserving
+#: the class ratio.  TwoStage needs no such cap -- that asymmetry is the
+#: paper's overhead argument.
+_FULL_DATA_CAP = 60_000
+
+
+def run_imbalance(context: ExperimentContext) -> ExperimentResult:
+    """Compare resampling strategies against TwoStage on DS1."""
+    train, test = context.pipeline.train_test("DS1")
+    if train.num_samples > _FULL_DATA_CAP:
+        rng = np.random.default_rng(0)
+        keep = rng.choice(train.num_samples, size=_FULL_DATA_CAP, replace=False)
+        mask = np.zeros(train.num_samples, dtype=bool)
+        mask[keep] = True
+        train = train.rows(mask)
+    X_train, _ = train.columns()
+    X_test, _ = test.columns()
+
+    strategies = {
+        "none (full data)": None,
+        "random under-sampling": RandomUnderSampler(
+            ratio=_TARGET_RATIO, random_state=0
+        ),
+        "smote over-sampling": SMOTE(ratio=1.0 / _TARGET_RATIO, random_state=0),
+        "kmeans under-sampling": KMeansUnderSampler(
+            ratio=_TARGET_RATIO, random_state=0
+        ),
+    }
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for label, sampler in strategies.items():
+        Xr, yr = (X_train, train.y) if sampler is None else _resample(
+            sampler, X_train, train.y
+        )
+        model = make_model("gbdt", random_state=0)
+        started = time.perf_counter()
+        model.fit(Xr, yr)
+        seconds = time.perf_counter() - started
+        p, r, f1 = precision_recall_f1(test.y, model.predict(X_test))
+        rows.append((label, Xr.shape[0], p, r, f1, seconds))
+        data[label] = {"precision": p, "recall": r, "f1": f1, "train_seconds": seconds}
+
+    twostage = context.twostage("DS1", "gbdt")
+    rows.append(
+        (
+            "twostage (paper)",
+            int(np.isin(train.meta["node_id"], np.unique(
+                train.meta["node_id"][train.meta["sbe_count"] > 0]
+            )).sum()),
+            twostage.precision,
+            twostage.recall,
+            twostage.f1,
+            twostage.train_seconds,
+        )
+    )
+    data["twostage"] = {
+        "precision": twostage.precision,
+        "recall": twostage.recall,
+        "f1": twostage.f1,
+        "train_seconds": twostage.train_seconds,
+    }
+
+    text = format_table(
+        ["strategy", "train rows", "precision", "recall", "F1", "train (s)"],
+        rows,
+        title=(
+            "Imbalance strategies vs TwoStage on DS1 (GBDT stage-2 model; "
+            "paper argues TwoStage exploits dataset structure)"
+        ),
+    )
+    return ExperimentResult(
+        "imbalance", "Imbalanced-dataset mitigation comparison", text, data
+    )
+
+
+def _resample(sampler, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    # Clustering-controlled under-sampling costs O(rows x clusters); on a
+    # full training window that is prohibitive (the very overhead argument
+    # the paper makes for TwoStage), so this strategy runs on a random
+    # subsample.  The reported "train rows" column reflects it.
+    if isinstance(sampler, KMeansUnderSampler):
+        rng = np.random.default_rng(0)
+        minority = np.nonzero(y == 1)[0]
+        majority = np.nonzero(y == 0)[0]
+        if minority.size > 500:
+            minority = rng.choice(minority, size=500, replace=False)
+        if majority.size > 6000:
+            majority = rng.choice(majority, size=6000, replace=False)
+        keep = np.concatenate([majority, minority])
+        X, y = X[keep], y[keep]
+    return sampler.fit_resample(X, y)

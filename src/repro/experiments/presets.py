@@ -1,0 +1,106 @@
+"""Simulation presets for experiments and tests.
+
+The ``default`` preset keeps the paper's full 25 x 8 cabinet floor grid —
+so every spatial analysis runs on the real geometry — while scaling the
+per-cabinet population and sampling interval to laptop reach (DESIGN.md,
+"Scale substitution").  ``small`` trades fidelity for speed; ``tiny`` is
+for unit tests only.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.config import TraceConfig
+from repro.topology.machine import MachineConfig
+from repro.utils.errors import ValidationError
+
+__all__ = ["PRESETS", "preset_config"]
+
+
+def _default() -> TraceConfig:
+    return TraceConfig(
+        machine=MachineConfig(
+            grid_x=25,
+            grid_y=8,
+            cages_per_cabinet=1,
+            slots_per_cage=1,
+            nodes_per_slot=4,
+        ),
+        duration_days=126.0,
+        tick_minutes=5.0,
+        seed=2018,
+        record_nodes=(5,),
+    )
+
+
+def _small() -> TraceConfig:
+    return TraceConfig(
+        machine=MachineConfig(
+            grid_x=25,
+            grid_y=8,
+            cages_per_cabinet=1,
+            slots_per_cage=1,
+            nodes_per_slot=2,
+        ),
+        duration_days=70.0,
+        tick_minutes=10.0,
+        seed=2018,
+        record_nodes=(5,),
+    )
+
+
+def _tiny() -> TraceConfig:
+    # Unit-test scale: 16 days cannot host the default (rare, multi-day)
+    # degradation episodes, so the error model is made much hotter to keep
+    # both classes populated in every split window.
+    from repro.telemetry.config import ErrorModelConfig
+
+    return TraceConfig(
+        machine=MachineConfig(
+            grid_x=6,
+            grid_y=4,
+            cages_per_cabinet=1,
+            slots_per_cage=1,
+            nodes_per_slot=4,
+        ),
+        errors=ErrorModelConfig(
+            base_rate_per_hour=0.004,
+            offender_node_fraction=0.25,
+            offender_median_boost=2.0,
+            episode_rate_per_100_days=30.0,
+            episode_median_days=3.0,
+            quiet_day_factor=0.01,
+        ),
+        duration_days=16.0,
+        tick_minutes=10.0,
+        seed=2018,
+        record_nodes=(3,),
+    )
+
+
+PRESETS = {
+    "default": _default,
+    "small": _small,
+    "tiny": _tiny,
+}
+
+
+def preset_config(name: str) -> TraceConfig:
+    """Return a fresh :class:`TraceConfig` for the named preset."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown preset {name!r}; options: {sorted(PRESETS)}"
+        ) from None
+    return factory()
+
+
+def split_plan(name: str) -> dict[str, float]:
+    """Train/test span (days) appropriate for a preset's trace length."""
+    if name in ("default",):
+        return {"train_days": 84.0, "test_days": 14.0, "offsets": (0.0, 14.0, 28.0)}
+    if name == "small":
+        return {"train_days": 44.0, "test_days": 8.0, "offsets": (0.0, 9.0, 18.0)}
+    if name == "tiny":
+        return {"train_days": 10.0, "test_days": 3.0, "offsets": (0.0, 1.5, 3.0)}
+    raise ValidationError(f"unknown preset {name!r}; options: {sorted(PRESETS)}")

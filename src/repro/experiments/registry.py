@@ -1,0 +1,53 @@
+"""Registry of all experiments, keyed by paper artifact id."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import characterization_experiments as chz
+from repro.experiments import prediction_experiments as pred
+from repro.experiments.imbalance_experiment import run_imbalance
+from repro.experiments.oracle_experiment import run_oracle
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.utils.errors import ValidationError
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: Experiment id -> (title, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult]]] = {
+    "fig1": ("Offender-node cabinet grid", chz.run_fig1),
+    "fig2": ("SBE-affected aprun cabinet grid", chz.run_fig2),
+    "fig3": ("Application SBE skew", chz.run_fig3),
+    "fig4": ("SBE vs utilization correlations", chz.run_fig4),
+    "fig5": ("Temperature/power cabinet grids", chz.run_fig5),
+    "fig6": ("Temperature by SBE period", chz.run_fig6),
+    "fig7": ("Power by SBE period", chz.run_fig7),
+    "fig8": ("Repeated-run profiles", chz.run_fig8),
+    "table1": ("Basic schemes precision/recall", pred.run_table1),
+    "fig10": ("Model comparison on DS1", pred.run_fig10),
+    "table2": ("F1 across datasets", pred.run_table2),
+    "table3": ("Training-time comparison", pred.run_table3),
+    "fig11": ("Feature-group contributions", pred.run_fig11),
+    "table4": ("Temp/power feature variants", pred.run_table4),
+    "fig12": ("History-feature ablations", pred.run_fig12),
+    "fig13": ("Spatial robustness", pred.run_fig13),
+    "table5": ("Runtime classes", pred.run_table5),
+    "table6": ("Severity levels", pred.run_table6),
+    "ecc": ("Prediction-driven ECC scheduling", pred.run_ecc_policy),
+    "imbalance": ("Imbalance-mitigation comparison", run_imbalance),
+    "oracle": ("Oracle per-cabinet model selection", run_oracle),
+}
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (builds a default context if needed)."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(context or ExperimentContext())

@@ -1,0 +1,25 @@
+"""Common result type for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: rendered text plus raw data.
+
+    ``text`` reproduces the paper's rows/series in human-readable form;
+    ``data`` holds the raw numbers for assertions and downstream use.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"

@@ -1,0 +1,128 @@
+"""Shared, cached context for experiment drivers.
+
+Simulating a trace takes tens of seconds and training a GBDT tens more;
+many experiments share both.  :class:`ExperimentContext` memoizes the
+trace (also on disk, keyed by preset + seed), the feature matrix, the
+pipeline with preset-appropriate splits, and every ``(split, model,
+feature-selection)`` evaluation, so a full sweep over all experiments
+pays each cost once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.pipeline import PredictionPipeline, SplitResult
+from repro.experiments.presets import preset_config, split_plan
+from repro.features.builder import FeatureMatrix, build_features
+from repro.features.splits import make_paper_splits
+from repro.telemetry.simulator import simulate_trace
+from repro.telemetry.trace import Trace
+
+__all__ = ["ExperimentContext", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Trace cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-gpu-errors"
+
+
+class ExperimentContext:
+    """Caches the trace, features, pipeline, and evaluations for a preset."""
+
+    def __init__(
+        self,
+        preset: str = "default",
+        *,
+        cache_dir: Path | str | None = None,
+        use_disk_cache: bool = True,
+    ) -> None:
+        self.preset = preset
+        self._cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self._use_disk_cache = use_disk_cache
+        self._trace: Trace | None = None
+        self._features: FeatureMatrix | None = None
+        self._pipeline: PredictionPipeline | None = None
+        self._results: dict[tuple, SplitResult] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Trace:
+        """The simulated trace (from memory, disk cache, or a fresh run)."""
+        if self._trace is None:
+            config = preset_config(self.preset)
+            cache_path = self._cache_dir / f"trace-{self.preset}-seed{config.seed}"
+            if self._use_disk_cache and cache_path.with_suffix(".npz").exists():
+                self._trace = Trace.load(cache_path)
+            else:
+                self._trace = simulate_trace(config)
+                if self._use_disk_cache:
+                    self._trace.save(cache_path)
+        return self._trace
+
+    @property
+    def features(self) -> FeatureMatrix:
+        """The feature matrix for the trace."""
+        if self._features is None:
+            self._features = build_features(self.trace)
+        return self._features
+
+    @property
+    def pipeline(self) -> PredictionPipeline:
+        """Pipeline with the preset's DS1-DS3 splits."""
+        if self._pipeline is None:
+            plan = split_plan(self.preset)
+            splits = make_paper_splits(
+                train_days=plan["train_days"],
+                test_days=plan["test_days"],
+                offsets_days=tuple(plan["offsets"]),
+                duration_days=self.trace.config.duration_days,
+            )
+            self._pipeline = PredictionPipeline(self.features, splits)
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    def twostage(
+        self,
+        split: str,
+        model: str = "gbdt",
+        *,
+        include: set[str] | None = None,
+        exclude: set[str] | None = None,
+        random_state: int = 0,
+    ) -> SplitResult:
+        """Memoized TwoStage evaluation for one configuration."""
+        key = (
+            "twostage",
+            split,
+            model,
+            tuple(sorted(include)) if include else None,
+            tuple(sorted(exclude)) if exclude else None,
+            random_state,
+        )
+        if key not in self._results:
+            self._results[key] = self.pipeline.evaluate_twostage(
+                split,
+                model,
+                include=include,
+                exclude=exclude,
+                random_state=random_state,
+            )
+        return self._results[key]
+
+    def basic(self, split: str, scheme: str, *, random_state: int = 0) -> SplitResult:
+        """Memoized baseline-scheme evaluation."""
+        key = ("basic", split, scheme, random_state)
+        if key not in self._results:
+            self._results[key] = self.pipeline.evaluate_basic(
+                split, scheme, random_state=random_state
+            )
+        return self._results[key]
+
+    def split_names(self) -> list[str]:
+        """Names of the configured splits (DS1, DS2, ...)."""
+        return [split.name for split in self.pipeline.splits]

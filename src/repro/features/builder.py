@@ -1,0 +1,281 @@
+"""Builds the model-ready feature matrix from a trace.
+
+One output row per (run, node) sample.  Telemetry statistics come straight
+from the trace's samples table (the out-of-band sampler computed them
+online); history features are computed here, causally, via
+:class:`~repro.features.history.HistoryIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.history import HistoryIndex, dedupe_job_events
+from repro.features.schema import (
+    FeatureSchema,
+    GROUP_APP,
+    GROUP_HIST,
+    GROUP_LOCATION,
+    GROUP_TP,
+)
+from repro.telemetry.trace import PRE_WINDOWS_MINUTES, Trace
+from repro.utils.errors import ValidationError
+
+__all__ = ["FeatureMatrix", "SampleTableBuilder", "build_features"]
+
+MINUTES_PER_DAY = 1440.0
+_STAT_SUFFIXES = ("mean", "std", "dmean", "dstd")
+
+
+@dataclass
+class FeatureMatrix:
+    """Feature matrix plus labels, schema, and per-sample metadata."""
+
+    X: np.ndarray
+    y: np.ndarray
+    schema: FeatureSchema
+    #: Per-sample metadata columns (ids, times, raw counts, run shape).
+    meta: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValidationError("X and y disagree on sample count")
+        if self.X.shape[1] != len(self.schema):
+            raise ValidationError(
+                f"X has {self.X.shape[1]} columns, schema has {len(self.schema)}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        """Number of rows."""
+        return self.X.shape[0]
+
+    def rows(self, mask: np.ndarray) -> "FeatureMatrix":
+        """Row subset sharing the schema."""
+        mask = np.asarray(mask)
+        return FeatureMatrix(
+            X=self.X[mask],
+            y=self.y[mask],
+            schema=self.schema,
+            meta={k: v[mask] for k, v in self.meta.items()},
+        )
+
+    def columns(
+        self,
+        include: set[str] | None = None,
+        exclude: set[str] | None = None,
+    ) -> tuple[np.ndarray, list[str]]:
+        """Column subset by tag selection; returns ``(X_subset, names)``."""
+        indices = self.schema.select(include=include, exclude=exclude)
+        return self.X[:, indices], self.schema.names_for(indices)
+
+
+class SampleTableBuilder:
+    """Assembles a :class:`FeatureMatrix` from a trace."""
+
+    def __init__(self, trace: Trace, *, top_k_apps: int = 16) -> None:
+        if trace.num_samples == 0:
+            raise ValidationError("trace has no samples")
+        self._trace = trace
+        self._top_k_apps = int(top_k_apps)
+
+    def build(self) -> FeatureMatrix:
+        """Compute all features for every sample in the trace."""
+        trace = self._trace
+        s = trace.samples
+        n = trace.num_samples
+        machine = trace.machine
+        schema = FeatureSchema()
+        columns: list[np.ndarray] = []
+
+        def add(name: str, values: np.ndarray, *tags: str) -> None:
+            schema.add(name, *tags)
+            columns.append(np.asarray(values, dtype=float))
+
+        # ------------------------------------------------------------------
+        # Application features (temporal, paper §V-A)
+        # ------------------------------------------------------------------
+        app_id = s["app_id"].astype(int)
+        add("app_code", app_id, GROUP_APP)
+        top_apps = np.argsort(np.bincount(app_id))[::-1][: self._top_k_apps]
+        for rank, app in enumerate(top_apps):
+            add(f"app_is_top{rank:02d}", (app_id == app).astype(float), GROUP_APP)
+        prev_app = s["prev_app_id"].astype(int)
+        add("prev_app_code", prev_app, GROUP_APP)
+        add("prev_app_same", (prev_app == app_id).astype(float), GROUP_APP)
+        add("duration_minutes", s["duration_minutes"], GROUP_APP)
+        add("n_nodes", s["n_nodes"], GROUP_APP)
+        add("gpu_core_hours", s["gpu_core_hours"], GROUP_APP)
+        add("gpu_util", s["gpu_util"], GROUP_APP)
+        add("max_mem_gb", s["max_mem_gb"], GROUP_APP)
+        add("agg_mem_gb", s["agg_mem_gb"], GROUP_APP)
+
+        # ------------------------------------------------------------------
+        # Temperature/power features (current run, pre-windows, neighbours)
+        # ------------------------------------------------------------------
+        for quantity in ("gpu_temp", "gpu_power"):
+            for suffix in _STAT_SUFFIXES:
+                name = f"{quantity}_{suffix}"
+                add(name, s[name], GROUP_TP, "tp_cur")
+        for window in PRE_WINDOWS_MINUTES:
+            for quantity in ("temp", "power"):
+                for suffix in _STAT_SUFFIXES:
+                    name = f"pre{window}_{quantity}_{suffix}"
+                    add(name, s[name], GROUP_TP, "tp_prev")
+        for quantity in ("cpu_temp", "nei_temp", "nei_power"):
+            for suffix in _STAT_SUFFIXES:
+                name = f"{quantity}_{suffix}"
+                add(name, s[name], GROUP_TP, "tp_nei")
+
+        # ------------------------------------------------------------------
+        # Node location (spatial, paper §V-B)
+        # ------------------------------------------------------------------
+        node_id = s["node_id"].astype(int)
+        add("loc_cabinet_x", machine.cabinet_x[node_id], GROUP_LOCATION)
+        add("loc_cabinet_y", machine.cabinet_y[node_id], GROUP_LOCATION)
+        cfg = machine.config
+        per_cab = cfg.nodes_per_cabinet
+        within = node_id % per_cab
+        per_cage = cfg.slots_per_cage * cfg.nodes_per_slot
+        add("loc_cage", within // per_cage, GROUP_LOCATION)
+        add("loc_slot", (within % per_cage) // cfg.nodes_per_slot, GROUP_LOCATION)
+        add("loc_node_in_slot", within % cfg.nodes_per_slot, GROUP_LOCATION)
+        add("loc_node_code", node_id, GROUP_LOCATION)
+
+        # ------------------------------------------------------------------
+        # SBE history (causal; log1p-compressed counts)
+        # ------------------------------------------------------------------
+        start = s["start_minute"].astype(float)
+        node_index, app_index = self._history_indices()
+        day = MINUTES_PER_DAY
+
+        def windows(index: HistoryIndex, keys: np.ndarray) -> dict[str, np.ndarray]:
+            return {
+                "today": index.batch_between(keys, start - day, start),
+                "yesterday": index.batch_between(keys, start - 2 * day, start - day),
+                "before": index.batch_between(keys, np.full(n, -np.inf), start - 2 * day),
+            }
+
+        node_hist = windows(node_index, node_id)
+        app_hist = windows(app_index, app_id)
+        machine_hist = {
+            "today": node_index.global_batch_between(start - day, start),
+            "yesterday": node_index.global_batch_between(start - 2 * day, start - day),
+            "before": node_index.global_batch_between(
+                np.full(n, -np.inf), start - 2 * day
+            ),
+        }
+        for length in ("today", "yesterday", "before"):
+            add(
+                f"hist_node_{length}",
+                np.log1p(node_hist[length]),
+                GROUP_HIST,
+                "hist_local",
+                f"hist_{length}",
+            )
+            add(
+                f"hist_app_{length}",
+                np.log1p(app_hist[length]),
+                GROUP_HIST,
+                "hist_app",
+                f"hist_{length}",
+            )
+            add(
+                f"hist_machine_{length}",
+                np.log1p(machine_hist[length]),
+                GROUP_HIST,
+                "hist_global",
+                f"hist_{length}",
+            )
+        # Allocation-level history: mean node history over the run's nodes.
+        run_idx = s["run_idx"].astype(int)
+        run_compact, run_pos = np.unique(run_idx, return_inverse=True)
+        sums = np.bincount(run_pos, weights=node_hist["today"].astype(float))
+        counts = np.bincount(run_pos).astype(float)
+        add(
+            "hist_alloc_today",
+            np.log1p(sums[run_pos] / counts[run_pos]),
+            GROUP_HIST,
+            "hist_local",
+            "hist_today",
+        )
+
+        X = np.column_stack(columns)
+        meta = {
+            "run_idx": run_idx,
+            "job_id": s["job_id"].astype(int),
+            "node_id": node_id,
+            "app_id": app_id,
+            "start_minute": start,
+            "end_minute": s["end_minute"].astype(float),
+            "duration_minutes": s["duration_minutes"].astype(float),
+            "n_nodes": s["n_nodes"].astype(int),
+            "gpu_core_hours": s["gpu_core_hours"].astype(float),
+            "sbe_count": s["sbe_count"].astype(np.int64),
+        }
+        return FeatureMatrix(
+            X=X,
+            y=(s["sbe_count"] > 0).astype(int),
+            schema=schema,
+            meta=meta,
+        )
+
+    def _history_indices(self) -> tuple[HistoryIndex, HistoryIndex]:
+        """Node-keyed and app-keyed causal SBE event indices."""
+        s = self._trace.samples
+        nodes, minutes, counts = dedupe_job_events(
+            s["job_id"], s["node_id"], s["end_minute"], s["sbe_count"]
+        )
+        node_index = HistoryIndex(nodes, minutes, counts)
+        # App-keyed events reuse the deduped (job, node) events but need
+        # the app of each event; map via (job, node) -> app from samples.
+        app_of = {}
+        for job, node, app in zip(
+            s["job_id"].astype(int), s["node_id"].astype(int), s["app_id"].astype(int)
+        ):
+            app_of[(job, node)] = app
+        # Rebuild keyed-by-app arrays by re-deriving job ids from samples:
+        # dedupe_job_events lost them, so recompute with jobs retained.
+        jobs, nodes2, minutes2, counts2 = self._job_events_with_jobs()
+        apps = np.asarray(
+            [app_of[(int(j), int(nd))] for j, nd in zip(jobs, nodes2)], dtype=int
+        )
+        app_index = HistoryIndex(apps, minutes2, counts2)
+        return node_index, app_index
+
+    def _job_events_with_jobs(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Like :func:`dedupe_job_events` but also returning job ids."""
+        s = self._trace.samples
+        job_ids = np.asarray(s["job_id"], dtype=int)
+        node_ids = np.asarray(s["node_id"], dtype=int)
+        end_minutes = np.asarray(s["end_minute"], dtype=float)
+        sbe_counts = np.asarray(s["sbe_count"], dtype=np.int64)
+        positive = sbe_counts > 0
+        job_ids, node_ids, end_minutes, sbe_counts = (
+            job_ids[positive],
+            node_ids[positive],
+            end_minutes[positive],
+            sbe_counts[positive],
+        )
+        if job_ids.size == 0:
+            empty = np.empty(0, dtype=int)
+            return empty, empty, np.empty(0), np.empty(0, dtype=np.int64)
+        order = np.lexsort((end_minutes, node_ids, job_ids))
+        job_s, node_s, end_s, cnt_s = (
+            job_ids[order],
+            node_ids[order],
+            end_minutes[order],
+            sbe_counts[order],
+        )
+        is_last = np.ones(job_s.size, dtype=bool)
+        is_last[:-1] = (job_s[:-1] != job_s[1:]) | (node_s[:-1] != node_s[1:])
+        return job_s[is_last], node_s[is_last], end_s[is_last], cnt_s[is_last]
+
+
+def build_features(trace: Trace, *, top_k_apps: int = 16) -> FeatureMatrix:
+    """Convenience wrapper around :class:`SampleTableBuilder`."""
+    return SampleTableBuilder(trace, top_k_apps=top_k_apps).build()

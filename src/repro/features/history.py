@@ -1,0 +1,170 @@
+"""Causal SBE-history indices.
+
+The paper's history features ("total error count over the preceding day at
+the node level and for the whole machine", "SBE rate in the past 24 hours
+of the given application and the nodes allocated to it") must be computed
+*causally*: at a run's start time, only SBEs whose batch job had already
+completed — and therefore had its nvidia-smi delta resolved — are
+observable.  :class:`HistoryIndex` stores, per key (node id, app id, or
+the single global key), the time-sorted cumulative SBE counts of completed
+jobs and answers window-count queries with binary search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["HistoryIndex", "dedupe_job_events"]
+
+
+def dedupe_job_events(
+    job_ids: np.ndarray,
+    node_ids: np.ndarray,
+    end_minutes: np.ndarray,
+    sbe_counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse per-(run, node) rows into per-(job, node) SBE events.
+
+    A batch job's SBE delta is attributed to *every* aprun of the job (the
+    paper's conservative assumption), so summing sample rows would double
+    count errors for multi-aprun jobs.  This keeps one event per
+    ``(job, node)`` at the job's last aprun end.
+
+    Returns ``(node_ids, event_minutes, counts)`` for rows with counts > 0.
+    """
+    job_ids = np.asarray(job_ids)
+    node_ids = np.asarray(node_ids)
+    end_minutes = np.asarray(end_minutes, dtype=float)
+    sbe_counts = np.asarray(sbe_counts)
+    if not (job_ids.shape == node_ids.shape == end_minutes.shape == sbe_counts.shape):
+        raise ValidationError("event arrays must share one shape")
+    positive = sbe_counts > 0
+    if not positive.any():
+        return (np.empty(0, dtype=int), np.empty(0), np.empty(0, dtype=np.int64))
+    job_ids = job_ids[positive]
+    node_ids = node_ids[positive]
+    end_minutes = end_minutes[positive]
+    sbe_counts = sbe_counts[positive]
+    # For each (job, node), keep the row with the latest end time; counts
+    # are identical across a job's apruns by construction.
+    order = np.lexsort((end_minutes, node_ids, job_ids))
+    job_s, node_s, end_s, cnt_s = (
+        job_ids[order],
+        node_ids[order],
+        end_minutes[order],
+        sbe_counts[order],
+    )
+    is_last = np.ones(job_s.size, dtype=bool)
+    is_last[:-1] = (job_s[:-1] != job_s[1:]) | (node_s[:-1] != node_s[1:])
+    return (
+        node_s[is_last].astype(int),
+        end_s[is_last],
+        cnt_s[is_last].astype(np.int64),
+    )
+
+
+class HistoryIndex:
+    """Per-key cumulative SBE counts over time with window queries."""
+
+    def __init__(self, keys: np.ndarray, minutes: np.ndarray, counts: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=int)
+        minutes = np.asarray(minutes, dtype=float)
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (keys.shape == minutes.shape == counts.shape):
+            raise ValidationError("index arrays must share one shape")
+        self._series: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        order = np.lexsort((minutes, keys))
+        keys, minutes, counts = keys[order], minutes[order], counts[order]
+        boundaries = np.nonzero(np.diff(keys))[0] + 1
+        for chunk in np.split(np.arange(keys.size), boundaries):
+            if chunk.size == 0:
+                continue
+            key = int(keys[chunk[0]])
+            times = minutes[chunk]
+            self._series[key] = (times, np.cumsum(counts[chunk]))
+        total_order = np.argsort(minutes, kind="mergesort")
+        self._global = (minutes[total_order], np.cumsum(counts[total_order]))
+
+    def count_between(self, key: int, start_minute: float, end_minute: float) -> int:
+        """SBEs for ``key`` whose event time falls in ``[start, end)``."""
+        series = self._series.get(int(key))
+        if series is None:
+            return 0
+        return self._window(series, start_minute, end_minute)
+
+    def count_before(self, key: int, minute: float) -> int:
+        """SBEs for ``key`` strictly before ``minute``."""
+        return self.count_between(key, -np.inf, minute)
+
+    def global_between(self, start_minute: float, end_minute: float) -> int:
+        """Machine-wide SBEs in ``[start, end)``."""
+        return self._window(self._global, start_minute, end_minute)
+
+    def global_before(self, minute: float) -> int:
+        """Machine-wide SBEs strictly before ``minute``."""
+        return self._window(self._global, -np.inf, minute)
+
+    def keys_before(self, minute: float) -> np.ndarray:
+        """Keys with at least one SBE strictly before ``minute``.
+
+        This is the paper's stage-1 predicate: "has this node seen an SBE
+        before?" evaluated causally at prediction time.
+        """
+        keys = [
+            key
+            for key, (times, _) in self._series.items()
+            if times[0] < minute
+        ]
+        return np.asarray(sorted(keys), dtype=int)
+
+    def batch_between(
+        self, keys: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`count_between` over parallel arrays.
+
+        Queries are grouped by key so each per-key series is searched with
+        one vectorized ``searchsorted`` pair, which is what makes building
+        history features for hundreds of thousands of samples cheap.
+        """
+        keys = np.asarray(keys, dtype=int)
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        if not (keys.shape == starts.shape == ends.shape):
+            raise ValidationError("batch query arrays must share one shape")
+        out = np.zeros(keys.size, dtype=np.int64)
+        order = np.argsort(keys, kind="mergesort")
+        sorted_keys = keys[order]
+        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+        for chunk in np.split(order, boundaries):
+            if chunk.size == 0:
+                continue
+            series = self._series.get(int(keys[chunk[0]]))
+            if series is None:
+                continue
+            times, cums = series
+            padded = np.concatenate([[0], cums])
+            hi = np.searchsorted(times, ends[chunk], side="left")
+            lo = np.searchsorted(times, starts[chunk], side="left")
+            out[chunk] = padded[hi] - padded[lo]
+        return out
+
+    def global_batch_between(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`global_between` over parallel arrays."""
+        times, cums = self._global
+        padded = np.concatenate([[0], cums])
+        hi = np.searchsorted(times, np.asarray(ends, dtype=float), side="left")
+        lo = np.searchsorted(times, np.asarray(starts, dtype=float), side="left")
+        return padded[hi] - padded[lo]
+
+    @staticmethod
+    def _window(
+        series: tuple[np.ndarray, np.ndarray], start: float, end: float
+    ) -> int:
+        times, cums = series
+        hi = int(np.searchsorted(times, end, side="left"))
+        lo = int(np.searchsorted(times, start, side="left"))
+        upper = int(cums[hi - 1]) if hi > 0 else 0
+        lower = int(cums[lo - 1]) if lo > 0 else 0
+        return upper - lower

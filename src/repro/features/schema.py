@@ -1,0 +1,89 @@
+"""Feature schema: names, group tags, and selection helpers.
+
+Tags (a feature can carry several):
+
+* ``app`` -- application-related temporal features (paper §V-A);
+* ``tp`` -- temperature/power features, refined by ``tp_cur`` (current run
+  on the target node), ``tp_prev`` (pre-execution windows), ``tp_nei``
+  (CPU on the same node + slot neighbours, the spatial set of §V-B);
+* ``hist`` -- SBE-history features, refined by scope ``hist_local`` /
+  ``hist_global`` and by length ``hist_today`` / ``hist_yesterday`` /
+  ``hist_before``;
+* ``location`` -- the node-location features of §V-B.
+
+The paper's ablations map to tag selections: Fig. 11 uses {hist, tp, app},
+Table IV uses the ``tp_*`` refinements, Fig. 12 uses the ``hist_*``
+refinements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "FeatureSchema",
+    "GROUP_APP",
+    "GROUP_TP",
+    "GROUP_HIST",
+    "GROUP_LOCATION",
+]
+
+GROUP_APP = "app"
+GROUP_TP = "tp"
+GROUP_HIST = "hist"
+GROUP_LOCATION = "location"
+
+
+@dataclass
+class FeatureSchema:
+    """Ordered feature names with their tag sets."""
+
+    names: list[str] = field(default_factory=list)
+    tags: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def add(self, name: str, *tags: str) -> None:
+        """Register a feature column with its tags."""
+        if name in self.tags:
+            raise ValidationError(f"duplicate feature name: {name}")
+        self.names.append(name)
+        self.tags[name] = frozenset(tags)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        """Column index of ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise ValidationError(f"unknown feature: {name}") from None
+
+    def select(
+        self,
+        include: set[str] | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[int]:
+        """Column indices whose tags intersect ``include`` minus ``exclude``.
+
+        ``include=None`` starts from all columns.  A column is dropped when
+        any of its tags is in ``exclude``.
+        """
+        indices = []
+        for i, name in enumerate(self.names):
+            tags = self.tags[name]
+            if include is not None and not tags & include:
+                continue
+            if exclude is not None and tags & exclude:
+                continue
+            indices.append(i)
+        if not indices:
+            raise ValidationError(
+                f"feature selection is empty (include={include}, exclude={exclude})"
+            )
+        return indices
+
+    def names_for(self, indices: list[int]) -> list[str]:
+        """Feature names at the given column indices."""
+        return [self.names[i] for i in indices]

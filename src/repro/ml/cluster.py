@@ -1,0 +1,124 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used by :class:`repro.ml.sampling.KMeansUnderSampler`, one of the
+imbalance-mitigation strategies the paper surveys (under-sampling the
+majority class "via clustering algorithms such as k-means").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_array
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    n_init:
+        Number of independent restarts; the best inertia wins.
+    max_iter:
+        Iteration cap per restart.
+    tol:
+        Converged when the centroid shift (squared Frobenius) drops below
+        this value.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.n_clusters = int(check_positive(n_clusters, "n_clusters"))
+        self.n_init = int(check_positive(n_init, "n_init"))
+        self.max_iter = int(check_positive(max_iter, "max_iter"))
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+        self.labels_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``X``."""
+        X = check_array(X)
+        if X.shape[0] < self.n_clusters:
+            raise ValidationError(
+                f"need at least n_clusters={self.n_clusters} samples, got {X.shape[0]}"
+            )
+        rng = child_rng(self.random_state)
+        best_inertia = np.inf
+        best_centers: np.ndarray | None = None
+        best_labels: np.ndarray | None = None
+        for _ in range(self.n_init):
+            centers = self._plus_plus_init(X, rng)
+            for _ in range(self.max_iter):
+                labels = self._assign(X, centers)
+                new_centers = centers.copy()
+                for k in range(self.n_clusters):
+                    members = X[labels == k]
+                    if members.shape[0]:
+                        new_centers[k] = members.mean(axis=0)
+                shift = float(((new_centers - centers) ** 2).sum())
+                centers = new_centers
+                if shift < self.tol:
+                    break
+            labels = self._assign(X, centers)
+            inertia = float(((X - centers[labels]) ** 2).sum())
+            if inertia < best_inertia:
+                best_inertia, best_centers, best_labels = inertia, centers, labels
+        self.cluster_centers_ = best_centers
+        self.inertia_ = best_inertia
+        self.labels_ = best_labels
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid label for each row of ``X``."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans is not fitted")
+        return self._assign(check_array(X), self.cluster_centers_)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return training labels."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    # ------------------------------------------------------------------
+    def _assign(self, X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)
+
+    def _plus_plus_init(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest_d2 = np.sum((X - centers[0]) ** 2, axis=1)
+        for k in range(1, self.n_clusters):
+            total = closest_d2.sum()
+            if total <= 0:
+                centers[k:] = X[rng.integers(n, size=self.n_clusters - k)]
+                break
+            probs = closest_d2 / total
+            centers[k] = X[rng.choice(n, p=probs)]
+            d2 = np.sum((X - centers[k]) ** 2, axis=1)
+            closest_d2 = np.minimum(closest_d2, d2)
+        return centers

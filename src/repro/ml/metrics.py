@@ -1,0 +1,118 @@
+"""Binary-classification metrics used throughout the paper's evaluation.
+
+The paper evaluates with precision, recall (Eqs. 2-3), and their harmonic
+mean, the F1 score (Eq. 4), reported separately for the SBE (positive) and
+non-SBE (negative) classes because accuracy is misleading on the heavily
+imbalanced dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "precision_recall_f1",
+    "classification_report",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(int).ravel()
+    y_pred = np.asarray(y_pred).astype(int).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"y_true and y_pred lengths differ: {y_true.size} vs {y_pred.size}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("metrics require at least one sample")
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred)):
+        bad = np.setdiff1d(np.unique(arr), (0, 1))
+        if bad.size:
+            raise ValidationError(f"{name} must be binary, found labels {bad}")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = np.zeros((2, 2), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def precision_score(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: int = 1
+) -> float:
+    """TP / (TP + FP) for the chosen class; 0.0 when nothing is predicted."""
+    return precision_recall_f1(y_true, y_pred, positive_label=positive_label)[0]
+
+
+def recall_score(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: int = 1
+) -> float:
+    """TP / (TP + FN) for the chosen class; 0.0 when the class is absent."""
+    return precision_recall_f1(y_true, y_pred, positive_label=positive_label)[1]
+
+
+def f1_score(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: int = 1
+) -> float:
+    """Harmonic mean of precision and recall (paper Eq. 4)."""
+    return precision_recall_f1(y_true, y_pred, positive_label=positive_label)[2]
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, *, positive_label: int = 1
+) -> tuple[float, float, float]:
+    """Return ``(precision, recall, f1)`` for one class in a single pass.
+
+    Degenerate denominators yield 0.0 rather than NaN, matching common
+    reporting practice on imbalanced data.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if positive_label not in (0, 1):
+        raise ValidationError(f"positive_label must be 0 or 1, got {positive_label}")
+    pos_true = y_true == positive_label
+    pos_pred = y_pred == positive_label
+    tp = int(np.sum(pos_true & pos_pred))
+    fp = int(np.sum(~pos_true & pos_pred))
+    fn = int(np.sum(pos_true & ~pos_pred))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return (precision, recall, f1)
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, dict[str, float]]:
+    """Per-class precision/recall/F1 plus overall accuracy.
+
+    Keys mirror the paper's terminology: ``"sbe"`` is the positive class,
+    ``"non_sbe"`` the negative class.
+    """
+    sbe = precision_recall_f1(y_true, y_pred, positive_label=1)
+    non_sbe = precision_recall_f1(y_true, y_pred, positive_label=0)
+    return {
+        "sbe": {"precision": sbe[0], "recall": sbe[1], "f1": sbe[2]},
+        "non_sbe": {
+            "precision": non_sbe[0],
+            "recall": non_sbe[1],
+            "f1": non_sbe[2],
+        },
+        "overall": {"accuracy": accuracy_score(y_true, y_pred)},
+    }

@@ -1,0 +1,79 @@
+"""Dataset splitting utilities.
+
+The paper's DS1-DS3 splits are *time-ordered*: 3.5 months of training
+followed by the next two weeks of testing, repeated at three offsets.
+:func:`time_ordered_split` is the primitive behind that;
+:func:`train_test_split` is the usual random split for unit-level work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_fraction
+
+__all__ = ["train_test_split", "time_ordered_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_fraction: float = 0.25,
+    stratify: bool = False,
+    random_state: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split returning ``(X_train, X_test, y_train, y_test)``.
+
+    With ``stratify=True`` each class contributes proportionally to the
+    test set (at least one sample per class when possible).
+    """
+    check_fraction(test_fraction, "test_fraction", inclusive=False)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError("X and y disagree on sample count")
+    rng = child_rng(random_state)
+    n = X.shape[0]
+    if stratify:
+        test_idx_parts = []
+        for label in np.unique(y):
+            idx = np.nonzero(y == label)[0]
+            n_test = max(1, int(round(idx.size * test_fraction)))
+            test_idx_parts.append(rng.choice(idx, size=min(n_test, idx.size), replace=False))
+        test_idx = np.concatenate(test_idx_parts)
+    else:
+        n_test = max(1, int(round(n * test_fraction)))
+        test_idx = rng.choice(n, size=min(n_test, n - 1), replace=False)
+    test_mask = np.zeros(n, dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+def time_ordered_split(
+    timestamps: np.ndarray,
+    *,
+    train_span: float,
+    test_span: float,
+    offset: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean masks ``(train_mask, test_mask)`` for one sliding window.
+
+    ``timestamps`` are sample times (any monotone unit).  Training covers
+    ``[t0 + offset, t0 + offset + train_span)`` and testing the following
+    ``test_span``, where ``t0`` is the earliest timestamp.  This mirrors
+    the paper's "3.5 months training, next two weeks testing" protocol.
+    """
+    timestamps = np.asarray(timestamps, dtype=float)
+    if timestamps.ndim != 1 or timestamps.size == 0:
+        raise ValidationError("timestamps must be a non-empty 1-D array")
+    if train_span <= 0 or test_span <= 0:
+        raise ValidationError("train_span and test_span must be positive")
+    t0 = float(timestamps.min()) + float(offset)
+    t_train_end = t0 + float(train_span)
+    t_test_end = t_train_end + float(test_span)
+    train_mask = (timestamps >= t0) & (timestamps < t_train_end)
+    test_mask = (timestamps >= t_train_end) & (timestamps < t_test_end)
+    return train_mask, test_mask

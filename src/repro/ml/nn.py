@@ -1,0 +1,186 @@
+"""Multilayer perceptron for binary classification (Adam optimizer).
+
+The paper's NN baseline: a small fully-connected network (the paper
+explicitly excludes deep learning for overhead reasons), whose weighted
+neurons "approximate non-linear functions of the input".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, sigmoid
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(BaseClassifier):
+    """Fully-connected ReLU network with a single logit output.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Sizes of hidden layers, e.g. ``(32, 16)``.
+    learning_rate:
+        Adam step size.
+    epochs:
+        Maximum number of passes over the training data.
+    batch_size:
+        Mini-batch size (clipped to the dataset size).
+    l2:
+        Weight decay applied to all weight matrices.
+    class_weight:
+        ``None`` or ``"balanced"``.
+    early_stopping_fraction:
+        Held-out fraction for early stopping (0 disables).
+    patience:
+        Early-stopping patience in epochs.
+    random_state:
+        Seed or generator for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        *,
+        hidden_layers: tuple[int, ...] = (32, 16),
+        learning_rate: float = 1e-3,
+        epochs: int = 80,
+        batch_size: int = 256,
+        l2: float = 1e-5,
+        class_weight: str | None = "balanced",
+        early_stopping_fraction: float = 0.1,
+        patience: int = 10,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not hidden_layers or any(int(h) <= 0 for h in hidden_layers):
+            raise ValueError(f"hidden_layers must be positive sizes, got {hidden_layers!r}")
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.epochs = int(check_positive(epochs, "epochs"))
+        self.batch_size = int(check_positive(batch_size, "batch_size"))
+        self.l2 = float(l2)
+        if class_weight not in (None, "balanced"):
+            raise ValueError(f"class_weight must be None or 'balanced', got {class_weight!r}")
+        self.class_weight = class_weight
+        self.early_stopping_fraction = float(early_stopping_fraction)
+        self.patience = int(check_positive(patience, "patience"))
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = child_rng(self.random_state)
+        sample_weight = self._sample_weights(y)
+
+        X_val: np.ndarray | None = None
+        y_val: np.ndarray | None = None
+        if self.early_stopping_fraction > 0.0 and X.shape[0] >= 50:
+            order = rng.permutation(X.shape[0])
+            n_val = max(1, int(X.shape[0] * self.early_stopping_fraction))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            X_val, y_val = X[val_idx], y[val_idx]
+            X, y, sample_weight = X[train_idx], y[train_idx], sample_weight[train_idx]
+
+        sizes = [X.shape[1], *self.hidden_layers, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        adam_t = 0
+
+        best_loss = np.inf
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        epochs_since_best = 0
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                grads_w, grads_b = self._backprop(X[idx], y[idx], sample_weight[idx])
+                adam_t += 1
+                for k in range(len(self._weights)):
+                    grads_w[k] += self.l2 * self._weights[k]
+                    m_w[k] = beta1 * m_w[k] + (1 - beta1) * grads_w[k]
+                    v_w[k] = beta2 * v_w[k] + (1 - beta2) * grads_w[k] ** 2
+                    m_b[k] = beta1 * m_b[k] + (1 - beta1) * grads_b[k]
+                    v_b[k] = beta2 * v_b[k] + (1 - beta2) * grads_b[k] ** 2
+                    m_w_hat = m_w[k] / (1 - beta1**adam_t)
+                    v_w_hat = v_w[k] / (1 - beta2**adam_t)
+                    m_b_hat = m_b[k] / (1 - beta1**adam_t)
+                    v_b_hat = v_b[k] / (1 - beta2**adam_t)
+                    self._weights[k] -= self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                    self._biases[k] -= self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+            self.n_iter_ = epoch + 1
+            if X_val is not None and y_val is not None:
+                val_loss = self._loss(X_val, y_val)
+                if val_loss < best_loss - 1e-6:
+                    best_loss = val_loss
+                    best_params = (
+                        [w.copy() for w in self._weights],
+                        [b.copy() for b in self._biases],
+                    )
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if epochs_since_best >= self.patience:
+                        break
+        if best_params is not None:
+            self._weights, self._biases = best_params
+
+    def _decision_function(self, X: np.ndarray) -> np.ndarray:
+        return self._forward(X)[-1].ravel()
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Return activations per layer; the last entry is the raw logit."""
+        activations = [X]
+        out = X
+        last = len(self._weights) - 1
+        for k, (w, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ w + b
+            if k != last:
+                out = np.maximum(out, 0.0)  # ReLU
+            activations.append(out)
+        return activations
+
+    def _backprop(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        activations = self._forward(X)
+        logits = activations[-1].ravel()
+        probs = sigmoid(logits)
+        # dL/dlogit for weighted binomial deviance.
+        delta = (sample_weight * (probs - y) / X.shape[0]).reshape(-1, 1)
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self._weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self._biases)
+        for k in range(len(self._weights) - 1, -1, -1):
+            grads_w[k] = activations[k].T @ delta
+            grads_b[k] = delta.sum(axis=0)
+            if k > 0:
+                delta = (delta @ self._weights[k].T) * (activations[k] > 0)
+        return grads_w, grads_b
+
+    def _loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        probs = np.clip(sigmoid(self._forward(X)[-1].ravel()), 1e-12, 1 - 1e-12)
+        return float(-(y * np.log(probs) + (1 - y) * np.log(1 - probs)).mean())
+
+    def _sample_weights(self, y: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones(y.shape[0])
+        counts = np.bincount(y, minlength=2).astype(float)
+        weights = y.shape[0] / (2.0 * counts)
+        return weights[y]

@@ -1,0 +1,161 @@
+"""Resampling strategies for imbalanced datasets.
+
+Section VI-B of the paper surveys the standard mitigations before
+proposing its TwoStage alternative: over-sampling the minority class with
+synthetic samples (SMOTE), random under-sampling of the majority class,
+and clustering-controlled under-sampling (k-means).  All three are
+implemented here so the TwoStage design can be compared against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X_y
+from repro.ml.cluster import KMeans
+from repro.utils.errors import ValidationError
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["RandomUnderSampler", "SMOTE", "KMeansUnderSampler"]
+
+
+def _split_classes(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (majority_indices, minority_indices) for binary ``y``."""
+    idx0 = np.nonzero(y == 0)[0]
+    idx1 = np.nonzero(y == 1)[0]
+    if idx0.size == 0 or idx1.size == 0:
+        raise ValidationError("resampling requires both classes present")
+    return (idx0, idx1) if idx0.size >= idx1.size else (idx1, idx0)
+
+
+class RandomUnderSampler:
+    """Randomly drop majority-class samples down to a target ratio.
+
+    Parameters
+    ----------
+    ratio:
+        Desired majority:minority size ratio after resampling (1.0 means
+        perfectly balanced).
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        ratio: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.ratio = check_positive(ratio, "ratio")
+        self.random_state = random_state
+
+    def fit_resample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return the resampled ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        rng = child_rng(self.random_state)
+        majority, minority = _split_classes(y)
+        target = min(majority.size, max(1, int(round(minority.size * self.ratio))))
+        kept = rng.choice(majority, size=target, replace=False)
+        keep = np.concatenate([kept, minority])
+        rng.shuffle(keep)
+        return X[keep], y[keep]
+
+
+class SMOTE:
+    """Synthetic Minority Over-sampling TEchnique (Chawla et al., 2002).
+
+    New minority samples are drawn on line segments between each minority
+    sample and one of its ``k_neighbors`` nearest minority neighbours.
+
+    Parameters
+    ----------
+    ratio:
+        Desired minority size as a fraction of the majority size after
+        over-sampling (1.0 means balanced).
+    k_neighbors:
+        Neighbourhood size (clipped to available minority samples - 1).
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        ratio: float = 1.0,
+        k_neighbors: int = 5,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.ratio = check_positive(ratio, "ratio")
+        self.k_neighbors = int(check_positive(k_neighbors, "k_neighbors"))
+        self.random_state = random_state
+
+    def fit_resample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)`` with synthetic minority rows appended."""
+        X, y = check_X_y(X, y)
+        rng = child_rng(self.random_state)
+        majority, minority = _split_classes(y)
+        minority_label = int(y[minority[0]])
+        target = int(round(majority.size * self.ratio))
+        n_new = max(0, target - minority.size)
+        if n_new == 0:
+            return X, y
+        if minority.size < 2:
+            raise ValidationError("SMOTE needs at least 2 minority samples")
+        Xm = X[minority]
+        k = min(self.k_neighbors, minority.size - 1)
+        # Pairwise distances within the minority class (it is small by
+        # definition, so the dense matrix is acceptable).
+        d2 = (
+            np.sum(Xm**2, axis=1)[:, None]
+            - 2.0 * Xm @ Xm.T
+            + np.sum(Xm**2, axis=1)[None, :]
+        )
+        np.fill_diagonal(d2, np.inf)
+        neighbor_idx = np.argsort(d2, axis=1)[:, :k]
+        base = rng.integers(0, minority.size, size=n_new)
+        pick = rng.integers(0, k, size=n_new)
+        neighbors = neighbor_idx[base, pick]
+        gaps = rng.random(size=(n_new, 1))
+        synthetic = Xm[base] + gaps * (Xm[neighbors] - Xm[base])
+        X_out = np.vstack([X, synthetic])
+        y_out = np.concatenate([y, np.full(n_new, minority_label, dtype=int)])
+        return X_out, y_out
+
+
+class KMeansUnderSampler:
+    """Cluster the majority class and keep representatives per cluster.
+
+    The majority class is clustered into ``ratio * n_minority`` groups and
+    the sample nearest each centroid is retained, preserving coverage of
+    the majority's modes rather than sampling blindly.
+    """
+
+    def __init__(
+        self,
+        *,
+        ratio: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.ratio = check_positive(ratio, "ratio")
+        self.random_state = random_state
+
+    def fit_resample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return the resampled ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        rng = child_rng(self.random_state)
+        majority, minority = _split_classes(y)
+        target = min(majority.size, max(1, int(round(minority.size * self.ratio))))
+        km = KMeans(n_clusters=target, n_init=1, random_state=rng)
+        labels = km.fit_predict(X[majority])
+        assert km.cluster_centers_ is not None
+        kept = []
+        for cluster in range(target):
+            members = majority[labels == cluster]
+            if members.size == 0:
+                continue
+            d2 = np.sum((X[members] - km.cluster_centers_[cluster]) ** 2, axis=1)
+            kept.append(members[int(np.argmin(d2))])
+        keep = np.concatenate([np.asarray(kept, dtype=int), minority])
+        rng.shuffle(keep)
+        return X[keep], y[keep]

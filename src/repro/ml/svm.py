@@ -1,0 +1,241 @@
+"""Kernel support vector machine trained with (simplified) SMO.
+
+The paper's SVM baseline "performs non-linear classification using a
+kernel" and is by far the slowest model to train (Table III) because of
+the quadratic-cost RBF kernel.  We keep that character: training
+materializes the kernel matrix and runs Sequential Minimal Optimization,
+so cost grows quadratically with the training-set size.  A stratified
+subsampling cap (``max_train_size``) keeps wall-clock practical on a
+laptop-class machine; the cap is part of the recorded configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["SVC"]
+
+
+class SVC(BaseClassifier):
+    """Binary SVM with RBF or linear kernel.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.
+    kernel:
+        ``"rbf"`` or ``"linear"``.
+    gamma:
+        RBF width; ``"scale"`` uses ``1 / (d * Var(X))`` like common
+        libraries, or pass a float.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        SMO stops after this many consecutive full passes without any
+        alpha update.
+    max_iter:
+        Hard bound on SMO sweeps.
+    max_train_size:
+        If the training set exceeds this, a stratified random subsample of
+        this size is used (``None`` disables the cap).
+    class_weight:
+        ``None`` or ``"balanced"`` — scales C per class.
+    random_state:
+        Seed or generator for subsampling and SMO partner choice.
+    """
+
+    def __init__(
+        self,
+        *,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float | str = "scale",
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 60,
+        max_train_size: int | None = 4000,
+        class_weight: str | None = "balanced",
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.C = check_positive(C, "C")
+        self.kernel = check_in(kernel, ("rbf", "linear"), "kernel")
+        if isinstance(gamma, str):
+            check_in(gamma, ("scale",), "gamma")
+        else:
+            check_positive(gamma, "gamma")
+        self.gamma = gamma
+        self.tol = check_positive(tol, "tol")
+        self.max_passes = int(check_positive(max_passes, "max_passes"))
+        self.max_iter = int(check_positive(max_iter, "max_iter"))
+        if max_train_size is not None:
+            check_positive(max_train_size, "max_train_size")
+        self.max_train_size = max_train_size
+        if class_weight not in (None, "balanced"):
+            raise ValueError(f"class_weight must be None or 'balanced', got {class_weight!r}")
+        self.class_weight = class_weight
+        self.random_state = random_state
+        self.support_vectors_: np.ndarray | None = None
+        self.dual_coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._gamma_value: float = 1.0
+
+    # ------------------------------------------------------------------
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = child_rng(self.random_state)
+        X, y = self._maybe_subsample(X, y, rng)
+        signs = np.where(y == 1, 1.0, -1.0)
+        n = X.shape[0]
+        self._gamma_value = self._resolve_gamma(X)
+        K = self._kernel_matrix(X, X)
+        c_per_sample = self._per_sample_C(y)
+
+        alphas = np.zeros(n)
+        b = 0.0
+        # Error cache: errors[k] = f(x_k) - y_k, kept incrementally updated
+        # so each SMO step is O(n) instead of O(n^2).
+        errors = np.full(n, b) - signs
+        passes = 0
+        sweeps = 0
+        while passes < self.max_passes and sweeps < self.max_iter:
+            changed = 0
+            for i in range(n):
+                error_i = float(errors[i])
+                if not self._violates_kkt(alphas[i], signs[i] * error_i, c_per_sample[i]):
+                    continue
+                j = self._pick_partner(i, n, rng)
+                step = self._smo_step(
+                    i, j, alphas, signs, K, b, error_i, float(errors[j]), c_per_sample
+                )
+                if step is None:
+                    continue
+                (delta_i, delta_j), new_b = step
+                errors += (
+                    delta_i * signs[i] * K[i, :]
+                    + delta_j * signs[j] * K[j, :]
+                    + (new_b - b)
+                )
+                alphas[i] += delta_i
+                alphas[j] += delta_j
+                b = new_b
+                changed += 1
+            sweeps += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        support = alphas > 1e-8
+        self.support_vectors_ = X[support]
+        self.dual_coef_ = (alphas * signs)[support]
+        self.intercept_ = float(b)
+
+    def _decision_function(self, X: np.ndarray) -> np.ndarray:
+        assert self.support_vectors_ is not None and self.dual_coef_ is not None
+        if self.support_vectors_.shape[0] == 0:
+            return np.full(X.shape[0], self.intercept_)
+        K = self._kernel_matrix(X, self.support_vectors_)
+        return K @ self.dual_coef_ + self.intercept_
+
+    # ------------------------------------------------------------------
+    # SMO internals
+    # ------------------------------------------------------------------
+    def _violates_kkt(self, alpha: float, margin_error: float, c_cap: float) -> bool:
+        return (margin_error < -self.tol and alpha < c_cap) or (
+            margin_error > self.tol and alpha > 0
+        )
+
+    @staticmethod
+    def _pick_partner(i: int, n: int, rng: np.random.Generator) -> int:
+        j = int(rng.integers(0, n - 1))
+        return j if j < i else j + 1
+
+    def _smo_step(
+        self,
+        i: int,
+        j: int,
+        alphas: np.ndarray,
+        signs: np.ndarray,
+        K: np.ndarray,
+        b: float,
+        error_i: float,
+        error_j: float,
+        c_per_sample: np.ndarray,
+    ) -> tuple[tuple[float, float], float] | None:
+        """One SMO pair update; returns ``((delta_i, delta_j), new_b)``."""
+        alpha_i_old, alpha_j_old = alphas[i], alphas[j]
+        if signs[i] != signs[j]:
+            low = max(0.0, alpha_j_old - alpha_i_old)
+            high = min(c_per_sample[j], c_per_sample[j] + alpha_j_old - alpha_i_old)
+        else:
+            low = max(0.0, alpha_i_old + alpha_j_old - c_per_sample[i])
+            high = min(c_per_sample[j], alpha_i_old + alpha_j_old)
+        if high - low < 1e-12:
+            return None
+        eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+        if eta >= 0:
+            return None
+        alpha_j = alpha_j_old - signs[j] * (error_i - error_j) / eta
+        alpha_j = float(np.clip(alpha_j, low, high))
+        if abs(alpha_j - alpha_j_old) < 1e-7:
+            return None
+        alpha_i = alpha_i_old + signs[i] * signs[j] * (alpha_j_old - alpha_j)
+        b1 = (
+            b
+            - error_i
+            - signs[i] * (alpha_i - alpha_i_old) * K[i, i]
+            - signs[j] * (alpha_j - alpha_j_old) * K[i, j]
+        )
+        b2 = (
+            b
+            - error_j
+            - signs[i] * (alpha_i - alpha_i_old) * K[i, j]
+            - signs[j] * (alpha_j - alpha_j_old) * K[j, j]
+        )
+        if 0 < alpha_i < c_per_sample[i]:
+            new_b = b1
+        elif 0 < alpha_j < c_per_sample[j]:
+            new_b = b2
+        else:
+            new_b = (b1 + b2) / 2.0
+        return (alpha_i - alpha_i_old, alpha_j - alpha_j_old), float(new_b)
+
+    # ------------------------------------------------------------------
+    # Kernels and helpers
+    # ------------------------------------------------------------------
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        if isinstance(self.gamma, str):
+            variance = float(X.var())
+            return 1.0 / (X.shape[1] * variance) if variance > 0 else 1.0
+        return float(self.gamma)
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return A @ B.T
+        sq_a = np.sum(A**2, axis=1)[:, None]
+        sq_b = np.sum(B**2, axis=1)[None, :]
+        d2 = np.maximum(sq_a + sq_b - 2.0 * (A @ B.T), 0.0)
+        return np.exp(-self._gamma_value * d2)
+
+    def _per_sample_C(self, y: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.full(y.shape[0], self.C)
+        counts = np.bincount(y, minlength=2).astype(float)
+        weights = y.shape[0] / (2.0 * counts)
+        return self.C * weights[y]
+
+    def _maybe_subsample(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.max_train_size is None or X.shape[0] <= self.max_train_size:
+            return X, y
+        # Stratified subsample preserving the class ratio (>=1 per class).
+        keep_parts = []
+        for label in (0, 1):
+            idx = np.nonzero(y == label)[0]
+            quota = max(1, int(round(self.max_train_size * idx.size / y.size)))
+            keep_parts.append(rng.choice(idx, size=min(quota, idx.size), replace=False))
+        keep = np.concatenate(keep_parts)
+        rng.shuffle(keep)
+        return X[keep], y[keep]

@@ -1,0 +1,111 @@
+"""Autoregressive time-series forecasting.
+
+Paper, Discussion (Section VIII): features such as the temperature and
+power profile of the upcoming run "cannot be known a priori" and are
+forecast with time-series tools (ARMA/ARIMA-family).  :class:`ARForecaster`
+is an AR(p) model fit by least squares with optional differencing — i.e.
+an ARI(p, d) model — sufficient to forecast the slowly-varying node
+temperature and power series the TwoStage method consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ARForecaster"]
+
+
+class ARForecaster:
+    """AR(p) forecaster with optional differencing (ARI(p, d)).
+
+    Parameters
+    ----------
+    order:
+        Number of autoregressive lags ``p``.
+    diff:
+        Differencing order ``d`` (0 or 1).
+    ridge:
+        Small L2 regularizer on the lag coefficients for numerical
+        stability on near-constant series.
+    """
+
+    def __init__(self, order: int = 4, *, diff: int = 0, ridge: float = 1e-6) -> None:
+        self.order = int(check_positive(order, "order"))
+        if diff not in (0, 1):
+            raise ValidationError(f"diff must be 0 or 1, got {diff}")
+        self.diff = diff
+        self.ridge = check_nonnegative(ridge, "ridge")
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._history: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "ARForecaster":
+        """Fit lag coefficients to ``series`` by ridge least squares."""
+        series = np.asarray(series, dtype=float).ravel()
+        if series.size < self.order + self.diff + 2:
+            raise ValidationError(
+                f"series too short for AR({self.order}), d={self.diff}: "
+                f"need >= {self.order + self.diff + 2}, got {series.size}"
+            )
+        work = np.diff(series) if self.diff else series
+        p = self.order
+        rows = work.size - p
+        lagged = np.empty((rows, p))
+        for k in range(p):
+            lagged[:, k] = work[p - 1 - k : work.size - 1 - k]
+        targets = work[p:]
+        design = np.hstack([lagged, np.ones((rows, 1))])
+        gram = design.T @ design + self.ridge * np.eye(p + 1)
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self.coef_ = solution[:p]
+        self.intercept_ = float(solution[p])
+        self._history = series.copy()
+        return self
+
+    def forecast(self, steps: int, *, history: np.ndarray | None = None) -> np.ndarray:
+        """Forecast ``steps`` future values.
+
+        ``history`` overrides the training series as the starting context
+        (useful for applying one fitted model across nodes).
+        """
+        if self.coef_ is None:
+            raise NotFittedError("ARForecaster is not fitted")
+        check_positive(steps, "steps")
+        context = np.asarray(
+            history if history is not None else self._history, dtype=float
+        ).ravel()
+        if context.size < self.order + self.diff:
+            raise ValidationError(
+                f"history must hold at least {self.order + self.diff} values"
+            )
+        level = float(context[-1])
+        work = np.diff(context) if self.diff else context
+        window = list(work[-self.order :])
+        out = np.empty(int(steps))
+        for t in range(int(steps)):
+            lags = np.asarray(window[::-1])
+            nxt = float(lags @ self.coef_ + self.intercept_)
+            if self.diff:
+                level += nxt
+                out[t] = level
+            else:
+                out[t] = nxt
+            window.pop(0)
+            window.append(nxt)
+        return out
+
+    def fitted_residuals(self) -> np.ndarray:
+        """In-sample one-step-ahead residuals of the training series."""
+        if self.coef_ is None or self._history is None:
+            raise NotFittedError("ARForecaster is not fitted")
+        series = self._history
+        work = np.diff(series) if self.diff else series
+        p = self.order
+        preds = np.empty(work.size - p)
+        for t in range(p, work.size):
+            lags = work[t - p : t][::-1]  # most recent lag first
+            preds[t - p] = float(lags @ self.coef_ + self.intercept_)
+        return work[p:] - preds

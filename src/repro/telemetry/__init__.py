@@ -1,0 +1,48 @@
+"""Synthetic Titan telemetry substrate.
+
+The paper's dataset is six months of proprietary traces from the Titan
+supercomputer: batch jobs and apruns, per-minute out-of-band GPU
+temperature/power samples, and nvidia-smi SBE counter snapshots taken
+before and after each batch job.  This package replaces that archive with
+a calibrated simulator (see DESIGN.md, "Substitutions"):
+
+* :mod:`applications` -- a synthetic application catalog with heavy-tailed
+  popularity and SBE susceptibility;
+* :mod:`scheduler` -- batch-job arrivals and locality-aware node allocation;
+* :mod:`power` / :mod:`thermal` -- per-node power draw and RC thermal
+  dynamics with slot-neighbour coupling and non-uniform cabinet cooling;
+* :mod:`errors` -- modulated-Poisson SBE injection;
+* :mod:`sampler` -- the out-of-band sampler (ring buffers + online stats);
+* :mod:`nvidia_smi` -- snapshot-only SBE counters, as on the real system;
+* :mod:`simulator` -- the tick loop tying it all together;
+* :mod:`trace` -- the columnar result container with save/load.
+"""
+
+from repro.telemetry.applications import ApplicationCatalog, ApplicationSpec
+from repro.telemetry.config import (
+    ErrorModelConfig,
+    PowerConfig,
+    ThermalConfig,
+    TraceConfig,
+    WorkloadConfig,
+)
+from repro.telemetry.nvidia_smi import NvidiaSmiEmulator
+from repro.telemetry.scheduler import ScheduledRun, WorkloadScheduler
+from repro.telemetry.simulator import TraceSimulator, simulate_trace
+from repro.telemetry.trace import Trace
+
+__all__ = [
+    "ApplicationCatalog",
+    "ApplicationSpec",
+    "ErrorModelConfig",
+    "PowerConfig",
+    "ThermalConfig",
+    "TraceConfig",
+    "WorkloadConfig",
+    "NvidiaSmiEmulator",
+    "ScheduledRun",
+    "WorkloadScheduler",
+    "TraceSimulator",
+    "simulate_trace",
+    "Trace",
+]

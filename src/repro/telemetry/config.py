@@ -1,0 +1,217 @@
+"""Configuration objects for the trace simulator.
+
+Every physical and statistical knob of the synthetic-Titan substrate lives
+here, grouped by subsystem.  Defaults are calibrated so that the
+characterization statistics of a simulated trace match the paper's
+Section III (see DESIGN.md, "Calibration targets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.machine import MachineConfig
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "WorkloadConfig",
+    "PowerConfig",
+    "ThermalConfig",
+    "ErrorModelConfig",
+    "TraceConfig",
+]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Application catalog and batch-job arrival parameters."""
+
+    #: Number of distinct applications (binary names) in the catalog.
+    num_applications: int = 64
+    #: Zipf exponent of application popularity (1.0 = classic Zipf).
+    popularity_exponent: float = 1.1
+    #: Target machine utilization (fraction of node-minutes busy).
+    target_utilization: float = 0.85
+    #: Mean aprun wall-clock minutes (lognormal across applications).
+    mean_runtime_minutes: float = 420.0
+    #: Dispersion (sigma of log-runtime) across runs of one application.
+    runtime_sigma: float = 0.45
+    #: Mean nodes per aprun (geometric-ish across applications).
+    mean_nodes_per_run: float = 12.0
+    #: Maximum nodes a single aprun may occupy.
+    max_nodes_per_run: int = 128
+    #: Probability that a batch job contains a second aprun.
+    second_aprun_probability: float = 0.25
+    #: Strength of application "home cabinet" locality (0 disables).
+    locality_bias: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ConfigurationError(
+                f"target_utilization must be in (0, 1], got {self.target_utilization}"
+            )
+        if self.num_applications < 2:
+            raise ConfigurationError("num_applications must be >= 2")
+        if self.mean_runtime_minutes <= 0 or self.mean_nodes_per_run <= 0:
+            raise ConfigurationError("runtime and node means must be positive")
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Per-node GPU power model (K20X-like envelope)."""
+
+    idle_watts: float = 20.0
+    #: Additional watts at 100% GPU utilization.
+    dynamic_watts: float = 160.0
+    #: Std of multiplicative per-node efficiency variation.
+    node_efficiency_sigma: float = 0.04
+    #: Std of additive per-tick measurement/workload noise (watts).
+    noise_watts: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.dynamic_watts <= 0:
+            raise ConfigurationError("power levels must be positive")
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """RC thermal model for GPU and CPU temperatures."""
+
+    ambient_celsius: float = 24.0
+    #: Steady-state degrees per watt of GPU power.
+    degrees_per_watt: float = 0.15
+    #: Thermal time constant in minutes (larger = slower response).
+    time_constant_minutes: float = 18.0
+    #: Coupling toward the slot-mean temperature per minute (spatial term).
+    neighbor_coupling: float = 0.04
+    #: Amplitude of the cabinet cooling-efficiency pattern (degrees).
+    cooling_pattern_celsius: float = 4.0
+    #: Std of per-node static cooling offset (degrees).
+    node_offset_sigma: float = 1.2
+    #: Std of per-tick AR noise (degrees).
+    noise_celsius: float = 0.35
+    #: CPU steady-state degrees per unit CPU utilization.
+    cpu_degrees_per_util: float = 22.0
+    #: CPU thermal time constant in minutes.
+    cpu_time_constant_minutes: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.time_constant_minutes <= 0 or self.cpu_time_constant_minutes <= 0:
+            raise ConfigurationError("time constants must be positive")
+        if not 0.0 <= self.neighbor_coupling < 1.0:
+            raise ConfigurationError("neighbor_coupling must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ErrorModelConfig:
+    """Modulated-Poisson SBE injection model.
+
+    The per-(run, node) SBE count is Poisson with rate::
+
+        rate = base_rate_per_hour * hours
+             * node_susceptibility * app_susceptibility
+             * exp(temp_sensitivity * (T_mean - temp_ref))
+             * (1 + memory_weight * mem_fraction)
+             * (1 + interaction_boost  if T_mean > temp_knee and
+                                          P_mean > power_knee else 0)
+
+    Node susceptibility is near zero for ordinary nodes and lognormally
+    elevated for a spatially clustered minority of *offender* nodes;
+    application susceptibility is heavy-tailed.  A per-(node, day)
+    episode modulation (rare multi-day degradation spells) clusters
+    errors into bad days.  The
+    ``interaction_boost`` term is the deliberate nonlinearity that
+    separates GBDT from linear models.
+    """
+
+    #: Baseline SBE rate (per hour) for susceptibility 1 at temp_ref.
+    base_rate_per_hour: float = 0.0017
+    #: Susceptibility of ordinary (non-offender) nodes.
+    ordinary_susceptibility: float = 0.000001
+    #: Fraction of nodes drawn as elevated-susceptibility offenders.
+    offender_node_fraction: float = 0.09
+    #: Median susceptibility multiplier of offender nodes.
+    offender_median_boost: float = 0.8
+    #: Sigma of log-susceptibility among offender nodes.
+    offender_sigma: float = 1.1
+    #: Expected degradation episodes per node per 100 days.
+    episode_rate_per_100_days: float = 1.8
+    #: Median episode length in days.
+    episode_median_days: float = 8.0
+    #: Sigma of log episode length.
+    episode_sigma: float = 0.6
+    #: Rate multiplier during an episode (before jitter).
+    episode_spike_factor: float = 2.0
+    #: Rate factor outside episodes.
+    quiet_day_factor: float = 0.0003
+    #: Lognormal jitter sigma applied on top of episode spikes.
+    daily_sigma: float = 0.8
+    #: Number of spatial clusters offender nodes concentrate in.
+    offender_clusters: int = 14
+    #: Fraction of offender nodes placed inside clusters (rest uniform).
+    offender_cluster_fraction: float = 0.7
+    #: Sigma of log application susceptibility (heavy tail across apps).
+    app_sigma: float = 1.4
+    #: Reference temperature for the exponential term (deg C).
+    temp_ref: float = 38.0
+    #: Exponential temperature sensitivity (per deg C).
+    temp_sensitivity: float = 0.50
+    #: Weight of the memory-utilization multiplier.
+    memory_weight: float = 2.0
+    #: Temperature knee of the nonlinear interaction (deg C).
+    temp_knee: float = 42.0
+    #: Power knee of the nonlinear interaction (watts).
+    power_knee: float = 120.0
+    #: Rate multiplier applied above both knees.
+    interaction_boost: float = 12.0
+    #: Cap on the composed per-hour rate before the day factor; bounds the
+    #: multiplicative stack so even extreme node/app/temperature
+    #: combinations stay quiet outside episodes.
+    max_rate_per_hour: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.offender_node_fraction < 1.0:
+            raise ConfigurationError("offender_node_fraction must be in (0, 1)")
+        if self.base_rate_per_hour <= 0:
+            raise ConfigurationError("base_rate_per_hour must be positive")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Top-level simulation configuration."""
+
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    errors: ErrorModelConfig = field(default_factory=ErrorModelConfig)
+    #: Simulated trace length in days.
+    duration_days: float = 126.0
+    #: Out-of-band sampling interval (minutes per tick).
+    tick_minutes: float = 5.0
+    #: Root seed for all random streams.
+    seed: int = 2018
+    #: Node ids whose full telemetry series are recorded (for Fig. 8).
+    record_nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ConfigurationError("duration_days must be positive")
+        if self.tick_minutes <= 0:
+            raise ConfigurationError("tick_minutes must be positive")
+        if self.tick_minutes > 60:
+            raise ConfigurationError(
+                "tick_minutes must be <= 60 (pre-run windows span one hour)"
+            )
+
+    @property
+    def duration_minutes(self) -> float:
+        """Trace length in simulated minutes."""
+        return self.duration_days * MINUTES_PER_DAY
+
+    @property
+    def num_ticks(self) -> int:
+        """Number of sampler ticks in the trace."""
+        return int(self.duration_minutes / self.tick_minutes)

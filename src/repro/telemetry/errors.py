@@ -1,0 +1,181 @@
+"""Modulated-Poisson SBE injection.
+
+The paper cannot attribute SBEs to root causes; what it *measures* is that
+SBEs concentrate on a small minority of offender nodes and applications,
+that even offender nodes err on few days (80% of them on < 20% of days),
+that SBE-affected periods are hotter and draw more power, and that
+substantial randomness remains.  This module generates exactly that
+structure.  The per-(run, node) SBE count is Poisson with a rate
+multiplying
+
+* a latent per-node susceptibility: near zero for ordinary nodes, heavy-
+  tailed (lognormal) for a spatially clustered minority of offenders;
+* the application's latent susceptibility (heavy-tailed across apps);
+* an exponential temperature term and a linear memory-pressure term;
+* a *nonlinear* boost when mean temperature and power both exceed knees —
+  the feature interaction a linear model cannot represent;
+* a per-(node, day) episode modulation — rare multi-day degradation
+  spells with jittered intensity — which clusters errors into bad days
+  and bounds how predictable any model can be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.config import ErrorModelConfig
+from repro.topology.machine import Machine
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["SbeErrorModel"]
+
+
+class SbeErrorModel:
+    """Draws SBE counts for completed (run, node) pairs."""
+
+    def __init__(
+        self,
+        config: ErrorModelConfig,
+        machine: Machine,
+        seeds: SeedSequenceFactory,
+        *,
+        num_days: int,
+    ) -> None:
+        self._config = config
+        self._machine = machine
+        self._rng = seeds.generator("sbe-draws")
+        self._node_susceptibility = self._draw_node_susceptibility(
+            seeds.generator("node-susceptibility")
+        )
+        # Per-(node, day) episode modulation: each node suffers occasional
+        # multi-day degradation *episodes* during which its rate spikes;
+        # outside episodes the rate is strongly suppressed.  Episodes make
+        # offender nodes err on a small fraction of distinct days (paper:
+        # 80% of offenders err on < 20% of days) while keeping errors
+        # temporally clustered — which is also what makes the paper's SBE
+        # *history* features informative.  A lognormal jitter keeps
+        # episode days unequal.  +2 days of slack covers runs straddling
+        # the horizon.
+        day_rng = seeds.generator("daily-modulation")
+        total_days = int(num_days) + 2
+        in_episode = np.zeros((machine.num_nodes, total_days), dtype=bool)
+        expected_episodes = config.episode_rate_per_100_days * total_days / 100.0
+        for node in range(machine.num_nodes):
+            for _ in range(int(day_rng.poisson(expected_episodes))):
+                start = int(day_rng.integers(0, total_days))
+                length = max(
+                    1,
+                    int(
+                        round(
+                            config.episode_median_days
+                            * day_rng.lognormal(0.0, config.episode_sigma)
+                        )
+                    ),
+                )
+                in_episode[node, start : start + length] = True
+        jitter = np.exp(
+            day_rng.normal(
+                -0.5 * config.daily_sigma**2,
+                config.daily_sigma,
+                size=(machine.num_nodes, total_days),
+            )
+        )
+        self._day_factors = np.where(
+            in_episode,
+            config.episode_spike_factor * jitter,
+            config.quiet_day_factor,
+        )
+
+    @property
+    def node_susceptibility(self) -> np.ndarray:
+        """Latent per-node susceptibility (ground truth; diagnostics only)."""
+        return self._node_susceptibility
+
+    def _draw_node_susceptibility(self, rng: np.random.Generator) -> np.ndarray:
+        cfg = self._config
+        machine = self._machine
+        n = machine.num_nodes
+        susceptibility = np.full(n, cfg.ordinary_susceptibility)
+
+        n_offenders = max(1, int(round(cfg.offender_node_fraction * n)))
+        n_clustered = int(round(cfg.offender_cluster_fraction * n_offenders))
+        # Clustered offenders: pick cluster-center cabinets, then sample
+        # offender nodes near them, giving the patchy grid of Fig. 1.
+        n_clusters = min(cfg.offender_clusters, machine.num_cabinets)
+        centers = rng.choice(machine.num_cabinets, size=n_clusters, replace=False)
+        center_x = centers % machine.config.grid_x
+        center_y = centers // machine.config.grid_x
+        dist = np.min(
+            np.abs(machine.cabinet_x[None, :] - center_x[:, None])
+            + np.abs(machine.cabinet_y[None, :] - center_y[:, None]),
+            axis=0,
+        ).astype(float)
+        weights = np.exp(-dist / 1.5)
+        weights /= weights.sum()
+        clustered = rng.choice(n, size=min(n_clustered, n), replace=False, p=weights)
+        remaining = np.setdiff1d(np.arange(n), clustered)
+        uniform = rng.choice(
+            remaining,
+            size=min(remaining.size, max(0, n_offenders - clustered.size)),
+            replace=False,
+        )
+        offenders = np.concatenate([clustered, uniform])
+        boost = cfg.offender_median_boost * np.exp(
+            rng.normal(0.0, cfg.offender_sigma, offenders.size)
+        )
+        susceptibility[offenders] = boost
+        return susceptibility
+
+    def rate(
+        self,
+        node_ids: np.ndarray,
+        app_susceptibility: float,
+        start_minute: float,
+        duration_minutes: float,
+        temp_mean: np.ndarray,
+        power_mean: np.ndarray,
+        memory_fraction: float,
+    ) -> np.ndarray:
+        """Expected SBE count per node for one completed run."""
+        cfg = self._config
+        hours = duration_minutes / 60.0
+        day = min(int(start_minute // 1440), self._day_factors.shape[1] - 1)
+        thermal = np.exp(cfg.temp_sensitivity * (temp_mean - cfg.temp_ref))
+        memory = 1.0 + cfg.memory_weight * memory_fraction
+        interaction = np.where(
+            (temp_mean > cfg.temp_knee) & (power_mean > cfg.power_knee),
+            1.0 + cfg.interaction_boost,
+            1.0,
+        )
+        hourly = (
+            cfg.base_rate_per_hour
+            * self._node_susceptibility[node_ids]
+            * app_susceptibility
+            * thermal
+            * memory
+            * interaction
+        )
+        hourly = np.minimum(hourly, cfg.max_rate_per_hour)
+        return hourly * self._day_factors[node_ids, day] * hours
+
+    def sample_counts(
+        self,
+        node_ids: np.ndarray,
+        app_susceptibility: float,
+        start_minute: float,
+        duration_minutes: float,
+        temp_mean: np.ndarray,
+        power_mean: np.ndarray,
+        memory_fraction: float,
+    ) -> np.ndarray:
+        """Poisson SBE counts per node for one completed run."""
+        lam = self.rate(
+            node_ids,
+            app_susceptibility,
+            start_minute,
+            duration_minutes,
+            temp_mean,
+            power_mean,
+            memory_fraction,
+        )
+        return self._rng.poisson(np.minimum(lam, 1e6))

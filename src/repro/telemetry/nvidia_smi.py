@@ -1,0 +1,53 @@
+"""Emulation of nvidia-smi's snapshot-only SBE accounting.
+
+On Titan, "the nvidia-smi utility provides snapshot information, i.e., it
+does not timestamp individual SBEs, but records SBEs before and after each
+batch job" (paper, Section II).  The emulator enforces that limitation on
+all downstream analytics: SBEs accumulate in per-node lifetime counters
+which can only be *read*; the attributable unit is the difference between
+the readings taken at a job's start and end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["NvidiaSmiEmulator"]
+
+
+class NvidiaSmiEmulator:
+    """Per-node lifetime SBE counters with before/after job snapshots."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValidationError("num_nodes must be positive")
+        self._counters = np.zeros(num_nodes, dtype=np.int64)
+        self._open_snapshots: dict[int, np.ndarray] = {}
+
+    def record_errors(self, node_ids: np.ndarray, counts: np.ndarray) -> None:
+        """Hardware-side: accumulate detected SBEs into lifetime counters."""
+        np.add.at(self._counters, np.asarray(node_ids, dtype=int), counts)
+
+    def query(self, node_ids: np.ndarray) -> np.ndarray:
+        """Read current counter values (what ``nvidia-smi -q`` reports)."""
+        return self._counters[np.asarray(node_ids, dtype=int)].copy()
+
+    def snapshot_before(self, job_id: int, node_ids: np.ndarray) -> None:
+        """Tracing-framework hook: record counters at job start."""
+        if job_id in self._open_snapshots:
+            raise ValidationError(f"job {job_id} already has an open snapshot")
+        self._open_snapshots[job_id] = self.query(node_ids)
+
+    def snapshot_after(self, job_id: int, node_ids: np.ndarray) -> np.ndarray:
+        """Tracing-framework hook: per-node SBE delta for the whole job.
+
+        This is the only per-job error information the real system makes
+        available — SBEs within the job cannot be split across apruns.
+        """
+        before = self._open_snapshots.pop(job_id, None)
+        if before is None:
+            raise ValidationError(f"job {job_id} has no open snapshot")
+        after = self.query(node_ids)
+        return after - before

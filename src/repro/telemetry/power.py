@@ -1,0 +1,47 @@
+"""Per-node GPU power model.
+
+Power draw follows the utilization of whatever aprun occupies the node:
+``idle + dynamic * utilization`` scaled by a static per-node efficiency
+factor (manufacturing variation), plus per-tick noise.  The envelope is
+K20X-like (tens of watts idle, ~200 W busy), matching the scale of the
+paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.config import PowerConfig
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["PowerModel"]
+
+
+class PowerModel:
+    """Vectorized power draw for all nodes at once."""
+
+    def __init__(
+        self,
+        config: PowerConfig,
+        num_nodes: int,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        self._config = config
+        rng = seeds.generator("power-efficiency")
+        self._efficiency = np.exp(
+            rng.normal(0.0, config.node_efficiency_sigma, size=num_nodes)
+        )
+        self._noise_rng = seeds.generator("power-noise")
+        self._num_nodes = num_nodes
+
+    @property
+    def efficiency(self) -> np.ndarray:
+        """Static per-node efficiency multipliers."""
+        return self._efficiency
+
+    def sample(self, gpu_utilization: np.ndarray) -> np.ndarray:
+        """Instantaneous per-node watts for the given utilization vector."""
+        cfg = self._config
+        base = cfg.idle_watts + cfg.dynamic_watts * gpu_utilization
+        noise = self._noise_rng.normal(0.0, cfg.noise_watts, size=self._num_nodes)
+        return np.maximum(base * self._efficiency + noise, 1.0)

@@ -1,0 +1,136 @@
+"""The out-of-band telemetry sampler.
+
+On Titan, temperature and power are "approximately collected every minute
+for every node" without instrumenting applications.  The simulator's
+sampler mirrors that: one tick = one machine-wide snapshot.  Because months
+of snapshots cannot be stored, the sampler keeps
+
+* a fixed one-hour **history ring** per node (enough for the 5/15/30/60
+  minute pre-execution windows of the paper's temporal features), and
+* vectorized **online (Welford) statistics** per node for the currently
+  running aprun: mean/std of the value and of its consecutive deltas, for
+  each tracked quantity.
+
+Both are plain numpy arrays indexed by node id, so a tick is a handful of
+vector operations regardless of machine size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["VectorWelford", "HistoryRing", "RUN_STAT_QUANTITIES"]
+
+#: Quantities tracked per running aprun, in column order: the target GPU's
+#: temperature and power, the CPU temperature on the same node, and the
+#: mean temperature/power of the *other* GPU nodes in the same slot.
+RUN_STAT_QUANTITIES = ("gpu_temp", "gpu_power", "cpu_temp", "nei_temp", "nei_power")
+
+
+class VectorWelford:
+    """Per-node online mean/std of a value and of its deltas.
+
+    All state is ``(num_nodes,)`` float arrays; :meth:`update` folds one
+    machine-wide snapshot in, :meth:`reset` re-arms a subset of nodes when
+    a new aprun starts there, and :meth:`stats` reads the four summary
+    statistics (mean, std, delta-mean, delta-std) at aprun completion.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self._count = np.zeros(num_nodes)
+        self._mean = np.zeros(num_nodes)
+        self._m2 = np.zeros(num_nodes)
+        self._prev = np.zeros(num_nodes)
+        self._dcount = np.zeros(num_nodes)
+        self._dmean = np.zeros(num_nodes)
+        self._dm2 = np.zeros(num_nodes)
+
+    def reset(self, node_ids: np.ndarray) -> None:
+        """Clear statistics for ``node_ids`` (a new run starts there)."""
+        for array in (
+            self._count,
+            self._mean,
+            self._m2,
+            self._dcount,
+            self._dmean,
+            self._dm2,
+        ):
+            array[node_ids] = 0.0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one machine-wide snapshot into every node's statistics."""
+        deltas = values - self._prev
+        has_prev = self._count >= 1.0
+        self._dcount += has_prev
+        dc = np.maximum(self._dcount, 1.0)
+        d_delta = np.where(has_prev, deltas - self._dmean, 0.0)
+        self._dmean += d_delta / dc
+        self._dm2 += d_delta * np.where(has_prev, deltas - self._dmean, 0.0)
+
+        self._count += 1.0
+        delta = values - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (values - self._mean)
+        self._prev = values.copy()
+
+    def stats(self, node_ids: np.ndarray) -> np.ndarray:
+        """Return ``(len(node_ids), 4)``: mean, std, delta-mean, delta-std."""
+        count = np.maximum(self._count[node_ids], 1.0)
+        dcount = np.maximum(self._dcount[node_ids], 1.0)
+        mean = self._mean[node_ids]
+        std = np.sqrt(np.maximum(self._m2[node_ids] / count, 0.0))
+        dmean = np.where(self._dcount[node_ids] > 0, self._dmean[node_ids], 0.0)
+        dstd = np.sqrt(np.maximum(self._dm2[node_ids] / dcount, 0.0))
+        return np.column_stack([mean, std, dmean, dstd])
+
+
+class HistoryRing:
+    """One-hour circular history of a per-node quantity.
+
+    Columns advance with every tick; :meth:`window_stats` reads the last
+    ``k`` snapshots (oldest first) and returns the same four statistics as
+    :class:`VectorWelford`, for the requested nodes only.
+    """
+
+    def __init__(self, num_nodes: int, capacity_ticks: int) -> None:
+        if capacity_ticks < 1:
+            raise ValidationError("capacity_ticks must be >= 1")
+        self._data = np.zeros((num_nodes, capacity_ticks))
+        self._capacity = capacity_ticks
+        self._filled = 0
+        self._pos = 0
+
+    @property
+    def filled(self) -> int:
+        """Number of valid snapshots currently held (<= capacity)."""
+        return self._filled
+
+    def push(self, values: np.ndarray) -> None:
+        """Append one machine-wide snapshot."""
+        self._data[:, self._pos] = values
+        self._pos = (self._pos + 1) % self._capacity
+        self._filled = min(self._filled + 1, self._capacity)
+
+    def window_stats(self, node_ids: np.ndarray, k: int) -> np.ndarray:
+        """Stats over the most recent ``min(k, filled)`` snapshots.
+
+        Returns ``(len(node_ids), 4)``: mean, std, delta-mean, delta-std.
+        Before any snapshot exists (trace start) all statistics are 0.
+        """
+        k = min(k, self._filled)
+        if k <= 0:
+            return np.zeros((node_ids.size, 4))
+        cols = (self._pos - k + np.arange(k)) % self._capacity
+        window = self._data[np.ix_(node_ids, cols)]
+        mean = window.mean(axis=1)
+        std = window.std(axis=1)
+        if k >= 2:
+            deltas = np.diff(window, axis=1)
+            dmean = deltas.mean(axis=1)
+            dstd = deltas.std(axis=1)
+        else:
+            dmean = np.zeros(node_ids.size)
+            dstd = np.zeros(node_ids.size)
+        return np.column_stack([mean, std, dmean, dstd])

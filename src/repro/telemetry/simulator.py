@@ -1,0 +1,384 @@
+"""The trace simulator: replay the schedule, sample telemetry, inject SBEs.
+
+One simulated tick = one out-of-band sampling interval.  Per tick the
+simulator
+
+1. completes apruns whose end time has passed: reads their online run
+   statistics, draws SBE counts, and (at batch-job completion) resolves
+   per-job nvidia-smi snapshot deltas into the sample rows of *all* the
+   job's apruns — the paper's conservative "SBEs occur in all apruns of
+   the job" attribution;
+2. starts due apruns: computes their 5/15/30/60-minute pre-execution
+   window statistics from the history rings and re-arms the online
+   statistics for their nodes;
+3. advances the power and thermal physics;
+4. feeds the new machine-wide snapshot to the online statistics, the
+   history rings, the cumulative aggregates, and any recorded node series.
+
+Everything per-node is a flat numpy array, so cost per tick is independent
+of how many runs are in flight.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.applications import ApplicationCatalog
+from repro.telemetry.config import TraceConfig
+from repro.telemetry.errors import SbeErrorModel
+from repro.telemetry.nvidia_smi import NvidiaSmiEmulator
+from repro.telemetry.power import PowerModel
+from repro.telemetry.sampler import RUN_STAT_QUANTITIES, HistoryRing, VectorWelford
+from repro.telemetry.scheduler import ScheduledRun, WorkloadScheduler
+from repro.telemetry.thermal import ThermalModel
+from repro.telemetry.trace import PRE_WINDOWS_MINUTES, Trace
+from repro.topology.machine import Machine
+from repro.utils.errors import SimulationError
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["TraceSimulator", "simulate_trace"]
+
+
+@dataclass
+class _ActiveRun:
+    """Bookkeeping for an aprun currently on the machine."""
+
+    run: ScheduledRun
+    gpu_utilization: float
+    memory_fraction: float
+    prev_app_ids: np.ndarray
+    pre_window_stats: np.ndarray  # (n_nodes, 8 * len(PRE_WINDOWS_MINUTES))
+    start_tick: int
+
+
+@dataclass
+class _PendingJob:
+    """A batch job whose apruns have not all completed yet."""
+
+    node_ids: np.ndarray
+    runs_remaining: int
+    sample_blocks: list[dict[str, np.ndarray]] = field(default_factory=list)
+    run_indices: list[int] = field(default_factory=list)
+
+
+class TraceSimulator:
+    """Builds a :class:`~repro.telemetry.trace.Trace` from a configuration."""
+
+    def __init__(self, config: TraceConfig) -> None:
+        self._config = config
+        self._machine = Machine(config.machine)
+        self._seeds = SeedSequenceFactory(config.seed)
+        self._catalog = ApplicationCatalog(
+            config.workload,
+            config.machine,
+            self._seeds,
+            app_sigma=config.errors.app_sigma,
+        )
+        self._scheduler = WorkloadScheduler(
+            config, self._catalog, self._machine, self._seeds
+        )
+        self._power = PowerModel(config.power, self._machine.num_nodes, self._seeds)
+        self._thermal = ThermalModel(config.thermal, self._machine, self._seeds)
+        self._errors = SbeErrorModel(
+            config.errors,
+            self._machine,
+            self._seeds,
+            num_days=int(math.ceil(config.duration_days)),
+        )
+        self._smi = NvidiaSmiEmulator(self._machine.num_nodes)
+        self._run_rng = self._seeds.generator("per-run-noise")
+
+    @property
+    def catalog(self) -> ApplicationCatalog:
+        """The application population used by this simulator."""
+        return self._catalog
+
+    @property
+    def machine(self) -> Machine:
+        """Topology of the simulated machine."""
+        return self._machine
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Simulate the whole trace and return it."""
+        cfg = self._config
+        machine = self._machine
+        n = machine.num_nodes
+        dt = cfg.tick_minutes
+        num_ticks = cfg.num_ticks
+        schedule = self._scheduler.build_schedule()
+
+        starts_at: dict[int, list[ScheduledRun]] = defaultdict(list)
+        ends_at: dict[int, list[int]] = defaultdict(list)
+        for run in schedule:
+            start_tick = int(math.ceil(run.start_minute / dt))
+            end_tick = int(math.floor(run.end_minute / dt))
+            if start_tick >= num_ticks or end_tick <= start_tick:
+                continue
+            starts_at[start_tick].append(run)
+            ends_at[min(end_tick, num_ticks)].append(run.run_id)
+
+        welford = {q: VectorWelford(n) for q in RUN_STAT_QUANTITIES}
+        ring_capacity = max(1, int(round(60.0 / dt)))
+        temp_ring = HistoryRing(n, ring_capacity)
+        power_ring = HistoryRing(n, ring_capacity)
+
+        gpu_util = np.zeros(n)
+        cpu_util = np.full(n, 0.05)
+        prev_app = np.full(n, -1, dtype=np.int32)
+        temp_sum = np.zeros(n)
+        power_sum = np.zeros(n)
+
+        active: dict[int, _ActiveRun] = {}
+        jobs: dict[int, _PendingJob] = {}
+        job_total_runs: dict[int, int] = defaultdict(int)
+        for run in schedule:
+            start_tick = int(math.ceil(run.start_minute / dt))
+            end_tick = int(math.floor(run.end_minute / dt))
+            if start_tick >= num_ticks or end_tick <= start_tick:
+                continue
+            job_total_runs[run.job_id] += 1
+
+        blocks: list[dict[str, np.ndarray]] = []
+        run_rows: list[dict[str, float]] = []
+        recorded: dict[int, dict[str, list[float]]] = {
+            int(node): defaultdict(list) for node in cfg.record_nodes
+        }
+
+        nodes_per_slot = machine.config.nodes_per_slot
+        per_cage = machine.config.slots_per_cage * nodes_per_slot
+
+        for tick in range(num_ticks + 1):
+            minute = tick * dt
+            # --- 1. run completions -----------------------------------
+            ended = ends_at.pop(tick, [])
+            if tick == num_ticks:
+                ended = list(ended) + [rid for rid in active if rid not in ended]
+            for run_id in ended:
+                state = active.pop(run_id, None)
+                if state is None:
+                    raise SimulationError(f"run {run_id} ended but was never active")
+                self._complete_run(state, jobs, blocks, run_rows, welford)
+            if tick == num_ticks:
+                break
+
+            # --- 2. run starts ----------------------------------------
+            for run in starts_at.pop(tick, []):
+                app = self._catalog[run.app_id]
+                util = float(
+                    np.clip(app.gpu_utilization * self._run_rng.lognormal(0.0, 0.12), 0.03, 1.0)
+                )
+                mem = float(
+                    np.clip(app.memory_fraction * self._run_rng.lognormal(0.0, 0.18), 0.02, 1.0)
+                )
+                nodes = run.node_ids
+                pre_stats = np.hstack(
+                    [
+                        np.hstack(
+                            [
+                                temp_ring.window_stats(nodes, max(1, int(round(w / dt)))),
+                                power_ring.window_stats(nodes, max(1, int(round(w / dt)))),
+                            ]
+                        )
+                        for w in PRE_WINDOWS_MINUTES
+                    ]
+                )
+                state = _ActiveRun(
+                    run=run,
+                    gpu_utilization=util,
+                    memory_fraction=mem,
+                    prev_app_ids=prev_app[nodes].copy(),
+                    pre_window_stats=pre_stats,
+                    start_tick=tick,
+                )
+                active[run.run_id] = state
+                job = jobs.get(run.job_id)
+                if job is None:
+                    jobs[run.job_id] = _PendingJob(
+                        node_ids=nodes, runs_remaining=job_total_runs[run.job_id]
+                    )
+                    self._smi.snapshot_before(run.job_id, nodes)
+                gpu_util[nodes] = util
+                cpu_util[nodes] = app.cpu_utilization
+                prev_app[nodes] = run.app_id
+                for q in RUN_STAT_QUANTITIES:
+                    welford[q].reset(nodes)
+
+            # --- 3. physics --------------------------------------------
+            watts = self._power.sample(gpu_util)
+            self._thermal.step(watts, cpu_util, dt)
+            gpu_temp = self._thermal.gpu_temp
+            cpu_temp = self._thermal.cpu_temp
+
+            # --- 4. sampling -------------------------------------------
+            if nodes_per_slot > 1:
+                slot_sum_t = gpu_temp.reshape(-1, nodes_per_slot).sum(axis=1)
+                slot_sum_p = watts.reshape(-1, nodes_per_slot).sum(axis=1)
+                nei_temp = (np.repeat(slot_sum_t, nodes_per_slot) - gpu_temp) / (
+                    nodes_per_slot - 1
+                )
+                nei_power = (np.repeat(slot_sum_p, nodes_per_slot) - watts) / (
+                    nodes_per_slot - 1
+                )
+            else:
+                nei_temp = gpu_temp
+                nei_power = watts
+            welford["gpu_temp"].update(gpu_temp)
+            welford["gpu_power"].update(watts)
+            welford["cpu_temp"].update(cpu_temp)
+            welford["nei_temp"].update(nei_temp)
+            welford["nei_power"].update(nei_power)
+            temp_ring.push(gpu_temp)
+            power_ring.push(watts)
+            temp_sum += gpu_temp
+            power_sum += watts
+
+            for node, series in recorded.items():
+                series["minute"].append(minute)
+                series["gpu_temp"].append(float(gpu_temp[node]))
+                series["gpu_power"].append(float(watts[node]))
+                series["cpu_temp"].append(float(cpu_temp[node]))
+                series["slot_avg_temp"].append(float(nei_temp[node]))
+                series["slot_avg_power"].append(float(nei_power[node]))
+                cage = node // per_cage
+                cage_slice = slice(cage * per_cage, (cage + 1) * per_cage)
+                series["cage_avg_temp"].append(float(gpu_temp[cage_slice].mean()))
+
+        if jobs:
+            raise SimulationError(f"{len(jobs)} jobs never completed")
+
+        return self._assemble_trace(blocks, run_rows, temp_sum, power_sum, recorded, num_ticks)
+
+    # ------------------------------------------------------------------
+    def _complete_run(
+        self,
+        state: _ActiveRun,
+        jobs: dict[int, _PendingJob],
+        blocks: list[dict[str, np.ndarray]],
+        run_rows: list[dict[str, float]],
+        welford: dict[str, VectorWelford],
+    ) -> None:
+        run = state.run
+        nodes = run.node_ids
+        app = self._catalog[run.app_id]
+        stats = {q: welford[q].stats(nodes) for q in RUN_STAT_QUANTITIES}
+
+        counts = self._errors.sample_counts(
+            nodes,
+            app.susceptibility,
+            run.start_minute,
+            run.duration_minutes,
+            stats["gpu_temp"][:, 0],
+            stats["gpu_power"][:, 0],
+            state.memory_fraction,
+        )
+        self._smi.record_errors(nodes, counts)
+
+        k = nodes.size
+        max_mem_gb = state.memory_fraction * 6.0  # K20X has 6 GB per GPU
+        block: dict[str, np.ndarray] = {
+            "run_idx": np.full(k, run.run_id, dtype=np.int32),
+            "job_id": np.full(k, run.job_id, dtype=np.int32),
+            "app_id": np.full(k, run.app_id, dtype=np.int32),
+            "user_id": np.full(k, run.user_id, dtype=np.int32),
+            "node_id": nodes.astype(np.int32),
+            "start_minute": np.full(k, run.start_minute),
+            "end_minute": np.full(k, run.end_minute),
+            "duration_minutes": np.full(k, run.duration_minutes),
+            "n_nodes": np.full(k, k, dtype=np.int32),
+            "gpu_core_hours": np.full(k, run.gpu_core_hours),
+            "gpu_util": np.full(k, state.gpu_utilization),
+            "max_mem_gb": np.full(k, max_mem_gb),
+            "agg_mem_gb": np.full(k, max_mem_gb * k),
+            "prev_app_id": state.prev_app_ids.astype(np.int32),
+            "sbe_count": np.zeros(k, dtype=np.int64),  # resolved at job end
+        }
+        for q in RUN_STAT_QUANTITIES:
+            for j, suffix in enumerate(("mean", "std", "dmean", "dstd")):
+                block[f"{q}_{suffix}"] = stats[q][:, j]
+        col = 0
+        for w in PRE_WINDOWS_MINUTES:
+            for quantity in ("temp", "power"):
+                for suffix in ("mean", "std", "dmean", "dstd"):
+                    block[f"pre{w}_{quantity}_{suffix}"] = state.pre_window_stats[:, col]
+                    col += 1
+
+        blocks.append(block)
+        run_rows.append(
+            {
+                "run_id": run.run_id,
+                "job_id": run.job_id,
+                "app_id": run.app_id,
+                "user_id": run.user_id,
+                "start_minute": run.start_minute,
+                "end_minute": run.end_minute,
+                "n_nodes": k,
+                "gpu_core_hours": run.gpu_core_hours,
+                "gpu_util": state.gpu_utilization,
+                "max_mem_gb": max_mem_gb,
+                "agg_mem_gb": max_mem_gb * k,
+                "sbe_total": 0.0,  # resolved at job end
+            }
+        )
+
+        job = jobs[run.job_id]
+        job.sample_blocks.append(block)
+        job.run_indices.append(len(run_rows) - 1)
+        job.runs_remaining -= 1
+        if job.runs_remaining == 0:
+            deltas = self._smi.snapshot_after(run.job_id, job.node_ids)
+            per_node = {int(node): int(delta) for node, delta in zip(job.node_ids, deltas)}
+            for job_block in job.sample_blocks:
+                job_block["sbe_count"] = np.asarray(
+                    [per_node[int(node)] for node in job_block["node_id"]],
+                    dtype=np.int64,
+                )
+            for row_idx in job.run_indices:
+                run_rows[row_idx]["sbe_total"] = float(deltas.sum())
+            del jobs[run.job_id]
+
+    # ------------------------------------------------------------------
+    def _assemble_trace(
+        self,
+        blocks: list[dict[str, np.ndarray]],
+        run_rows: list[dict[str, float]],
+        temp_sum: np.ndarray,
+        power_sum: np.ndarray,
+        recorded: dict[int, dict[str, list[float]]],
+        num_ticks: int,
+    ) -> Trace:
+        if not blocks:
+            raise SimulationError(
+                "simulation produced no samples; increase duration or utilization"
+            )
+        samples = {
+            name: np.concatenate([block[name] for block in blocks])
+            for name in blocks[0]
+        }
+        runs = {
+            name: np.asarray([row[name] for row in run_rows])
+            for name in run_rows[0]
+        }
+        series = {
+            node: {name: np.asarray(vals) for name, vals in cols.items()}
+            for node, cols in recorded.items()
+        }
+        return Trace(
+            config=self._config,
+            samples=samples,
+            runs=runs,
+            app_names=self._catalog.names,
+            node_mean_temp=temp_sum / max(1, num_ticks),
+            node_mean_power=power_sum / max(1, num_ticks),
+            node_susceptibility=self._errors.node_susceptibility,
+            recorded_series=series,
+        )
+
+
+def simulate_trace(config: TraceConfig | None = None) -> Trace:
+    """Convenience wrapper: simulate one trace from ``config`` (or defaults)."""
+    return TraceSimulator(config or TraceConfig()).run()

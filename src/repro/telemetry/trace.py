@@ -1,0 +1,200 @@
+"""Columnar trace container with save/load.
+
+A :class:`Trace` is the output of one simulation: a **samples** table with
+one row per ``(application run, node)`` pair — the paper's unit of
+prediction — a **runs** table with one row per aprun, the application
+catalog metadata, per-node cumulative telemetry aggregates (for the
+cabinet-grid figures), and optional full telemetry series for a few
+recorded nodes (for the run-profile figure).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.config import TraceConfig
+from repro.topology.machine import Machine, MachineConfig
+from repro.utils.errors import ValidationError
+
+__all__ = ["Trace", "SAMPLE_TELEMETRY_COLUMNS", "PRE_WINDOWS_MINUTES"]
+
+#: Pre-execution window lengths (minutes) for temporal features (paper §V-A).
+PRE_WINDOWS_MINUTES = (5, 15, 30, 60)
+
+_STAT_SUFFIXES = ("mean", "std", "dmean", "dstd")
+
+#: Names of the per-sample telemetry statistic columns, in storage order.
+SAMPLE_TELEMETRY_COLUMNS: tuple[str, ...] = tuple(
+    f"{quantity}_{suffix}"
+    for quantity in ("gpu_temp", "gpu_power", "cpu_temp", "nei_temp", "nei_power")
+    for suffix in _STAT_SUFFIXES
+) + tuple(
+    f"pre{window}_{quantity}_{suffix}"
+    for window in PRE_WINDOWS_MINUTES
+    for quantity in ("temp", "power")
+    for suffix in _STAT_SUFFIXES
+)
+
+
+@dataclass
+class Trace:
+    """One simulated telemetry archive."""
+
+    config: TraceConfig
+    #: Columnar samples table; all arrays share the same length.
+    samples: dict[str, np.ndarray]
+    #: Columnar runs table; all arrays share the same length.
+    runs: dict[str, np.ndarray]
+    #: Application binary names indexed by app id.
+    app_names: list[str]
+    #: Per-node mean GPU temperature over the whole trace.
+    node_mean_temp: np.ndarray
+    #: Per-node mean GPU power over the whole trace.
+    node_mean_power: np.ndarray
+    #: Ground-truth latent node susceptibility (diagnostics only; the
+    #: prediction pipeline must never read this).
+    node_susceptibility: np.ndarray
+    #: Optional full series for recorded nodes:
+    #: node id -> {"minute", "gpu_temp", "gpu_power", "cpu_temp",
+    #: "slot_avg_temp", "slot_avg_power", "cage_avg_temp"}.
+    recorded_series: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {k: v.shape[0] for k, v in self.samples.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValidationError(f"ragged samples table: {lengths}")
+        run_lengths = {k: v.shape[0] for k, v in self.runs.items()}
+        if len(set(run_lengths.values())) > 1:
+            raise ValidationError(f"ragged runs table: {run_lengths}")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Rows in the samples table."""
+        return next(iter(self.samples.values())).shape[0] if self.samples else 0
+
+    @property
+    def num_runs(self) -> int:
+        """Rows in the runs table."""
+        return next(iter(self.runs.values())).shape[0] if self.runs else 0
+
+    @property
+    def machine(self) -> Machine:
+        """Topology object for this trace's machine."""
+        return Machine(self.config.machine)
+
+    def sample_labels(self) -> np.ndarray:
+        """Binary labels: 1 when the (run, node) sample saw any SBE."""
+        return (self.samples["sbe_count"] > 0).astype(int)
+
+    def positive_rate(self) -> float:
+        """Fraction of SBE-affected samples (paper: < 2%)."""
+        if self.num_samples == 0:
+            return 0.0
+        return float(self.sample_labels().mean())
+
+    def node_sbe_totals(self) -> np.ndarray:
+        """Total SBE count per node over the whole trace."""
+        totals = np.zeros(self.machine.num_nodes, dtype=np.int64)
+        np.add.at(
+            totals,
+            self.samples["node_id"].astype(int),
+            self.samples["sbe_count"].astype(np.int64),
+        )
+        return totals
+
+    def select_samples(self, mask: np.ndarray) -> dict[str, np.ndarray]:
+        """Row-subset of the samples table as a new column dict."""
+        mask = np.asarray(mask)
+        return {k: v[mask] for k, v in self.samples.items()}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``<path>.npz`` plus a JSON config sidecar."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        for name, col in self.samples.items():
+            arrays[f"samples/{name}"] = col
+        for name, col in self.runs.items():
+            arrays[f"runs/{name}"] = col
+        arrays["node_mean_temp"] = self.node_mean_temp
+        arrays["node_mean_power"] = self.node_mean_power
+        arrays["node_susceptibility"] = self.node_susceptibility
+        for node_id, series in self.recorded_series.items():
+            for name, col in series.items():
+                arrays[f"recorded/{node_id}/{name}"] = col
+        np.savez_compressed(path.with_suffix(".npz"), **arrays)
+        meta = {
+            "app_names": self.app_names,
+            "config": _config_to_dict(self.config),
+        }
+        path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace previously written with :meth:`save`."""
+        path = Path(path)
+        meta = json.loads(path.with_suffix(".json").read_text())
+        with np.load(path.with_suffix(".npz")) as data:
+            samples: dict[str, np.ndarray] = {}
+            runs: dict[str, np.ndarray] = {}
+            recorded: dict[int, dict[str, np.ndarray]] = {}
+            extras: dict[str, np.ndarray] = {}
+            for key in data.files:
+                if key.startswith("samples/"):
+                    samples[key.split("/", 1)[1]] = data[key]
+                elif key.startswith("runs/"):
+                    runs[key.split("/", 1)[1]] = data[key]
+                elif key.startswith("recorded/"):
+                    _, node_str, name = key.split("/", 2)
+                    recorded.setdefault(int(node_str), {})[name] = data[key]
+                else:
+                    extras[key] = data[key]
+        return cls(
+            config=_config_from_dict(meta["config"]),
+            samples=samples,
+            runs=runs,
+            app_names=list(meta["app_names"]),
+            node_mean_temp=extras["node_mean_temp"],
+            node_mean_power=extras["node_mean_power"],
+            node_susceptibility=extras["node_susceptibility"],
+            recorded_series=recorded,
+        )
+
+
+def _config_to_dict(config: TraceConfig) -> dict:
+    from dataclasses import asdict
+
+    raw = asdict(config)
+    raw["record_nodes"] = list(config.record_nodes)
+    return raw
+
+
+def _config_from_dict(raw: dict) -> TraceConfig:
+    from repro.telemetry.config import (
+        ErrorModelConfig,
+        PowerConfig,
+        ThermalConfig,
+        WorkloadConfig,
+    )
+
+    return TraceConfig(
+        machine=MachineConfig(**raw["machine"]),
+        workload=WorkloadConfig(**raw["workload"]),
+        power=PowerConfig(**raw["power"]),
+        thermal=ThermalConfig(**raw["thermal"]),
+        errors=ErrorModelConfig(**raw["errors"]),
+        duration_days=raw["duration_days"],
+        tick_minutes=raw["tick_minutes"],
+        seed=raw["seed"],
+        record_nodes=tuple(raw.get("record_nodes", ())),
+    )

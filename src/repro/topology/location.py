@@ -1,0 +1,66 @@
+"""Physical node locations in a Cray XK7-style machine."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["NodeLocation"]
+
+_CNAME_RE = re.compile(
+    r"^c(?P<x>\d+)-(?P<y>\d+)c(?P<cage>\d+)s(?P<slot>\d+)n(?P<node>\d+)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class NodeLocation:
+    """Physical coordinates of one node.
+
+    Attributes mirror Cray cname components: cabinet column ``x``, cabinet
+    row ``y``, then cage, slot, and node indices within the cabinet.
+    """
+
+    x: int
+    y: int
+    cage: int
+    slot: int
+    node: int
+
+    def cname(self) -> str:
+        """Cray-style physical id, e.g. ``c12-3c1s5n2``."""
+        return f"c{self.x}-{self.y}c{self.cage}s{self.slot}n{self.node}"
+
+    @classmethod
+    def from_cname(cls, cname: str) -> "NodeLocation":
+        """Parse a Cray-style physical id produced by :meth:`cname`."""
+        match = _CNAME_RE.match(cname)
+        if match is None:
+            raise ValueError(f"not a valid cname: {cname!r}")
+        return cls(
+            x=int(match["x"]),
+            y=int(match["y"]),
+            cage=int(match["cage"]),
+            slot=int(match["slot"]),
+            node=int(match["node"]),
+        )
+
+    @property
+    def cabinet(self) -> tuple[int, int]:
+        """Cabinet grid coordinates ``(x, y)``."""
+        return (self.x, self.y)
+
+    def same_slot(self, other: "NodeLocation") -> bool:
+        """True when both nodes share a physical slot (compute blade)."""
+        return (
+            self.cabinet == other.cabinet
+            and self.cage == other.cage
+            and self.slot == other.slot
+        )
+
+    def same_cage(self, other: "NodeLocation") -> bool:
+        """True when both nodes share a cage."""
+        return self.cabinet == other.cabinet and self.cage == other.cage
+
+    def same_cabinet(self, other: "NodeLocation") -> bool:
+        """True when both nodes share a cabinet."""
+        return self.cabinet == other.cabinet

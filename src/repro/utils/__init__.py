@@ -1,0 +1,49 @@
+"""Shared low-level utilities used across the :mod:`repro` packages.
+
+This package intentionally contains only dependency-free building blocks:
+
+* :mod:`repro.utils.errors` -- the exception hierarchy.
+* :mod:`repro.utils.rng` -- hierarchical, reproducible random streams.
+* :mod:`repro.utils.stats` -- online (Welford) statistics and helpers.
+* :mod:`repro.utils.ringbuffer` -- fixed-capacity numeric history buffers.
+* :mod:`repro.utils.tables` -- plain-text table/grid rendering.
+* :mod:`repro.utils.validation` -- small argument-checking helpers.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    NotFittedError,
+    SimulationError,
+    ValidationError,
+)
+from repro.utils.ringbuffer import RingBuffer
+from repro.utils.rng import SeedSequenceFactory, child_rng
+from repro.utils.stats import OnlineStats, diff_stats, empirical_cdf
+from repro.utils.tables import format_grid, format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NotFittedError",
+    "SimulationError",
+    "ValidationError",
+    "RingBuffer",
+    "SeedSequenceFactory",
+    "child_rng",
+    "OnlineStats",
+    "diff_stats",
+    "empirical_cdf",
+    "format_grid",
+    "format_table",
+    "check_fraction",
+    "check_in",
+    "check_nonnegative",
+    "check_positive",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or vocabulary)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The trace simulator reached an inconsistent internal state."""

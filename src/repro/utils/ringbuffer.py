@@ -1,0 +1,65 @@
+"""Fixed-capacity numeric ring buffer.
+
+The out-of-band sampler keeps, per node, only the most recent hour of
+telemetry (the longest pre-execution window the feature extractor ever
+asks for).  A ring buffer bounds memory regardless of trace length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """A float ring buffer returning its contents in insertion order."""
+
+    def __init__(self, capacity: int) -> None:
+        check_positive(capacity, "capacity")
+        self._data = np.empty(int(capacity), dtype=float)
+        self._capacity = int(capacity)
+        self._start = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: float) -> None:
+        """Append ``value``, evicting the oldest value when full."""
+        end = (self._start + self._size) % self._capacity
+        self._data[end] = value
+        if self._size < self._capacity:
+            self._size += 1
+        else:
+            self._start = (self._start + 1) % self._capacity
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append each element of ``values`` in order."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.append(float(value))
+
+    def last(self, n: int | None = None) -> np.ndarray:
+        """Return the most recent ``n`` values (all when ``n`` is None).
+
+        The result is a fresh array ordered oldest-to-newest.
+        """
+        if n is None or n > self._size:
+            n = self._size
+        if n <= 0:
+            return np.empty(0, dtype=float)
+        end = self._start + self._size
+        indices = np.arange(end - n, end) % self._capacity
+        return self._data[indices].copy()
+
+    def clear(self) -> None:
+        """Drop all contents."""
+        self._start = 0
+        self._size = 0

@@ -1,0 +1,157 @@
+"""Streaming statistics and small distribution helpers.
+
+The out-of-band telemetry sampler must aggregate months of per-minute
+samples without storing them, so the accumulators here are all one-pass
+(Welford) and mergeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OnlineStats", "diff_stats", "empirical_cdf", "spearman"]
+
+
+@dataclass
+class OnlineStats:
+    """One-pass mean/variance accumulator (Welford's algorithm).
+
+    Supports scalar and vectorized updates as well as merging two
+    accumulators (parallel Welford), which the simulator uses to combine
+    per-chunk aggregates.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def update(self, value: float) -> None:
+        """Fold a single observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Fold an array of observations into the accumulator."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        other = OnlineStats(
+            count=int(values.size),
+            mean=float(values.mean()),
+            _m2=float(((values - values.mean()) ** 2).sum()),
+            min=float(values.min()),
+            max=float(values.max()),
+        )
+        self.merge(other)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Merge another accumulator into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta**2 * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return float("nan")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observations seen so far."""
+        return float(np.sqrt(self.variance))
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(mean, std)``; NaNs when empty."""
+        if self.count == 0:
+            return (float("nan"), float("nan"))
+        return (self.mean, self.std)
+
+
+def diff_stats(series: np.ndarray) -> tuple[float, float]:
+    """Mean and std of consecutive differences of ``series``.
+
+    This is the paper's "dynamic behaviour" feature: the mean and standard
+    deviation of the difference between two consecutive temperature (or
+    power) measurements.  Returns ``(0.0, 0.0)`` for series shorter than 2,
+    matching a perfectly flat profile.
+    """
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size < 2:
+        return (0.0, 0.0)
+    deltas = np.diff(series)
+    return (float(deltas.mean()), float(deltas.std()))
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fractions)`` for plotting a CDF."""
+    values = np.sort(np.asarray(values, dtype=float).ravel())
+    if values.size == 0:
+        return values, values
+    fractions = np.arange(1, values.size + 1, dtype=float) / values.size
+    return values, fractions
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation coefficient of two equal-length arrays.
+
+    Implemented as Pearson correlation of midranks (ties averaged), which
+    is the textbook definition and avoids importing scipy into low-level
+    modules.  Returns NaN for degenerate inputs (length < 2 or a constant
+    array).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        return float("nan")
+    rx = _midrank(x)
+    ry = _midrank(y)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return float("nan")
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def _midrank(values: np.ndarray) -> np.ndarray:
+    """Midranks (1-based, ties get the average of their rank span)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average ranks over groups of tied values.
+    sorted_vals = values[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks

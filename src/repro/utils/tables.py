@@ -1,0 +1,81 @@
+"""Plain-text rendering of tables and cabinet grids.
+
+The benchmark harness reproduces the paper's tables and figure *data*; these
+helpers print them in an aligned, human-readable form so benchmark output can
+be compared to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_grid"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    rendered_rows = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    columns = [list(col) for col in zip(*([list(headers)] + rendered_rows))]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    grid: np.ndarray,
+    *,
+    title: str | None = None,
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Render a 2-D array as an ASCII heat map (min -> max over ``levels``).
+
+    Rows are printed top-to-bottom with the highest row index first so the
+    output orientation matches the paper's cabinet-grid figures (y upward).
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"grid must be 2-D, got shape {grid.shape}")
+    finite = grid[np.isfinite(grid)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if title:
+        lines.append(f"{title}  (min={lo:.3g}, max={hi:.3g})")
+    for y in range(grid.shape[0] - 1, -1, -1):
+        cells = []
+        for x in range(grid.shape[1]):
+            value = grid[y, x]
+            if not np.isfinite(value):
+                cells.append("?")
+                continue
+            idx = int((value - lo) / span * (len(levels) - 1))
+            cells.append(levels[idx])
+        lines.append(f"{y:2d} |" + "".join(cells))
+    lines.append("   +" + "-" * grid.shape[1])
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        return float_fmt.format(float(cell))
+    return str(cell)

@@ -1,0 +1,51 @@
+"""Tiny argument-checking helpers shared across the library.
+
+Each helper raises :class:`repro.utils.errors.ValidationError` with a
+message naming the offending parameter, and returns the (possibly coerced)
+value so checks can be used inline in assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, TypeVar
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["check_positive", "check_nonnegative", "check_fraction", "check_in"]
+
+T = TypeVar("T")
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Require ``value`` in ``[0, 1]`` (or ``(0, 1)`` when not inclusive)."""
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_in(value: T, options: Collection[Any], name: str) -> T:
+    """Require ``value`` to be one of ``options``."""
+    if value not in options:
+        raise ValidationError(
+            f"{name} must be one of {sorted(map(repr, options))}, got {value!r}"
+        )
+    return value

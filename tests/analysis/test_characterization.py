@@ -1,0 +1,99 @@
+"""Tests for the trace characterization analyses (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    app_sbe_skew,
+    cabinet_grids,
+    offender_day_coverage,
+    period_distributions,
+    run_profile_pairs,
+    utilization_correlations,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestCabinetGrids:
+    def test_shapes(self, tiny_trace):
+        grids = cabinet_grids(tiny_trace)
+        shape = (
+            tiny_trace.config.machine.grid_y,
+            tiny_trace.config.machine.grid_x,
+        )
+        assert grids.offender_nodes.shape == shape
+        assert grids.affected_apruns.shape == shape
+        assert grids.mean_temperature.shape == shape
+        assert grids.mean_power.shape == shape
+
+    def test_offender_total_matches(self, tiny_trace):
+        grids = cabinet_grids(tiny_trace)
+        assert grids.offender_nodes.sum() == (tiny_trace.node_sbe_totals() > 0).sum()
+
+    def test_nonuniform_offenders(self, tiny_trace):
+        grids = cabinet_grids(tiny_trace)
+        assert grids.offender_nodes.std() > 0
+
+    def test_correlations_finite(self, tiny_trace):
+        grids = cabinet_grids(tiny_trace)
+        assert np.isfinite(grids.temp_sbe_spearman)
+        assert -1 <= grids.temp_sbe_spearman <= 1
+
+
+class TestAppSkew:
+    def test_cumulative_share_valid(self, tiny_trace):
+        skew = app_sbe_skew(tiny_trace)
+        assert skew.cumulative_share[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(skew.cumulative_share) >= -1e-12)
+        assert 0 < skew.top20_share <= 1.0
+
+    def test_skew_is_heavy(self, tiny_trace):
+        """A minority of apps should carry most SBEs."""
+        skew = app_sbe_skew(tiny_trace)
+        assert skew.top20_share > 0.4
+
+    def test_affected_fraction_bounds(self, tiny_trace):
+        skew = app_sbe_skew(tiny_trace)
+        assert np.all(skew.affected_run_fraction >= 0)
+        assert np.all(skew.affected_run_fraction <= 1)
+
+
+class TestUtilizationCorrelations:
+    def test_positive_correlations(self, tiny_trace):
+        corr = utilization_correlations(tiny_trace)
+        assert corr["core_hours"] > 0
+        assert corr["memory"] > 0
+
+
+class TestPeriodDistributions:
+    def test_affected_hotter_and_hungrier(self, tiny_trace):
+        dist = period_distributions(tiny_trace)
+        assert dist.temp_elevation > 0
+        assert dist.power_elevation > 0
+
+    def test_population_sizes(self, tiny_trace):
+        dist = period_distributions(tiny_trace)
+        assert dist.temp_affected.size > 0
+        assert dist.temp_free.size > dist.temp_affected.size
+
+
+class TestDayCoverage:
+    def test_fractions_valid(self, tiny_trace):
+        coverage = offender_day_coverage(tiny_trace)
+        assert coverage.size == (tiny_trace.node_sbe_totals() > 0).sum()
+        assert np.all((coverage > 0) & (coverage <= 1))
+
+
+class TestRunProfiles:
+    def test_profiles_for_recorded_node(self, tiny_trace):
+        node = tiny_trace.config.record_nodes[0]
+        profiles = run_profile_pairs(tiny_trace, node, max_pairs=2)
+        assert 1 <= len(profiles) <= 2
+        for profile in profiles:
+            assert profile["gpu_temp"].size > 0
+            assert profile["minute"].size == profile["gpu_temp"].size
+            assert profile["run_end"][0] > profile["run_start"][0]
+
+    def test_unrecorded_node_rejected(self, tiny_trace):
+        with pytest.raises(ValidationError):
+            run_profile_pairs(tiny_trace, node_id=10_000)

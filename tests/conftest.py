@@ -1,0 +1,53 @@
+"""Shared fixtures: a tiny simulated trace and derived artifacts.
+
+The tiny preset (96 nodes, 16 days, hot error model) simulates in a few
+seconds; everything expensive is session-scoped so the suite pays for it
+once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.presets import preset_config
+from repro.experiments.runner import ExperimentContext
+from repro.features.builder import FeatureMatrix, build_features
+from repro.telemetry.simulator import simulate_trace
+from repro.telemetry.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """One simulated tiny trace shared by the whole suite."""
+    return simulate_trace(preset_config("tiny"))
+
+
+@pytest.fixture(scope="session")
+def tiny_features(tiny_trace: Trace) -> FeatureMatrix:
+    """Feature matrix of the tiny trace."""
+    return build_features(tiny_trace)
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_trace: Trace) -> ExperimentContext:
+    """Experiment context pre-seeded with the shared tiny trace."""
+    context = ExperimentContext("tiny", use_disk_cache=False)
+    context._trace = tiny_trace  # reuse the session trace
+    return context
+
+
+@pytest.fixture(scope="session")
+def binary_dataset() -> tuple[np.ndarray, np.ndarray]:
+    """A nonlinear, mildly imbalanced binary classification problem."""
+    rng = np.random.default_rng(42)
+    n = 3000
+    X = rng.normal(size=(n, 6))
+    score = (
+        np.sin(2 * X[:, 0])
+        + X[:, 1] * X[:, 2]
+        - 0.4 * X[:, 3] ** 2
+        + 0.3 * rng.normal(size=n)
+    )
+    y = (score > -0.3).astype(int)
+    return X, y

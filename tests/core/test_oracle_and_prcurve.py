@@ -1,0 +1,68 @@
+"""Tests for the oracle-per-cabinet analysis and the PR threshold sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import oracle_model_analysis, precision_recall_curve
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def model_results(tiny_context):
+    return {
+        name: tiny_context.twostage("DS1", name, random_state=0)
+        for name in ("lr", "gbdt")
+    }
+
+
+class TestOracle:
+    def test_oracle_at_least_best_global(self, model_results, tiny_context):
+        analysis = oracle_model_analysis(model_results, tiny_context.trace.machine)
+        best = max(analysis["global_f1"].values())
+        assert analysis["oracle_f1"] >= best - 1e-9
+        assert analysis["oracle_gain"] >= -1e-9
+
+    def test_winners_are_known_models(self, model_results, tiny_context):
+        analysis = oracle_model_analysis(model_results, tiny_context.trace.machine)
+        assert set(analysis["winning_model_per_cabinet"].values()) <= {"lr", "gbdt"}
+
+    def test_empty_results_rejected(self, tiny_context):
+        with pytest.raises(ValidationError):
+            oracle_model_analysis({}, tiny_context.trace.machine)
+
+    def test_mismatched_windows_rejected(self, model_results, tiny_context):
+        import dataclasses
+
+        bad = dict(model_results)
+        lr = bad["lr"]
+        bad["lr"] = dataclasses.replace(lr, y_true=1 - lr.y_true)
+        with pytest.raises(ValidationError):
+            oracle_model_analysis(bad, tiny_context.trace.machine)
+
+
+class TestPrecisionRecallCurve:
+    def test_threshold_zero_full_recall(self):
+        y = np.array([0, 1, 1, 0, 1])
+        proba = np.array([0.1, 0.9, 0.4, 0.2, 0.6])
+        curve = precision_recall_curve(y, proba, num_thresholds=10)
+        assert curve["recall"][0] == pytest.approx(1.0)
+
+    def test_recall_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        proba = rng.random(500)
+        y = (rng.random(500) < proba).astype(int)
+        curve = precision_recall_curve(y, proba, num_thresholds=30)
+        assert np.all(np.diff(curve["recall"]) <= 1e-12)
+
+    def test_f1_consistent(self):
+        rng = np.random.default_rng(1)
+        proba = rng.random(200)
+        y = (rng.random(200) < proba).astype(int)
+        curve = precision_recall_curve(y, proba, num_thresholds=20)
+        p, r, f1 = curve["precision"], curve["recall"], curve["f1"]
+        mask = (p + r) > 0
+        assert np.allclose(f1[mask], 2 * p[mask] * r[mask] / (p[mask] + r[mask]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            precision_recall_curve(np.array([0, 1]), np.array([0.5]))

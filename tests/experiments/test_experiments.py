@@ -1,0 +1,110 @@
+"""Tests for presets, the caching runner, and every experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.presets import PRESETS, preset_config, split_plan
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.utils.errors import ValidationError
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name in PRESETS:
+            config = preset_config(name)
+            assert config.num_ticks > 0
+            plan = split_plan(name)
+            need = plan["train_days"] + plan["test_days"] + max(plan["offsets"])
+            assert need <= config.duration_days
+
+    def test_default_keeps_titan_grid(self):
+        config = preset_config("default")
+        assert config.machine.grid_x == 25
+        assert config.machine.grid_y == 8
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValidationError):
+            preset_config("huge")
+        with pytest.raises(ValidationError):
+            split_plan("huge")
+
+
+class TestContextCaching:
+    def test_trace_memoized(self, tiny_context):
+        assert tiny_context.trace is tiny_context.trace
+
+    def test_features_memoized(self, tiny_context):
+        assert tiny_context.features is tiny_context.features
+
+    def test_twostage_memoized(self, tiny_context):
+        a = tiny_context.twostage("DS1", "lr")
+        b = tiny_context.twostage("DS1", "lr")
+        assert a is b
+        c = tiny_context.twostage("DS1", "lr", exclude={"tp_nei"})
+        assert c is not a
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        context = ExperimentContext("tiny", cache_dir=tmp_path)
+        trace = context.trace
+        again = ExperimentContext("tiny", cache_dir=tmp_path)
+        assert again.trace.num_samples == trace.num_samples
+
+    def test_split_names(self, tiny_context):
+        assert tiny_context.split_names() == ["DS1", "DS2", "DS3"]
+
+
+class TestRegistry:
+    def test_unknown_experiment(self, tiny_context):
+        with pytest.raises(ValidationError):
+            run_experiment("fig99", tiny_context)
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_experiment_runs(self, experiment_id, tiny_context):
+        result = run_experiment(experiment_id, tiny_context)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.text
+        assert result.data
+
+
+class TestExperimentClaims:
+    """The paper's qualitative claims must hold on the tiny preset too."""
+
+    def test_basic_a_high_recall_low_precision(self, tiny_context):
+        result = run_experiment("table1", tiny_context)
+        basic_a = result.data["basic_a"]["sbe"]
+        assert basic_a["recall"] > 0.7
+        assert basic_a["precision"] < 0.7
+
+    def test_ml_beats_basic_a(self, tiny_context):
+        result = run_experiment("fig10", tiny_context)
+        basic_f1 = result.data["basic_a"]["sbe"]["f1"]
+        gbdt_f1 = result.data["gbdt"]["sbe"]["f1"]
+        assert gbdt_f1 > basic_f1
+
+    def test_gbdt_best_or_near_best(self, tiny_context):
+        result = run_experiment("fig10", tiny_context)
+        scores = {m: result.data[m]["sbe"]["f1"] for m in ("lr", "gbdt", "svm", "nn")}
+        assert scores["gbdt"] >= max(scores.values()) - 0.03
+
+    def test_all_features_best_in_fig11(self, tiny_context):
+        result = run_experiment("fig11", tiny_context)
+        for split, improvements in result.data.items():
+            assert improvements["All"] >= max(improvements.values()) - 0.08
+
+    def test_table4_variants_close(self, tiny_context):
+        result = run_experiment("table4", tiny_context)
+        assert result.data["f1_spread"] < 0.15
+
+    def test_severity_monotone_trend(self, tiny_context):
+        result = run_experiment("table6", tiny_context)
+        assert result.data["extreme"] >= result.data["light"] - 0.05
+
+    def test_ecc_predictive_policy_profitable(self, tiny_context):
+        result = run_experiment("ecc", tiny_context)
+        predictive = result.data["predictive"]
+        always_off = result.data["always_off"]
+        assert predictive.exposed_sbe_samples < always_off.exposed_sbe_samples
+        assert predictive.net_saved_core_hours > 0

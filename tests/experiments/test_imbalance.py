@@ -1,0 +1,39 @@
+"""Tests for the imbalance-mitigation comparison experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result(tiny_context):
+    return run_experiment("imbalance", tiny_context)
+
+
+class TestImbalanceExperiment:
+    def test_all_strategies_present(self, result):
+        assert {
+            "none (full data)",
+            "random under-sampling",
+            "smote over-sampling",
+            "kmeans under-sampling",
+            "twostage",
+        } <= set(result.data)
+
+    def test_twostage_competitive(self, result):
+        """TwoStage must be within a small margin of the best strategy
+        (the paper's claim is parity-or-better at far lower cost)."""
+        twostage = result.data["twostage"]["f1"]
+        best = max(v["f1"] for v in result.data.values())
+        assert twostage >= best - 0.08
+
+    def test_twostage_cheaper_than_full(self, result):
+        assert (
+            result.data["twostage"]["train_seconds"]
+            < result.data["none (full data)"]["train_seconds"]
+        )
+
+    def test_resampling_beats_nothing_on_recall(self, result):
+        """Balancing the classes should not collapse recall."""
+        for label in ("random under-sampling", "smote over-sampling"):
+            assert result.data[label]["recall"] > 0.5

@@ -1,0 +1,96 @@
+"""Tests for the feature schema and the paper's time splits."""
+
+import numpy as np
+import pytest
+
+from repro.features.schema import FeatureSchema
+from repro.features.splits import DatasetSplit, make_paper_splits
+from repro.utils.errors import ValidationError
+
+
+class TestFeatureSchema:
+    def test_add_and_lookup(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        schema.add("b", "tp", "tp_cur")
+        assert len(schema) == 2
+        assert schema.index_of("b") == 1
+        assert schema.tags["b"] == {"tp", "tp_cur"}
+
+    def test_duplicate_rejected(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        with pytest.raises(ValidationError):
+            schema.add("a", "tp")
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ValidationError):
+            FeatureSchema().index_of("missing")
+
+    def test_select_include(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        schema.add("b", "tp")
+        schema.add("c", "tp", "tp_nei")
+        assert schema.select(include={"tp"}) == [1, 2]
+
+    def test_select_exclude(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        schema.add("b", "tp")
+        schema.add("c", "tp", "tp_nei")
+        assert schema.select(exclude={"tp_nei"}) == [0, 1]
+
+    def test_select_include_exclude_combined(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        schema.add("b", "tp", "tp_cur")
+        schema.add("c", "tp", "tp_nei")
+        assert schema.select(include={"tp"}, exclude={"tp_nei"}) == [1]
+
+    def test_empty_selection_rejected(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        with pytest.raises(ValidationError):
+            schema.select(include={"nonexistent"})
+
+    def test_names_for(self):
+        schema = FeatureSchema()
+        schema.add("a", "app")
+        schema.add("b", "tp")
+        assert schema.names_for([1, 0]) == ["b", "a"]
+
+
+class TestSplits:
+    def test_paper_defaults(self):
+        splits = make_paper_splits()
+        assert [s.name for s in splits] == ["DS1", "DS2", "DS3"]
+        ds1 = splits[0]
+        assert ds1.train_start == 0.0
+        assert ds1.train_end == 84 * 1440.0
+        assert ds1.test_end == 98 * 1440.0
+
+    def test_masks_disjoint_and_ordered(self):
+        split = DatasetSplit("X", 0.0, 100.0, 150.0)
+        t = np.arange(0.0, 200.0, 10.0)
+        train = split.train_mask(t)
+        test = split.test_mask(t)
+        assert not np.any(train & test)
+        assert t[train].max() < t[test].min()
+
+    def test_duration_guard(self):
+        with pytest.raises(ValidationError):
+            make_paper_splits(duration_days=100.0)
+        make_paper_splits(duration_days=130.0)  # fits
+
+    def test_invalid_spans(self):
+        with pytest.raises(ValidationError):
+            make_paper_splits(train_days=0)
+
+    def test_test_train_ratio_in_paper_band(self):
+        """The paper cites a 20-25% test:train rule of thumb."""
+        splits = make_paper_splits()
+        for split in splits:
+            train = split.train_end - split.train_start
+            test = split.test_end - split.train_end
+            assert 0.1 <= test / train <= 0.3

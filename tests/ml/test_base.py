@@ -1,0 +1,84 @@
+"""Tests for estimator base-class plumbing and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseClassifier, check_array, check_X_y, sigmoid
+from repro.utils.errors import ValidationError
+
+
+class TestCheckArray:
+    def test_promotes_1d(self):
+        out = check_array(np.arange(3.0))
+        assert out.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((0, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            check_array(np.array([[np.nan]]))
+        with pytest.raises(ValidationError):
+            check_array(np.array([[np.inf]]))
+
+    def test_casts_to_float(self):
+        out = check_array(np.array([[1, 2], [3, 4]]))
+        assert out.dtype == float
+
+
+class TestCheckXy:
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_X_y(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_nonbinary_labels(self):
+        with pytest.raises(ValidationError):
+            check_X_y(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_2d_labels(self):
+        with pytest.raises(ValidationError):
+            check_X_y(np.ones((2, 2)), np.array([[0], [1]]))
+
+    def test_valid_passthrough(self):
+        X, y = check_X_y(np.ones((2, 2)), np.array([0, 1]))
+        assert X.shape == (2, 2)
+        assert y.dtype == int
+
+
+class _ConstantClassifier(BaseClassifier):
+    """Trivial subclass for exercising template behaviour."""
+
+    def _fit(self, X, y):
+        self._logit = float(np.log(y.mean() / (1 - y.mean())))
+
+    def _decision_function(self, X):
+        return np.full(X.shape[0], self._logit)
+
+
+class TestBaseClassifier:
+    def test_template_flow(self):
+        X = np.zeros((10, 2))
+        y = np.array([0, 1] * 5)
+        model = _ConstantClassifier().fit(X, y)
+        assert np.allclose(model.predict_proba(X), 0.5)
+        assert set(model.predict(X)) <= {0, 1}
+
+    def test_decision_function_validates_shape(self):
+        model = _ConstantClassifier().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+        with pytest.raises(ValidationError):
+            model.decision_function(np.zeros((2, 3)))
+
+
+class TestSigmoidProperties:
+    def test_symmetry(self):
+        z = np.linspace(-20, 20, 41)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_monotone(self):
+        z = np.linspace(-5, 5, 100)
+        assert np.all(np.diff(sigmoid(z)) > 0)

@@ -1,0 +1,91 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+from repro.utils.errors import ValidationError
+
+Y_TRUE = np.array([0, 0, 1, 1, 1, 0, 1, 0])
+Y_PRED = np.array([0, 1, 1, 0, 1, 0, 1, 0])
+
+
+class TestConfusion:
+    def test_matrix(self):
+        m = confusion_matrix(Y_TRUE, Y_PRED)
+        assert m.tolist() == [[3, 1], [1, 3]]
+
+    def test_total(self):
+        assert confusion_matrix(Y_TRUE, Y_PRED).sum() == Y_TRUE.size
+
+
+class TestScores:
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_f1(self):
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_negative_class(self):
+        p, r, f1 = precision_recall_f1(Y_TRUE, Y_PRED, positive_label=0)
+        assert p == pytest.approx(0.75)
+        assert r == pytest.approx(0.75)
+
+    def test_degenerate_no_predictions(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 0]), np.array([0, 0]))
+        assert p == 0.0 and r == 0.0 and f1 == 0.0
+
+    def test_perfect(self):
+        y = np.array([0, 1, 1])
+        assert f1_score(y, y) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            f1_score(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValidationError):
+            f1_score(np.array([0, 2]), np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            f1_score(np.array([]), np.array([]))
+        with pytest.raises(ValidationError):
+            precision_recall_f1(Y_TRUE, Y_PRED, positive_label=2)
+
+
+class TestReport:
+    def test_keys_and_consistency(self):
+        report = classification_report(Y_TRUE, Y_PRED)
+        assert set(report) == {"sbe", "non_sbe", "overall"}
+        assert report["sbe"]["f1"] == pytest.approx(f1_score(Y_TRUE, Y_PRED))
+        assert report["overall"]["accuracy"] == pytest.approx(0.75)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=60),
+    st.lists(st.integers(0, 1), min_size=2, max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_f1_is_harmonic_mean(ys, ps):
+    n = min(len(ys), len(ps))
+    y = np.asarray(ys[:n])
+    p = np.asarray(ps[:n])
+    prec, rec, f1 = precision_recall_f1(y, p)
+    if prec + rec > 0:
+        assert f1 == pytest.approx(2 * prec * rec / (prec + rec))
+    else:
+        assert f1 == 0.0
+    assert 0.0 <= f1 <= 1.0

@@ -1,0 +1,90 @@
+"""Model-specific tests for the SVM and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn import MLPClassifier
+from repro.ml.svm import SVC
+from repro.utils.errors import ValidationError
+
+
+class TestSVC:
+    def test_linearly_separable(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (60, 2)), rng.normal(2, 0.5, (60, 2))])
+        y = np.array([0] * 60 + [1] * 60)
+        model = SVC(kernel="linear", max_iter=30, random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_rbf_solves_xor(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = SVC(kernel="rbf", gamma=2.0, C=5.0, max_iter=40, random_state=0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_subsampling_cap_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(3000, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = SVC(max_train_size=300, max_iter=5, random_state=0).fit(X, y)
+        assert model.support_vectors_ is not None
+        assert model.support_vectors_.shape[0] <= 300
+
+    def test_stratified_subsample_keeps_minority(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(2000, 2))
+        y = np.zeros(2000, dtype=int)
+        y[:40] = 1
+        X[:40] += 3.0
+        model = SVC(max_train_size=200, max_iter=5, random_state=0)
+        model.fit(X, y)  # must not raise "single class"
+
+    def test_invalid_kernel_and_gamma(self):
+        with pytest.raises(ValidationError):
+            SVC(kernel="poly")
+        with pytest.raises(ValidationError):
+            SVC(gamma="auto")
+        with pytest.raises(ValidationError):
+            SVC(gamma=-1.0)
+
+    def test_gamma_scale_resolution(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = SVC(gamma="scale", max_iter=3, random_state=0).fit(X, y)
+        assert model._gamma_value > 0
+
+
+class TestMLP:
+    def test_solves_xor(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-1, 1, size=(800, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = MLPClassifier(
+            hidden_layers=(32, 16),
+            epochs=120,
+            early_stopping_fraction=0.0,
+            random_state=0,
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_early_stopping_restores_best(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(400, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = MLPClassifier(
+            hidden_layers=(8,), epochs=200, patience=3, random_state=0
+        ).fit(X, y)
+        assert model.n_iter_ <= 200
+
+    def test_invalid_hidden_layers(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=())
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=(0,))
+
+    def test_invalid_class_weight(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(class_weight="weird")

@@ -1,0 +1,120 @@
+"""Tests for simulation configuration and the application catalog."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.applications import ApplicationCatalog
+from repro.telemetry.config import (
+    ErrorModelConfig,
+    PowerConfig,
+    ThermalConfig,
+    TraceConfig,
+    WorkloadConfig,
+)
+from repro.topology.machine import MachineConfig
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedSequenceFactory
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        cfg = TraceConfig()
+        assert cfg.num_ticks > 0
+        assert cfg.duration_minutes == cfg.duration_days * 1440
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(target_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(target_utilization=1.5)
+
+    def test_invalid_applications(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_applications=1)
+
+    def test_invalid_power(self):
+        with pytest.raises(ConfigurationError):
+            PowerConfig(idle_watts=-1)
+
+    def test_invalid_thermal(self):
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(time_constant_minutes=0)
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(neighbor_coupling=1.0)
+
+    def test_invalid_errors(self):
+        with pytest.raises(ConfigurationError):
+            ErrorModelConfig(offender_node_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ErrorModelConfig(base_rate_per_hour=0.0)
+
+    def test_invalid_trace(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(duration_days=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(tick_minutes=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(tick_minutes=90)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ApplicationCatalog(
+        WorkloadConfig(num_applications=32),
+        MachineConfig(grid_x=4, grid_y=2),
+        SeedSequenceFactory(7),
+    )
+
+
+class TestApplicationCatalog:
+    def test_size_and_lookup(self, catalog):
+        assert len(catalog) == 32
+        spec = catalog[0]
+        assert spec.app_id == 0
+        assert spec.name.endswith(".exe")
+
+    def test_popularity_normalized_and_skewed(self, catalog):
+        pop = catalog.popularity
+        assert pop.sum() == pytest.approx(1.0)
+        assert pop[0] > pop[-1]
+
+    def test_susceptibility_heavy_tailed(self, catalog):
+        susc = catalog.susceptibility
+        assert np.median(susc) == pytest.approx(1.0, rel=0.2)
+        assert susc.max() / np.median(susc) > 5.0
+
+    def test_feature_bounds(self, catalog):
+        for spec in catalog:
+            assert 0.0 < spec.gpu_utilization <= 1.0
+            assert 0.0 < spec.memory_fraction <= 1.0
+            assert 0.0 < spec.cpu_utilization <= 1.0
+            assert spec.median_runtime_minutes > 0
+            assert spec.median_nodes >= 1
+            assert 0 <= spec.home_cabinet < 8
+
+    def test_deterministic(self):
+        a = ApplicationCatalog(
+            WorkloadConfig(), MachineConfig(), SeedSequenceFactory(1)
+        )
+        b = ApplicationCatalog(
+            WorkloadConfig(), MachineConfig(), SeedSequenceFactory(1)
+        )
+        assert np.array_equal(a.susceptibility, b.susceptibility)
+
+    def test_sample_app_follows_popularity(self, catalog):
+        rng = np.random.default_rng(0)
+        draws = [catalog.sample_app(rng).app_id for _ in range(400)]
+        counts = np.bincount(draws, minlength=32)
+        assert counts[0] > counts[-1]
+
+    def test_usage_susceptibility_correlation(self, catalog):
+        """Heavy users should trend error-prone (basis of paper Fig. 4)."""
+        from repro.utils.stats import spearman
+
+        usage = np.asarray(
+            [
+                spec.popularity * spec.median_runtime_minutes * spec.median_nodes
+                for spec in catalog
+            ]
+        )
+        assert spearman(usage, catalog.susceptibility) > 0.5

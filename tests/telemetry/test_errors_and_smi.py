@@ -1,0 +1,143 @@
+"""Tests for the SBE error model and the nvidia-smi emulator."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.config import ErrorModelConfig
+from repro.telemetry.errors import SbeErrorModel
+from repro.telemetry.nvidia_smi import NvidiaSmiEmulator
+from repro.topology.machine import Machine, MachineConfig
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedSequenceFactory
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(MachineConfig(grid_x=5, grid_y=4, cages_per_cabinet=1))
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return SbeErrorModel(
+        ErrorModelConfig(), machine, SeedSequenceFactory(0), num_days=30
+    )
+
+
+class TestNodeSusceptibility:
+    def test_offender_fraction(self, machine, model):
+        susc = model.node_susceptibility
+        cfg = ErrorModelConfig()
+        offenders = susc > cfg.ordinary_susceptibility
+        expected = round(cfg.offender_node_fraction * machine.num_nodes)
+        assert offenders.sum() == expected
+
+    def test_ordinary_nodes_near_zero(self, model):
+        susc = model.node_susceptibility
+        assert np.min(susc) == ErrorModelConfig().ordinary_susceptibility
+
+    def test_deterministic(self, machine):
+        a = SbeErrorModel(
+            ErrorModelConfig(), machine, SeedSequenceFactory(1), num_days=10
+        )
+        b = SbeErrorModel(
+            ErrorModelConfig(), machine, SeedSequenceFactory(1), num_days=10
+        )
+        assert np.array_equal(a.node_susceptibility, b.node_susceptibility)
+
+
+class TestRate:
+    def test_temperature_monotone(self, machine, model):
+        nodes = np.arange(8)
+        cool = model.rate(nodes, 1.0, 0.0, 420.0, np.full(8, 30.0), np.full(8, 80.0), 0.5)
+        hot = model.rate(nodes, 1.0, 0.0, 420.0, np.full(8, 45.0), np.full(8, 80.0), 0.5)
+        assert np.all(hot >= cool)
+
+    def test_duration_scales_linearly(self, machine, model):
+        nodes = np.arange(4)
+        one = model.rate(nodes, 1.0, 0.0, 60.0, np.full(4, 35.0), np.full(4, 90.0), 0.3)
+        two = model.rate(nodes, 1.0, 0.0, 120.0, np.full(4, 35.0), np.full(4, 90.0), 0.3)
+        assert np.allclose(two, 2 * one)
+
+    def test_interaction_knee(self, machine, model):
+        cfg = ErrorModelConfig()
+        nodes = np.arange(2)
+        below = model.rate(
+            nodes, 1.0, 0.0, 60.0,
+            np.full(2, cfg.temp_knee - 0.5), np.full(2, cfg.power_knee + 10), 0.3,
+        )
+        above = model.rate(
+            nodes, 1.0, 0.0, 60.0,
+            np.full(2, cfg.temp_knee + 0.5), np.full(2, cfg.power_knee + 10), 0.3,
+        )
+        # Above both knees the rate jumps by more than the smooth thermal
+        # term alone could explain.
+        assert np.all(above > below * (1 + cfg.interaction_boost) / 2)
+
+    def test_rate_cap_bounds_quiet_days(self, machine):
+        cfg = ErrorModelConfig()
+        model = SbeErrorModel(cfg, machine, SeedSequenceFactory(5), num_days=30)
+        nodes = np.arange(machine.num_nodes)
+        lam = model.rate(
+            nodes, 1e9, 0.0, 60.0,
+            np.full(machine.num_nodes, 80.0),
+            np.full(machine.num_nodes, 200.0),
+            1.0,
+        )
+        # Even with absurd multipliers, hourly rate is capped before the
+        # day factor.
+        assert lam.max() <= cfg.max_rate_per_hour * model._day_factors.max() * 1.0 + 1e-9
+
+    def test_sample_counts_poisson_like(self, machine, model):
+        nodes = np.arange(machine.num_nodes)
+        counts = model.sample_counts(
+            nodes, 1.0, 0.0, 420.0,
+            np.full(machine.num_nodes, 35.0),
+            np.full(machine.num_nodes, 100.0),
+            0.5,
+        )
+        assert counts.shape == (machine.num_nodes,)
+        assert counts.dtype.kind in "iu"
+        assert np.all(counts >= 0)
+
+
+class TestEpisodes:
+    def test_day_factors_structure(self, model):
+        factors = model._day_factors
+        cfg = ErrorModelConfig()
+        quiet = np.isclose(factors, cfg.quiet_day_factor)
+        # Most (node, day) pairs are quiet.
+        assert quiet.mean() > 0.5
+        # Episode days are strongly elevated.
+        assert factors[~quiet].min() > cfg.quiet_day_factor * 10
+
+
+class TestNvidiaSmi:
+    def test_snapshot_delta(self):
+        smi = NvidiaSmiEmulator(8)
+        nodes = np.array([1, 3, 5])
+        smi.snapshot_before(7, nodes)
+        smi.record_errors(np.array([3]), np.array([4]))
+        smi.record_errors(np.array([0]), np.array([9]))  # outside the job
+        deltas = smi.snapshot_after(7, nodes)
+        assert deltas.tolist() == [0, 4, 0]
+
+    def test_counters_are_lifetime(self):
+        smi = NvidiaSmiEmulator(4)
+        smi.record_errors(np.array([0]), np.array([2]))
+        smi.record_errors(np.array([0]), np.array([3]))
+        assert smi.query(np.array([0]))[0] == 5
+
+    def test_double_snapshot_raises(self):
+        smi = NvidiaSmiEmulator(4)
+        smi.snapshot_before(1, np.array([0]))
+        with pytest.raises(ValidationError):
+            smi.snapshot_before(1, np.array([0]))
+
+    def test_missing_snapshot_raises(self):
+        smi = NvidiaSmiEmulator(4)
+        with pytest.raises(ValidationError):
+            smi.snapshot_after(9, np.array([0]))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            NvidiaSmiEmulator(0)

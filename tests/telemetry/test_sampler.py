@@ -1,0 +1,98 @@
+"""Tests for the out-of-band sampler primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.sampler import HistoryRing, VectorWelford
+from repro.utils.errors import ValidationError
+
+
+class TestVectorWelford:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(20, 5))  # 20 ticks, 5 nodes
+        wf = VectorWelford(5)
+        for row in series:
+            wf.update(row)
+        stats = wf.stats(np.arange(5))
+        assert np.allclose(stats[:, 0], series.mean(axis=0))
+        assert np.allclose(stats[:, 1], series.std(axis=0))
+        deltas = np.diff(series, axis=0)
+        assert np.allclose(stats[:, 2], deltas.mean(axis=0))
+        assert np.allclose(stats[:, 3], deltas.std(axis=0))
+
+    def test_reset_clears_only_selected(self):
+        wf = VectorWelford(3)
+        wf.update(np.array([1.0, 2.0, 3.0]))
+        wf.update(np.array([3.0, 4.0, 5.0]))
+        wf.reset(np.array([1]))
+        wf.update(np.array([10.0, 10.0, 10.0]))
+        stats = wf.stats(np.arange(3))
+        assert stats[1, 0] == pytest.approx(10.0)  # node 1 restarted
+        assert stats[0, 0] == pytest.approx(np.mean([1, 3, 10]))
+
+    def test_delta_ignores_pre_reset_value(self):
+        """After reset, the first delta uses the previous snapshot (the
+        node's telemetry is continuous even when runs change)."""
+        wf = VectorWelford(1)
+        wf.update(np.array([5.0]))
+        wf.reset(np.array([0]))
+        wf.update(np.array([7.0]))
+        stats = wf.stats(np.array([0]))
+        assert stats[0, 0] == pytest.approx(7.0)
+
+    def test_single_update_zero_std(self):
+        wf = VectorWelford(2)
+        wf.update(np.array([4.0, 6.0]))
+        stats = wf.stats(np.arange(2))
+        assert np.allclose(stats[:, 1], 0.0)
+        assert np.allclose(stats[:, 3], 0.0)
+
+
+class TestHistoryRing:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            HistoryRing(4, 0)
+
+    def test_empty_window_is_zero(self):
+        ring = HistoryRing(3, 4)
+        stats = ring.window_stats(np.arange(3), 2)
+        assert np.allclose(stats, 0.0)
+
+    def test_window_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(10, 4))
+        ring = HistoryRing(4, 6)
+        for row in series:
+            ring.push(row)
+        k = 5
+        window = series[-k:]
+        stats = ring.window_stats(np.arange(4), k)
+        assert np.allclose(stats[:, 0], window.mean(axis=0))
+        assert np.allclose(stats[:, 1], window.std(axis=0))
+        assert np.allclose(stats[:, 2], np.diff(window, axis=0).mean(axis=0))
+
+    def test_window_clipped_to_filled(self):
+        ring = HistoryRing(2, 8)
+        ring.push(np.array([1.0, 2.0]))
+        stats = ring.window_stats(np.arange(2), 5)
+        assert stats[0, 0] == 1.0
+        assert stats[0, 2] == 0.0  # no deltas with one snapshot
+
+    def test_wraparound_order(self):
+        ring = HistoryRing(1, 3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            ring.push(np.array([v]))
+        stats = ring.window_stats(np.array([0]), 3)
+        assert stats[0, 0] == pytest.approx(np.mean([2, 3, 4]))
+        assert stats[0, 2] == pytest.approx(1.0)  # increasing by 1 each tick
+
+    @given(st.integers(1, 6), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_filled_bounded_by_capacity(self, capacity, pushes):
+        ring = HistoryRing(2, capacity)
+        for i in range(pushes):
+            ring.push(np.full(2, float(i)))
+        assert ring.filled == min(capacity, pushes)

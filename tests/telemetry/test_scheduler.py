@@ -1,0 +1,105 @@
+"""Tests for batch-job scheduling and node allocation."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.applications import ApplicationCatalog
+from repro.telemetry.config import TraceConfig, WorkloadConfig
+from repro.telemetry.scheduler import WorkloadScheduler
+from repro.topology.machine import Machine, MachineConfig
+from repro.utils.rng import SeedSequenceFactory
+
+
+@pytest.fixture(scope="module")
+def schedule_and_machine():
+    config = TraceConfig(
+        machine=MachineConfig(grid_x=4, grid_y=2, cages_per_cabinet=1, slots_per_cage=2),
+        workload=WorkloadConfig(mean_runtime_minutes=120, mean_nodes_per_run=4),
+        duration_days=6.0,
+        tick_minutes=5.0,
+        seed=11,
+    )
+    machine = Machine(config.machine)
+    seeds = SeedSequenceFactory(config.seed)
+    catalog = ApplicationCatalog(config.workload, config.machine, seeds)
+    runs = WorkloadScheduler(config, catalog, machine, seeds).build_schedule()
+    return config, machine, runs
+
+
+class TestSchedule:
+    def test_nonempty_and_sorted(self, schedule_and_machine):
+        _, _, runs = schedule_and_machine
+        assert len(runs) > 50
+        starts = [r.start_minute for r in runs]
+        assert starts == sorted(starts)
+
+    def test_runs_within_horizon(self, schedule_and_machine):
+        config, _, runs = schedule_and_machine
+        for run in runs:
+            assert 0 <= run.start_minute < config.duration_minutes
+            assert run.end_minute <= config.duration_minutes + 1e-9
+            assert run.end_minute > run.start_minute
+
+    def test_no_node_double_booking(self, schedule_and_machine):
+        """A node can host at most one aprun at a time."""
+        _, machine, runs = schedule_and_machine
+        busy_until = np.zeros(machine.num_nodes)
+        for run in runs:  # already start-sorted
+            nodes = run.node_ids
+            assert np.all(busy_until[nodes] <= run.start_minute + 1e-6), (
+                f"run {run.run_id} overlaps on nodes "
+                f"{nodes[busy_until[nodes] > run.start_minute + 1e-6]}"
+            )
+            busy_until[nodes] = run.end_minute
+
+    def test_node_ids_valid_and_unique(self, schedule_and_machine):
+        _, machine, runs = schedule_and_machine
+        for run in runs:
+            assert np.unique(run.node_ids).size == run.node_ids.size
+            assert run.node_ids.min() >= 0
+            assert run.node_ids.max() < machine.num_nodes
+
+    def test_utilization_near_target(self, schedule_and_machine):
+        config, machine, runs = schedule_and_machine
+        node_minutes = sum(r.duration_minutes * r.node_ids.size for r in runs)
+        utilization = node_minutes / (machine.num_nodes * config.duration_minutes)
+        assert 0.5 < utilization <= 1.0
+
+    def test_core_hours(self, schedule_and_machine):
+        _, _, runs = schedule_and_machine
+        run = runs[0]
+        expected = run.duration_minutes / 60 * run.node_ids.size
+        assert run.gpu_core_hours == pytest.approx(expected)
+
+    def test_multi_aprun_jobs_share_allocation(self, schedule_and_machine):
+        _, _, runs = schedule_and_machine
+        by_job: dict[int, list] = {}
+        for run in runs:
+            by_job.setdefault(run.job_id, []).append(run)
+        multi = [job for job in by_job.values() if len(job) > 1]
+        assert multi, "expected at least one multi-aprun job"
+        for job in multi:
+            first = job[0]
+            for other in job[1:]:
+                assert np.array_equal(first.node_ids, other.node_ids)
+                assert other.app_id == first.app_id
+
+    def test_deterministic(self):
+        config = TraceConfig(
+            machine=MachineConfig(grid_x=2, grid_y=2, cages_per_cabinet=1),
+            duration_days=3.0,
+            seed=5,
+        )
+        machine = Machine(config.machine)
+
+        def build():
+            seeds = SeedSequenceFactory(config.seed)
+            catalog = ApplicationCatalog(config.workload, config.machine, seeds)
+            return WorkloadScheduler(config, catalog, machine, seeds).build_schedule()
+
+        a, b = build(), build()
+        assert len(a) == len(b)
+        assert all(
+            x.start_minute == y.start_minute and np.array_equal(x.node_ids, y.node_ids)
+            for x, y in zip(a, b)
+        )

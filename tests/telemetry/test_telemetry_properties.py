@@ -1,0 +1,91 @@
+"""Property-based invariants of the telemetry substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.config import ErrorModelConfig
+from repro.telemetry.errors import SbeErrorModel
+from repro.telemetry.sampler import HistoryRing, VectorWelford
+from repro.topology.machine import Machine, MachineConfig
+from repro.utils.rng import SeedSequenceFactory
+
+
+class TestWelfordProperties:
+    @given(
+        st.lists(
+            st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=3),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy_for_any_sequence(self, ticks):
+        series = np.asarray(ticks)  # (t, 3 nodes)
+        wf = VectorWelford(3)
+        for row in series:
+            wf.update(row)
+        stats = wf.stats(np.arange(3))
+        assert np.allclose(stats[:, 0], series.mean(axis=0), atol=1e-8)
+        assert np.allclose(stats[:, 1], series.std(axis=0), atol=1e-6)
+
+    @given(st.integers(1, 20), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_reset_then_update_counts_from_zero(self, n_ticks, seed):
+        rng = np.random.default_rng(seed)
+        wf = VectorWelford(2)
+        for _ in range(n_ticks):
+            wf.update(rng.normal(size=2))
+        wf.reset(np.array([0, 1]))
+        value = rng.normal(size=2)
+        wf.update(value)
+        stats = wf.stats(np.arange(2))
+        assert np.allclose(stats[:, 0], value)
+        assert np.allclose(stats[:, 1], 0.0)
+
+
+class TestHistoryRingProperties:
+    @given(st.integers(1, 8), st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_window_mean_matches_suffix(self, capacity, values):
+        ring = HistoryRing(1, capacity)
+        for v in values:
+            ring.push(np.array([v]))
+        k = min(capacity, len(values))
+        stats = ring.window_stats(np.array([0]), k)
+        suffix = np.asarray(values[-k:])
+        assert stats[0, 0] == pytest.approx(suffix.mean(), abs=1e-9)
+
+
+_MODEL = SbeErrorModel(
+    ErrorModelConfig(),
+    Machine(MachineConfig(grid_x=4, grid_y=2, cages_per_cabinet=1)),
+    SeedSequenceFactory(3),
+    num_days=20,
+)
+
+
+class TestErrorModelProperties:
+    @property
+    def model(self):
+        return _MODEL
+
+    @given(st.floats(20, 60), st.floats(30, 200), st.floats(0.05, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rates_always_nonnegative_finite(self, temp, power, mem):
+        model = self.model
+        nodes = np.arange(8)
+        lam = model.rate(
+            nodes, 1.0, 0.0, 120.0, np.full(8, temp), np.full(8, power), mem
+        )
+        assert np.all(lam >= 0)
+        assert np.isfinite(lam).all()
+
+    @given(st.floats(0.1, 5.0), st.floats(5.1, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_monotone_in_app_susceptibility(self, low, high):
+        model = self.model
+        nodes = np.arange(4)
+        args = (0.0, 120.0, np.full(4, 35.0), np.full(4, 90.0), 0.5)
+        assert np.all(model.rate(nodes, low, *args) <= model.rate(nodes, high, *args))

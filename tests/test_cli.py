@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["--preset", "tiny", "simulate", "--out", "/tmp/x"]
+        )
+        assert args.command == "simulate"
+        assert args.preset == "tiny"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig1", "table2"])
+        assert args.ids == ["fig1", "table2"]
+
+    def test_invalid_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--preset", "giant", "characterize"])
+
+
+class TestMain:
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = main(["--preset", "tiny", "--no-cache", "simulate", "--out", str(out)])
+        assert code == 0
+        assert out.with_suffix(".npz").exists()
+        assert "samples" in capsys.readouterr().out
+
+    def test_evaluate_basic(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["--preset", "tiny", "evaluate", "--split", "DS1", "--model", "basic_a"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1=" in out and "basic_a" in out
+
+    def test_experiment_fig1(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--preset", "tiny", "experiment", "fig1"])
+        assert code == 0
+        assert "fig1" in capsys.readouterr().out

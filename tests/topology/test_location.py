@@ -1,0 +1,58 @@
+"""Tests for Cray-style node locations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.location import NodeLocation
+
+
+class TestCname:
+    def test_roundtrip_example(self):
+        loc = NodeLocation(x=12, y=3, cage=1, slot=5, node=2)
+        assert loc.cname() == "c12-3c1s5n2"
+        assert NodeLocation.from_cname("c12-3c1s5n2") == loc
+
+    def test_invalid_cnames(self):
+        for bad in ("", "c1-2", "c1-2c3s4", "x1-2c3s4n5", "c1-2c3s4n5x"):
+            with pytest.raises(ValueError):
+                NodeLocation.from_cname(bad)
+
+    @given(
+        st.integers(0, 24),
+        st.integers(0, 7),
+        st.integers(0, 2),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, x, y, cage, slot, node):
+        loc = NodeLocation(x=x, y=y, cage=cage, slot=slot, node=node)
+        assert NodeLocation.from_cname(loc.cname()) == loc
+
+
+class TestRelations:
+    def test_same_slot(self):
+        a = NodeLocation(1, 2, 0, 3, 0)
+        b = NodeLocation(1, 2, 0, 3, 3)
+        c = NodeLocation(1, 2, 0, 4, 0)
+        assert a.same_slot(b)
+        assert not a.same_slot(c)
+
+    def test_same_cage_and_cabinet(self):
+        a = NodeLocation(1, 2, 0, 3, 0)
+        b = NodeLocation(1, 2, 0, 7, 1)
+        c = NodeLocation(1, 2, 1, 3, 0)
+        d = NodeLocation(2, 2, 0, 3, 0)
+        assert a.same_cage(b)
+        assert not a.same_cage(c)
+        assert a.same_cabinet(c)
+        assert not a.same_cabinet(d)
+
+    def test_cabinet_property(self):
+        assert NodeLocation(4, 5, 0, 0, 0).cabinet == (4, 5)
+
+    def test_ordering_is_total(self):
+        a = NodeLocation(0, 0, 0, 0, 0)
+        b = NodeLocation(0, 0, 0, 0, 1)
+        assert a < b

@@ -1,0 +1,61 @@
+"""Tests for the fixed-capacity ring buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.errors import ValidationError
+from repro.utils.ringbuffer import RingBuffer
+
+
+class TestRingBuffer:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            RingBuffer(0)
+
+    def test_empty(self):
+        buf = RingBuffer(4)
+        assert len(buf) == 0
+        assert buf.last().size == 0
+        assert buf.last(2).size == 0
+
+    def test_append_below_capacity(self):
+        buf = RingBuffer(4)
+        buf.extend([1.0, 2.0, 3.0])
+        assert len(buf) == 3
+        assert list(buf.last()) == [1.0, 2.0, 3.0]
+
+    def test_eviction_order(self):
+        buf = RingBuffer(3)
+        buf.extend([1, 2, 3, 4, 5])
+        assert list(buf.last()) == [3.0, 4.0, 5.0]
+        assert list(buf.last(2)) == [4.0, 5.0]
+
+    def test_last_more_than_size(self):
+        buf = RingBuffer(5)
+        buf.extend([1, 2])
+        assert list(buf.last(10)) == [1.0, 2.0]
+
+    def test_clear(self):
+        buf = RingBuffer(3)
+        buf.extend([1, 2, 3])
+        buf.clear()
+        assert len(buf) == 0
+        buf.append(9.0)
+        assert list(buf.last()) == [9.0]
+
+    def test_capacity_property(self):
+        assert RingBuffer(7).capacity == 7
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_list_suffix(self, capacity, values):
+        buf = RingBuffer(capacity)
+        buf.extend(np.asarray(values, dtype=float))
+        expected = [float(v) for v in values][-capacity:]
+        assert list(buf.last()) == pytest.approx(expected)
+        assert len(buf) == len(expected)

@@ -1,0 +1,65 @@
+"""Tests for hierarchical seeded random streams."""
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory, child_rng
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        a = SeedSequenceFactory(7).generator("thermal")
+        b = SeedSequenceFactory(7).generator("thermal")
+        assert np.array_equal(a.random(8), b.random(8))
+
+    def test_different_names_differ(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("thermal").random(8)
+        b = factory.generator("power").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random(8)
+        b = SeedSequenceFactory(2).generator("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        """Requesting streams in a different order must not change them."""
+        f1 = SeedSequenceFactory(9)
+        first = f1.generator("a").random(4)
+        _ = f1.generator("b").random(4)
+        f2 = SeedSequenceFactory(9)
+        _ = f2.generator("b").random(4)
+        second = f2.generator("a").random(4)
+        assert np.array_equal(first, second)
+
+    def test_indexed_streams(self):
+        factory = SeedSequenceFactory(3)
+        a = factory.generator("node", 0).random(4)
+        b = factory.generator("node", 1).random(4)
+        assert not np.array_equal(a, b)
+        again = SeedSequenceFactory(3).generator("node", 0).random(4)
+        assert np.array_equal(a, again)
+
+    def test_spawn_namespaces(self):
+        factory = SeedSequenceFactory(5)
+        child = factory.spawn("sub")
+        a = child.generator("x").random(4)
+        b = factory.generator("x").random(4)
+        assert not np.array_equal(a, b)
+        again = SeedSequenceFactory(5).spawn("sub").generator("x").random(4)
+        assert np.array_equal(a, again)
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(11).root_seed == 11
+
+
+class TestChildRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert child_rng(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        assert child_rng(5).random() == child_rng(5).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(child_rng(None), np.random.Generator)

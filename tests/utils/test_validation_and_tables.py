@@ -1,0 +1,100 @@
+"""Tests for validation helpers and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import (
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.utils.tables import format_grid, format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2, "x") == 2
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0, "x")
+        with pytest.raises(ValidationError):
+            check_positive(-1, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0, "x") == 0
+        with pytest.raises(ValidationError):
+            check_nonnegative(-0.1, "x")
+
+    def test_check_fraction_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValidationError):
+            check_fraction(1.1, "f")
+
+    def test_check_fraction_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "f", inclusive=False)
+        assert check_fraction(0.5, "f", inclusive=False) == 0.5
+
+    def test_check_in(self):
+        assert check_in("a", ("a", "b"), "opt") == "a"
+        with pytest.raises(ValidationError, match="opt"):
+            check_in("c", ("a", "b"), "opt")
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, ValidationError, NotFittedError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text and "0.125" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in text
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+
+class TestFormatGrid:
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            format_grid(np.zeros(3))
+
+    def test_renders_rows_top_down(self):
+        grid = np.array([[0.0, 0.0], [9.0, 9.0]])
+        lines = format_grid(grid).splitlines()
+        # Highest row index first; that row holds the max glyph.
+        assert lines[0].startswith(" 1 |")
+        assert "@" in lines[0]
+
+    def test_constant_grid(self):
+        text = format_grid(np.ones((2, 2)), title="flat")
+        assert "flat" in text
+
+    def test_nan_marked(self):
+        grid = np.array([[np.nan, 1.0]])
+        assert "?" in format_grid(grid)

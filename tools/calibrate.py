@@ -1,0 +1,75 @@
+"""Calibration harness: simulate a mid-size trace and print the paper's
+Section III statistics next to their targets (DESIGN.md, section 5)."""
+import time
+import numpy as np
+
+from repro.telemetry import TraceConfig, simulate_trace
+from repro.topology import MachineConfig
+from repro.utils.stats import spearman
+
+cfg = TraceConfig(
+    machine=MachineConfig(grid_x=25, grid_y=8, cages_per_cabinet=1,
+                          slots_per_cage=1, nodes_per_slot=4),
+    duration_days=126, tick_minutes=5, seed=2018,
+)
+t0 = time.time()
+trace = simulate_trace(cfg)
+print(f"sim: {time.time()-t0:.0f}s  nodes={trace.machine.num_nodes} "
+      f"runs={trace.num_runs} samples={trace.num_samples}")
+
+s = trace.samples
+lab = trace.sample_labels()
+print(f"positive rate: {lab.mean():.4f}   (target < 0.02)")
+
+# training-period offenders (first 84 days) and stage-2 stats on test window
+train = s["end_minute"] < 84*1440
+test = (s["start_minute"] >= 84*1440) & (s["start_minute"] < 98*1440)
+train_off = np.unique(s["node_id"][train & (s["sbe_count"] > 0)])
+off_mask = np.isin(s["node_id"], train_off)
+n_nodes = trace.machine.num_nodes
+print(f"observed offender nodes (train): {train_off.size}/{n_nodes} = {train_off.size/n_nodes:.3f}")
+t2 = test & off_mask
+print(f"stage-2 test pool: {t2.sum()} samples, positive rate {lab[t2].mean():.3f} (target ~0.33; BasicA precision 0.40)")
+print(f"BasicA recall on test: {lab[t2].sum() / max(1, lab[test].sum()):.3f}  (target 0.94)")
+
+# day coverage of observed offenders
+days = (s["start_minute"] // 1440).astype(int)
+total_days = int(days.max()) + 1
+frac_days = []
+all_off = np.unique(s["node_id"][s["sbe_count"] > 0])
+for node in all_off:
+    m = (s["node_id"] == node) & (s["sbe_count"] > 0)
+    frac_days.append(np.unique(days[m]).size / total_days)
+frac_days = np.array(frac_days)
+print(f"offenders with SBEs on <20% of days: {(frac_days < 0.2).mean():.2f}  (target ~0.8)")
+
+# app skew (fig 3a): top 20% of SBE apps hold >90% of SBEs
+app_sbe = np.zeros(len(trace.app_names))
+np.add.at(app_sbe, s["app_id"], s["sbe_count"])
+affected = np.sort(app_sbe[app_sbe > 0])[::-1]
+top20 = affected[: max(1, int(np.ceil(0.2 * affected.size)))].sum() / affected.sum()
+print(f"SBE apps: {affected.size}/{len(trace.app_names)}; top-20% share: {top20:.2f}  (target > 0.9)")
+
+# fig 4: spearman of normalized SBE count vs core-hours / memory (per app, SBE-affected)
+app_ch = np.zeros(len(trace.app_names)); app_mem = np.zeros(len(trace.app_names))
+np.add.at(app_ch, s["app_id"], s["gpu_core_hours"] / s["n_nodes"])  # node-level core hours
+np.add.at(app_mem, s["app_id"], s["max_mem_gb"])
+aff = app_sbe > 0
+norm_sbe = app_sbe[aff] / app_ch[aff]
+app_cnt = np.bincount(s["app_id"], minlength=len(trace.app_names)).astype(float)
+mean_mem = np.where(app_cnt>0, app_mem/np.maximum(app_cnt,1), 0)
+print(f"spearman(app norm SBE, core-hours): {spearman(norm_sbe, app_ch[aff]):.2f} (paper 0.89)")
+print(f"spearman(app norm SBE, mean mem):   {spearman(norm_sbe, mean_mem[aff]):.2f} (paper 0.70)")
+
+# fig 6/7: temp & power in SBE-affected vs free periods on offender nodes
+off_all = np.isin(s["node_id"], np.unique(s["node_id"][s["sbe_count"] > 0]))
+t_aff = s["gpu_temp_mean"][off_all & (lab == 1)]
+t_free = s["gpu_temp_mean"][off_all & (lab == 0)]
+p_aff = s["gpu_power_mean"][off_all & (lab == 1)]
+p_free = s["gpu_power_mean"][off_all & (lab == 0)]
+print(f"temp free {t_free.mean():.1f}±{t_free.std():.1f} vs affected {t_aff.mean():.1f}±{t_aff.std():.1f}  (target +3C)")
+print(f"power free {p_free.mean():.1f}±{p_free.std():.1f} vs affected {p_aff.mean():.1f}±{p_aff.std():.1f}  (target +15W)")
+
+# fig 5: spearman of node mean temp vs offender node grid
+node_sbe = trace.node_sbe_totals()
+print(f"spearman(node mean temp, node SBE): {spearman(trace.node_mean_temp, (node_sbe>0).astype(float)):.2f} (paper ~0.07)")
