@@ -1,0 +1,21 @@
+"""Benchmark the telemetry fault-injection degradation sweep.
+
+The benchmarked unit is the full ``faults`` experiment: inject, sanitize,
+rebuild features, and retrain TwoStage-GBDT at every intensity in the
+default sweep.  The printed table is the graceful-degradation curve
+(clean F1 unchanged, bounded loss at moderate intensity, quarantined
+fraction logged).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_faults(benchmark, context):
+    """Degradation curve: TwoStage-GBDT F1 vs fault intensity."""
+    result = run_once(benchmark, lambda: run_experiment("faults", context))
+    print()
+    print(result)
+    assert result.data
+    assert result.data["clean_noop"] is True

@@ -1,0 +1,78 @@
+"""Fault-injection quickstart: degrade a trace, repair it, measure the cost.
+
+Real Titan telemetry had out-of-band sampler gaps, nvidia-smi SBE counter
+resets, duplicated log shipments, and node downtime.  This example walks
+the robustness loop end to end at a small scale:
+
+1. simulate a clean trace and record the TwoStage-GBDT baseline F1;
+2. inject a seeded mix of faults at increasing intensity;
+3. sanitize the degraded trace (dedupe, reorder, reconcile counters,
+   impute sensors, quarantine irrecoverable rows);
+4. rebuild features, retrain, and report the F1 degradation curve.
+
+Run:  python examples/fault_injection.py
+"""
+
+import warnings
+
+from repro import PredictionPipeline, TraceConfig, simulate_trace
+from repro.faults import FaultSpec, inject_faults, sanitize_trace
+from repro.telemetry.config import ErrorModelConfig
+from repro.topology import MachineConfig
+from repro.utils.errors import DegradedDataWarning
+
+
+def main() -> None:
+    # Same small machine as examples/quickstart.py: 24 cabinets, 20 days,
+    # hot error model so the short trace has SBEs to learn from.
+    config = TraceConfig(
+        machine=MachineConfig(
+            grid_x=6, grid_y=4, cages_per_cabinet=1, slots_per_cage=1, nodes_per_slot=4
+        ),
+        errors=ErrorModelConfig(
+            base_rate_per_hour=0.004,
+            offender_node_fraction=0.25,
+            offender_median_boost=2.0,
+            episode_rate_per_100_days=30.0,
+            episode_median_days=3.0,
+            quiet_day_factor=0.01,
+        ),
+        duration_days=20.0,
+        tick_minutes=10.0,
+        seed=7,
+    )
+    print("simulating clean trace ...")
+    trace = simulate_trace(config)
+    print(f"  {trace.num_samples} samples, {trace.positive_rate():.1%} SBE-affected")
+
+    # The sanitizer is an exact no-op on a clean trace.
+    repaired, report = sanitize_trace(trace)
+    print(f"  sanitizer on the clean trace: {report.summary()}")
+
+    print("training the clean baseline (TwoStage + GBDT on DS1) ...")
+    baseline = PredictionPipeline.from_trace(trace).evaluate_twostage("DS1", "gbdt")
+    print(f"  baseline F1 = {baseline.f1:.3f}")
+
+    print("\nfault-intensity sweep:")
+    print(f"  {'intensity':>9} {'F1':>6} {'drop':>6} {'quarantined':>11}  faults")
+    for intensity in (0.1, 0.25, 0.5):
+        faulty, log = inject_faults(trace, FaultSpec(intensity=intensity), seed=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedDataWarning)
+            repaired, report = sanitize_trace(faulty)
+        result = PredictionPipeline.from_trace(repaired).evaluate_twostage(
+            "DS1", "gbdt"
+        )
+        summary = " ".join(f"{k}={v}" for k, v in log.summary().items())
+        print(
+            f"  {intensity:>9.2f} {result.f1:>6.3f} "
+            f"{baseline.f1 - result.f1:>6.3f} "
+            f"{report.quarantined_fraction:>11.1%}  {summary}"
+        )
+
+    print("\nDone.  `repro --preset small faults` runs the same sweep on the")
+    print("cached preset trace; DESIGN.md §7 documents the fault model.")
+
+
+if __name__ == "__main__":
+    main()

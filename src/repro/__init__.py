@@ -17,11 +17,13 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.ml` -- from-scratch LR/GBDT/SVM/NN plus supporting tools;
 * :mod:`repro.core` -- the TwoStage prediction framework and baselines;
 * :mod:`repro.analysis` -- trace characterization (paper Section III);
+* :mod:`repro.faults` -- telemetry fault injection + the sanitizer;
 * :mod:`repro.experiments` -- one driver per paper table/figure.
 """
 
 from repro.core import PredictionPipeline, TwoStagePredictor
 from repro.experiments import ExperimentContext, run_experiment
+from repro.faults import FaultSpec, inject_faults, sanitize_trace
 from repro.features import build_features
 from repro.telemetry import Trace, TraceConfig, simulate_trace
 from repro.topology import Machine, MachineConfig
@@ -34,6 +36,9 @@ __all__ = [
     "ExperimentContext",
     "run_experiment",
     "build_features",
+    "FaultSpec",
+    "inject_faults",
+    "sanitize_trace",
     "Trace",
     "TraceConfig",
     "simulate_trace",

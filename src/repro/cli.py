@@ -7,9 +7,12 @@ Subcommands::
     repro evaluate --preset default --split DS1 --model gbdt
     repro experiment fig10 table2 ...                  # named artifacts
     repro experiment all                               # the full sweep
+    repro faults --intensities 0,0.1,0.25 --seed 7     # degradation curve
 
 All subcommands share the preset-keyed trace cache (see
-``repro.experiments.runner.default_cache_dir``).
+``repro.experiments.runner.default_cache_dir``).  Library failures
+(:class:`~repro.utils.errors.ReproError`) exit with status 1 and a
+one-line message on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -19,8 +22,10 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments.faults_experiment import DEFAULT_INTENSITIES, run_faults
 from repro.experiments.presets import PRESETS, preset_config
 from repro.telemetry.simulator import simulate_trace
+from repro.utils.errors import ReproError, ValidationError
 
 __all__ = ["main", "build_parser"]
 
@@ -59,12 +64,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     ex = sub.add_parser("experiment", help="run named experiments (or 'all')")
     ex.add_argument("ids", nargs="+", help=f"ids from {sorted(EXPERIMENTS)} or 'all'")
+
+    fa = sub.add_parser(
+        "faults", help="fault-injection degradation sweep (F1 vs intensity)"
+    )
+    fa.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated fault intensities in [0,1] "
+        f"(default: {','.join(str(x) for x in DEFAULT_INTENSITIES)})",
+    )
+    fa.add_argument(
+        "--seed", type=int, default=0, help="fault-injection seed (not the trace seed)"
+    )
+    fa.add_argument("--split", default="DS1")
+    fa.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _parse_intensities(raw: str | None) -> tuple[float, ...]:
+    """Parse the ``--intensities`` comma list, validating the range."""
+    if raw is None:
+        return DEFAULT_INTENSITIES
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise ValidationError(f"invalid --intensities value: {raw!r}") from None
+    if not values or any(not 0.0 <= v <= 1.0 for v in values):
+        raise ValidationError(
+            f"--intensities must be numbers in [0, 1], got {raw!r}"
+        )
+    return values
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected subcommand; may raise :class:`ReproError`."""
     context = ExperimentContext(args.preset, use_disk_cache=not args.no_cache)
 
     if args.command == "simulate":
@@ -103,7 +137,32 @@ def main(argv: list[str] | None = None) -> int:
             print()
         return 0
 
+    if args.command == "faults":
+        result = run_faults(
+            context,
+            intensities=_parse_intensities(args.intensities),
+            seed=args.seed,
+            model=args.model,
+            split=args.split,
+        )
+        print(result)
+        return 0
+
     return 2  # pragma: no cover - argparse enforces the command set
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors surface as a single stderr line and exit status 1;
+    programming errors still propagate with a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import characterization_experiments as chz
 from repro.experiments import prediction_experiments as pred
+from repro.experiments.faults_experiment import run_faults
 from repro.experiments.imbalance_experiment import run_imbalance
 from repro.experiments.oracle_experiment import run_oracle
 from repro.experiments.result import ExperimentResult
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult
     "ecc": ("Prediction-driven ECC scheduling", pred.run_ecc_policy),
     "imbalance": ("Imbalance-mitigation comparison", run_imbalance),
     "oracle": ("Oracle per-cabinet model selection", run_oracle),
+    "faults": ("Telemetry fault-injection degradation curve", run_faults),
 }
 
 

@@ -11,6 +11,7 @@ pays each cost once.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 from repro.core.pipeline import PredictionPipeline, SplitResult
@@ -19,6 +20,7 @@ from repro.features.builder import FeatureMatrix, build_features
 from repro.features.splits import make_paper_splits
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
+from repro.utils.errors import DegradedDataWarning, ReproError
 
 __all__ = ["ExperimentContext", "default_cache_dir"]
 
@@ -52,13 +54,25 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     @property
     def trace(self) -> Trace:
-        """The simulated trace (from memory, disk cache, or a fresh run)."""
+        """The simulated trace (from memory, disk cache, or a fresh run).
+
+        A corrupt or truncated cache entry is never fatal: the failure is
+        reported as a :class:`DegradedDataWarning` and the trace is
+        re-simulated (and the cache rewritten) instead.
+        """
         if self._trace is None:
             config = preset_config(self.preset)
             cache_path = self._cache_dir / f"trace-{self.preset}-seed{config.seed}"
             if self._use_disk_cache and cache_path.with_suffix(".npz").exists():
-                self._trace = Trace.load(cache_path)
-            else:
+                try:
+                    self._trace = Trace.load(cache_path)
+                except ReproError as exc:
+                    warnings.warn(
+                        f"trace cache is unreadable ({exc}); re-simulating",
+                        DegradedDataWarning,
+                        stacklevel=2,
+                    )
+            if self._trace is None:
                 self._trace = simulate_trace(config)
                 if self._use_disk_cache:
                     self._trace.save(cache_path)
@@ -75,15 +89,24 @@ class ExperimentContext:
     def pipeline(self) -> PredictionPipeline:
         """Pipeline with the preset's DS1-DS3 splits."""
         if self._pipeline is None:
-            plan = split_plan(self.preset)
-            splits = make_paper_splits(
-                train_days=plan["train_days"],
-                test_days=plan["test_days"],
-                offsets_days=tuple(plan["offsets"]),
-                duration_days=self.trace.config.duration_days,
-            )
-            self._pipeline = PredictionPipeline(self.features, splits)
+            self._pipeline = self.make_pipeline(self.features)
         return self._pipeline
+
+    def make_pipeline(self, features: FeatureMatrix) -> PredictionPipeline:
+        """A pipeline over ``features`` using this preset's split plan.
+
+        Used by the degradation experiment to evaluate alternative
+        (e.g. fault-injected) feature matrices under the exact splits of
+        the cached :attr:`pipeline`.
+        """
+        plan = split_plan(self.preset)
+        splits = make_paper_splits(
+            train_days=plan["train_days"],
+            test_days=plan["test_days"],
+            offsets_days=tuple(plan["offsets"]),
+            duration_days=self.trace.config.duration_days,
+        )
+        return PredictionPipeline(features, splits)
 
     # ------------------------------------------------------------------
     def twostage(

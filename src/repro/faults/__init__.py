@@ -1,0 +1,46 @@
+"""Telemetry fault injection and hardened ingestion.
+
+Two halves of one robustness story:
+
+* :mod:`repro.faults.injectors` — seeded, composable injectors that
+  degrade a clean simulated :class:`~repro.telemetry.trace.Trace` with
+  the pathologies of real HPC telemetry (outages, counter resets,
+  duplicates, reordering, sensor corruption), logging every fault;
+* :mod:`repro.faults.sanitizer` — the repair pass the feature pipeline
+  runs on untrusted telemetry: validate, reorder, dedupe, reconcile
+  counters, impute, and quarantine instead of crashing.
+
+The round trip ``sanitize_trace(inject_faults(trace)[0])`` is the basis
+of the ``faults`` degradation experiment and the property tests.
+"""
+
+from repro.faults.injectors import (
+    CounterResetInjector,
+    DuplicateInjector,
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    FaultSpec,
+    NodeOutageInjector,
+    OutOfOrderInjector,
+    SensorCorruptionInjector,
+    default_injectors,
+    inject_faults,
+)
+from repro.faults.sanitizer import SanitizeReport, sanitize_trace
+
+__all__ = [
+    "FaultSpec",
+    "FaultEvent",
+    "FaultLog",
+    "FaultInjector",
+    "NodeOutageInjector",
+    "CounterResetInjector",
+    "DuplicateInjector",
+    "OutOfOrderInjector",
+    "SensorCorruptionInjector",
+    "default_injectors",
+    "inject_faults",
+    "SanitizeReport",
+    "sanitize_trace",
+]

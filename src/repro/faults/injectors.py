@@ -1,0 +1,438 @@
+"""Composable, seeded telemetry fault injectors.
+
+The synthetic substrate emits perfectly clean traces; real Titan telemetry
+did not.  Each injector here reproduces one documented pathology of the
+paper's data sources, applied *post-simulation* to a :class:`Trace`'s
+samples table:
+
+* :class:`NodeOutageInjector` -- out-of-band sampler / node downtime:
+  whole (run, node) rows silently missing for a node over a time window;
+* :class:`CounterResetInjector` -- nvidia-smi SBE counters reset between
+  the pre- and post-job snapshots, making the observed delta negative;
+* :class:`DuplicateInjector` -- rows duplicated by at-least-once log
+  shipping, optionally with conflicting re-read sensor values;
+* :class:`OutOfOrderInjector` -- rows delivered out of time order;
+* :class:`SensorCorruptionInjector` -- NaN, stuck, or clipped readings in
+  the telemetry statistic columns.
+
+Every injector draws from its own named random stream (via
+:class:`~repro.utils.rng.SeedSequenceFactory`), so adding or re-ordering
+injectors never perturbs another injector's draws, and records what it
+did in a :class:`FaultLog`.  The original trace is never mutated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.telemetry.trace import SAMPLE_TELEMETRY_COLUMNS, Trace
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "FaultSpec",
+    "FaultEvent",
+    "FaultLog",
+    "FaultInjector",
+    "NodeOutageInjector",
+    "CounterResetInjector",
+    "DuplicateInjector",
+    "OutOfOrderInjector",
+    "SensorCorruptionInjector",
+    "default_injectors",
+    "inject_faults",
+]
+
+MINUTES_PER_DAY = 1440.0
+
+#: Sentinel a clipped (railed) sensor reports; far outside physical range.
+CLIP_SENTINEL = 1.0e6
+
+
+# ----------------------------------------------------------------------
+# Fault bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence."""
+
+    kind: str
+    node_id: int  # -1 when the fault is not tied to one node
+    start_minute: float
+    end_minute: float
+    rows_affected: int
+    detail: str = ""
+
+
+@dataclass
+class FaultLog:
+    """Ordered record of everything the injectors did to a trace."""
+
+    seed: int
+    intensity: float
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        """Distinct fault kinds present, in first-seen order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        return seen
+
+    def rows_affected(self, kind: str | None = None) -> int:
+        """Total rows touched, optionally restricted to one fault kind."""
+        return sum(
+            e.rows_affected for e in self.events if kind is None or e.kind == kind
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Rows affected per fault kind."""
+        return {kind: self.rows_affected(kind) for kind in self.kinds()}
+
+    def digest(self) -> str:
+        """Stable content hash of the log (for determinism checks)."""
+        hasher = hashlib.sha256()
+        hasher.update(f"{self.seed}:{self.intensity:.9f}".encode())
+        for e in self.events:
+            hasher.update(
+                f"{e.kind}|{e.node_id}|{e.start_minute:.6f}|"
+                f"{e.end_minute:.6f}|{e.rows_affected}|{e.detail}".encode()
+            )
+        return hasher.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """Intensity knobs for the injector stack.
+
+    ``intensity`` is the master dial in ``[0, 1]``; each per-fault rate
+    below is multiplied by it, so ``intensity=0`` is exactly a no-op and
+    the defaults give a realistic mix at any dial setting.
+    """
+
+    intensity: float = 0.25
+    #: Expected node-outages per node over the trace.
+    outage_rate: float = 0.5
+    #: Mean outage length as a fraction of the trace duration.
+    outage_span: float = 0.05
+    #: Fraction of rows whose SBE counter delta crosses a reset.
+    counter_reset_rate: float = 0.15
+    #: Fraction of rows duplicated by the collector.
+    duplicate_rate: float = 0.10
+    #: Fraction of rows delivered out of order.
+    shuffle_rate: float = 0.20
+    #: Fraction of rows with at least one corrupt sensor statistic.
+    sensor_rate: float = 0.20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValidationError(
+                f"fault intensity must be in [0, 1], got {self.intensity}"
+            )
+
+    @classmethod
+    def preset(cls, name: str, *, seed: int = 0) -> "FaultSpec":
+        """Named presets: ``clean``, ``mild``, ``moderate``, ``severe``."""
+        levels = {"clean": 0.0, "mild": 0.1, "moderate": 0.25, "severe": 0.5}
+        try:
+            return cls(intensity=levels[name], seed=seed)
+        except KeyError:
+            raise ValidationError(
+                f"unknown fault preset {name!r}; options: {sorted(levels)}"
+            ) from None
+
+    def scaled(self, rate: float) -> float:
+        """A per-fault rate after applying the master intensity."""
+        return float(rate) * float(self.intensity)
+
+
+# ----------------------------------------------------------------------
+# Injectors
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Base class: transforms a samples table, recording into a log."""
+
+    #: Fault kind recorded in :class:`FaultEvent`.
+    kind = "abstract"
+
+    def apply(
+        self,
+        samples: dict[str, np.ndarray],
+        spec: FaultSpec,
+        rng: np.random.Generator,
+        log: FaultLog,
+    ) -> dict[str, np.ndarray]:
+        """Return a (possibly new) samples dict with this fault applied."""
+        raise NotImplementedError
+
+
+class NodeOutageInjector(FaultInjector):
+    """Drop all samples of a node inside randomly placed outage windows."""
+
+    kind = "outage"
+
+    def apply(self, samples, spec, rng, log):
+        n = samples["node_id"].shape[0]
+        if n == 0:
+            return samples
+        nodes = np.unique(samples["node_id"].astype(int))
+        n_outages = int(round(spec.scaled(spec.outage_rate) * nodes.size))
+        if n_outages == 0:
+            return samples
+        t_lo = float(samples["start_minute"].min())
+        t_hi = float(samples["end_minute"].max())
+        horizon = max(t_hi - t_lo, 1.0)
+        keep = np.ones(n, dtype=bool)
+        chosen = rng.choice(nodes, size=n_outages, replace=True)
+        for node in chosen:
+            length = rng.exponential(spec.outage_span * horizon)
+            start = t_lo + rng.uniform(0.0, horizon)
+            end = min(start + length, t_hi)
+            hit = (
+                (samples["node_id"] == node)
+                & (samples["start_minute"] >= start)
+                & (samples["start_minute"] <= end)
+            )
+            keep &= ~hit
+            log.record(
+                FaultEvent(
+                    kind=self.kind,
+                    node_id=int(node),
+                    start_minute=float(start),
+                    end_minute=float(end),
+                    rows_affected=int(hit.sum()),
+                )
+            )
+        if keep.all():
+            return samples
+        return {name: col[keep] for name, col in samples.items()}
+
+
+class CounterResetInjector(FaultInjector):
+    """Make SBE counter deltas cross a reset, yielding negative values.
+
+    nvidia-smi reports a cumulative counter; when the driver reloads or
+    the node reboots between the pre- and post-job snapshots the counter
+    restarts from zero and the recorded delta goes negative by (roughly)
+    the pre-snapshot counter value.
+    """
+
+    kind = "counter_reset"
+
+    def apply(self, samples, spec, rng, log):
+        n = samples["sbe_count"].shape[0]
+        rate = spec.scaled(spec.counter_reset_rate)
+        if n == 0 or rate <= 0.0:
+            return samples
+        hit = rng.random(n) < rate
+        count = int(hit.sum())
+        if count == 0:
+            return samples
+        out = dict(samples)
+        sbe = out["sbe_count"].astype(np.int64, copy=True)
+        rollback = rng.integers(1, 25, size=count, dtype=np.int64)
+        sbe[hit] = sbe[hit] - rollback
+        out["sbe_count"] = sbe
+        starts = samples["start_minute"][hit]
+        ends = samples["end_minute"][hit]
+        log.record(
+            FaultEvent(
+                kind=self.kind,
+                node_id=-1,
+                start_minute=float(starts.min()),
+                end_minute=float(ends.max()),
+                rows_affected=count,
+                detail=f"rollback_total={int(rollback.sum())}",
+            )
+        )
+        return out
+
+
+class DuplicateInjector(FaultInjector):
+    """Append duplicate rows; half get conflicting re-read sensor values."""
+
+    kind = "duplicate"
+
+    def apply(self, samples, spec, rng, log):
+        n = samples["node_id"].shape[0]
+        rate = spec.scaled(spec.duplicate_rate)
+        count = int(round(rate * n))
+        if count == 0:
+            return samples
+        picks = rng.choice(n, size=count, replace=False)
+        out = {}
+        for name, col in samples.items():
+            out[name] = np.concatenate([col, col[picks]])
+        # Conflict on the second half of the duplicates: jitter every
+        # telemetry statistic by a few percent, as a re-read would.
+        conflict = picks[count // 2 :]
+        if conflict.size:
+            rows = np.arange(n, n + count)[count // 2 :]
+            for name in telemetry_columns_present(out):
+                col = out[name].astype(float, copy=True)
+                col[rows] *= 1.0 + rng.normal(0.0, 0.03, size=rows.size)
+                out[name] = col
+        log.record(
+            FaultEvent(
+                kind=self.kind,
+                node_id=-1,
+                start_minute=float(samples["start_minute"][picks].min()),
+                end_minute=float(samples["end_minute"][picks].max()),
+                rows_affected=count,
+                detail=f"conflicting={conflict.size}",
+            )
+        )
+        return out
+
+
+class OutOfOrderInjector(FaultInjector):
+    """Permute a fraction of rows so arrival order breaks time order."""
+
+    kind = "out_of_order"
+
+    def apply(self, samples, spec, rng, log):
+        n = samples["node_id"].shape[0]
+        rate = spec.scaled(spec.shuffle_rate)
+        count = int(round(rate * n))
+        if count < 2:
+            return samples
+        picks = rng.choice(n, size=count, replace=False)
+        order = np.arange(n)
+        order[np.sort(picks)] = picks  # scatter picked rows to sorted slots
+        out = {name: col[order] for name, col in samples.items()}
+        log.record(
+            FaultEvent(
+                kind=self.kind,
+                node_id=-1,
+                start_minute=float(samples["start_minute"].min()),
+                end_minute=float(samples["end_minute"].max()),
+                rows_affected=count,
+            )
+        )
+        return out
+
+
+class SensorCorruptionInjector(FaultInjector):
+    """NaN / stuck / clipped readings in telemetry statistic columns."""
+
+    kind = "sensor"
+
+    def apply(self, samples, spec, rng, log):
+        n = samples["node_id"].shape[0]
+        rate = spec.scaled(spec.sensor_rate)
+        columns = telemetry_columns_present(samples)
+        count = int(round(rate * n))
+        if count == 0 or not columns:
+            return samples
+        rows = rng.choice(n, size=count, replace=False)
+        modes = rng.choice(4, size=count, p=(0.45, 0.2, 0.2, 0.15))
+        out = dict(samples)
+        touched = {"nan": 0, "stuck": 0, "clipped": 0, "dead": 0}
+        # Each corrupt row loses a random subset of columns to one mode;
+        # a "dead" row (sampler died mid-run) loses every column.
+        n_cols = rng.integers(1, max(2, len(columns) // 4), size=count)
+        for row, mode, k in zip(rows, modes, n_cols):
+            if mode == 3:
+                cols = np.arange(len(columns))
+            else:
+                cols = rng.choice(len(columns), size=int(k), replace=False)
+            for c in cols:
+                name = columns[c]
+                col = out[name]
+                if col is samples[name]:
+                    col = col.astype(float, copy=True)
+                    out[name] = col
+                if mode in (0, 3):
+                    col[row] = np.nan
+                    touched["dead" if mode == 3 else "nan"] += 1
+                elif mode == 1:
+                    # Stuck at the node's first reading of this quantity.
+                    node = samples["node_id"][row]
+                    first = np.flatnonzero(samples["node_id"] == node)[0]
+                    col[row] = samples[name][first]
+                    touched["stuck"] += 1
+                else:
+                    col[row] = CLIP_SENTINEL
+                    touched["clipped"] += 1
+        log.record(
+            FaultEvent(
+                kind=self.kind,
+                node_id=-1,
+                start_minute=float(samples["start_minute"][rows].min()),
+                end_minute=float(samples["end_minute"][rows].max()),
+                rows_affected=count,
+                detail=f"nan={touched['nan']} stuck={touched['stuck']} "
+                f"clipped={touched['clipped']} dead={touched['dead']}",
+            )
+        )
+        return out
+
+
+def telemetry_columns_present(samples: dict[str, np.ndarray]) -> list[str]:
+    """Telemetry statistic columns actually present in a samples table."""
+    return [name for name in SAMPLE_TELEMETRY_COLUMNS if name in samples]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def default_injectors() -> list[FaultInjector]:
+    """The standard injector stack, in application order."""
+    return [
+        NodeOutageInjector(),
+        CounterResetInjector(),
+        SensorCorruptionInjector(),
+        DuplicateInjector(),
+        OutOfOrderInjector(),
+    ]
+
+
+def inject_faults(
+    trace: Trace,
+    spec: FaultSpec | None = None,
+    *,
+    seed: int | None = None,
+    injectors: list[FaultInjector] | None = None,
+) -> tuple[Trace, FaultLog]:
+    """Apply the injector stack to ``trace``; return a faulty copy + log.
+
+    ``seed`` overrides ``spec.seed``.  With ``spec.intensity == 0`` the
+    returned trace shares the original's arrays unchanged (exact no-op).
+    """
+    spec = spec or FaultSpec()
+    if seed is not None:
+        spec = replace(spec, seed=int(seed))
+    log = FaultLog(seed=spec.seed, intensity=spec.intensity)
+    if spec.intensity == 0.0 or trace.num_samples == 0:
+        return trace, log
+    factory = SeedSequenceFactory(spec.seed)
+    samples = trace.samples
+    for injector in injectors if injectors is not None else default_injectors():
+        rng = factory.generator(f"faults/{injector.kind}")
+        samples = injector.apply(samples, spec, rng, log)
+    faulty = Trace(
+        config=trace.config,
+        samples=samples,
+        runs=trace.runs,
+        app_names=trace.app_names,
+        node_mean_temp=trace.node_mean_temp,
+        node_mean_power=trace.node_mean_power,
+        node_susceptibility=trace.node_susceptibility,
+        recorded_series=trace.recorded_series,
+    )
+    return faulty, log

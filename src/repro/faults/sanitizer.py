@@ -1,0 +1,296 @@
+"""Telemetry sanitizer: repair a degraded trace before feature building.
+
+The feature builder (:mod:`repro.features.builder`) assumes exactly one
+row per (run, node), time-ordered rows, monotonic SBE counter deltas, and
+finite sensor statistics.  Real telemetry breaks every one of those
+assumptions; :func:`sanitize_trace` restores them:
+
+1. **validate** -- required columns present, metadata fields finite and
+   in-range (rows that fail are quarantined);
+2. **reorder** -- stable sort back into time order;
+3. **dedupe** -- one row per (run, node), keeping the least-corrupt copy
+   when duplicates conflict;
+4. **reconcile counters** -- a negative SBE delta means the cumulative
+   nvidia-smi counter reset between snapshots; the delta is clamped to
+   the only defensible floor (zero) and counted;
+5. **impute** -- NaN / out-of-range sensor statistics are forward-filled
+   from the node's previous sample, then interpolated from slot
+   neighbours, then from the column mean;
+6. **quarantine** -- rows whose telemetry is mostly corrupt (no credible
+   imputation source) are dropped, not guessed at.
+
+On a clean trace every step is a detected no-op and the *original* trace
+object is returned bit-identical — sanitization never perturbs the paper
+reproduction.  Any repair emits a :class:`DegradedDataWarning`;
+``strict=True`` upgrades detection to :class:`TelemetryFaultError`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.trace import SAMPLE_TELEMETRY_COLUMNS, Trace
+from repro.utils.errors import DegradedDataWarning, TelemetryFaultError
+
+__all__ = ["SanitizeReport", "sanitize_trace", "SENSOR_ABS_MAX"]
+
+#: Any sensor statistic with magnitude beyond this is treated as missing
+#: (physical GPU temperatures/powers and their deltas live far below it).
+SENSOR_ABS_MAX = 1.0e4
+
+#: Rows with more than this fraction of corrupt telemetry are quarantined.
+QUARANTINE_BAD_FRACTION = 0.5
+
+#: Metadata columns the feature builder reads; all must be present.
+REQUIRED_META_COLUMNS = (
+    "run_idx",
+    "job_id",
+    "app_id",
+    "node_id",
+    "start_minute",
+    "end_minute",
+    "duration_minutes",
+    "n_nodes",
+    "gpu_core_hours",
+    "gpu_util",
+    "max_mem_gb",
+    "agg_mem_gb",
+    "prev_app_id",
+    "sbe_count",
+)
+
+
+@dataclass
+class SanitizeReport:
+    """What the sanitizer found and repaired."""
+
+    total_rows: int = 0
+    rows_out: int = 0
+    clean: bool = True
+    duplicates_removed: int = 0
+    rows_reordered: int = 0
+    counter_resets: int = 0
+    values_imputed: int = 0
+    rows_quarantined: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def quarantined_fraction(self) -> float:
+        """Fraction of input rows dropped as irrecoverable."""
+        if self.total_rows == 0:
+            return 0.0
+        return self.rows_quarantined / self.total_rows
+
+    def summary(self) -> str:
+        """One-line human-readable repair summary."""
+        if self.clean:
+            return f"clean ({self.total_rows} rows)"
+        return (
+            f"{self.total_rows} rows in, {self.rows_out} out: "
+            f"{self.duplicates_removed} duplicates removed, "
+            f"{self.rows_reordered} rows reordered, "
+            f"{self.counter_resets} counter resets reconciled, "
+            f"{self.values_imputed} sensor values imputed, "
+            f"{self.rows_quarantined} rows quarantined "
+            f"({self.quarantined_fraction:.1%})"
+        )
+
+
+def _dedupe_key(run_idx: np.ndarray, node_id: np.ndarray) -> np.ndarray:
+    """Collapse (run, node) into one sortable int64 key per row."""
+    return (run_idx.astype(np.int64) << 21) | node_id.astype(np.int64)
+
+
+def sanitize_trace(
+    trace: Trace, *, strict: bool = False
+) -> tuple[Trace, SanitizeReport]:
+    """Validate and repair ``trace``; return ``(repaired, report)``.
+
+    Clean traces are returned as the original object (bit-identical).
+    Raises :class:`TelemetryFaultError` when required columns are absent,
+    when nothing survives quarantine, or — under ``strict=True`` — when
+    any fault at all is detected.
+    """
+    report = SanitizeReport(total_rows=trace.num_samples, rows_out=trace.num_samples)
+    if trace.num_samples == 0:
+        report.notes.append("empty trace")
+        return trace, report
+
+    s = trace.samples
+    missing = [
+        name
+        for name in (*REQUIRED_META_COLUMNS, *SAMPLE_TELEMETRY_COLUMNS)
+        if name not in s
+    ]
+    if missing:
+        raise TelemetryFaultError(
+            f"trace samples table is missing required columns: {missing}"
+        )
+
+    n = trace.num_samples
+    num_nodes = trace.machine.num_nodes
+    tele_cols = list(SAMPLE_TELEMETRY_COLUMNS)
+    T = np.column_stack([s[name].astype(float) for name in tele_cols])
+    bad = ~np.isfinite(T) | (np.abs(T) > SENSOR_ABS_MAX)
+
+    start = s["start_minute"].astype(float)
+    end = s["end_minute"].astype(float)
+    node = s["node_id"].astype(np.int64)
+    sbe = s["sbe_count"].astype(np.int64)
+
+    meta_invalid = (
+        ~np.isfinite(start)
+        | ~np.isfinite(end)
+        | (end < start)
+        | (node < 0)
+        | (node >= num_nodes)
+        | ~np.isfinite(s["duration_minutes"].astype(float))
+        | (s["duration_minutes"].astype(float) < 0)
+    )
+    key = _dedupe_key(s["run_idx"], np.clip(node, 0, (1 << 21) - 1))
+    has_duplicates = np.unique(key).size != n
+    # Runs completing within the same simulator tick are appended in
+    # arbitrary order, so a clean trace is only tick-monotone; flag
+    # disorder only beyond one tick of backwards jitter.
+    tolerance = float(trace.config.tick_minutes)
+    out_of_order = bool(np.any(np.diff(end) < -tolerance))
+    has_resets = bool(np.any(sbe < 0))
+    has_bad_sensors = bool(bad.any())
+    has_invalid_meta = bool(meta_invalid.any())
+
+    if not (
+        has_duplicates
+        or out_of_order
+        or has_resets
+        or has_bad_sensors
+        or has_invalid_meta
+    ):
+        return trace, report  # fast path: clean trace, returned untouched
+
+    report.clean = False
+    if strict:
+        raise TelemetryFaultError(
+            "degraded telemetry rejected (strict mode): "
+            f"duplicates={has_duplicates} out_of_order={out_of_order} "
+            f"counter_resets={has_resets} bad_sensors={has_bad_sensors} "
+            f"invalid_metadata={has_invalid_meta}"
+        )
+
+    # -- 1. quarantine structurally invalid rows and mostly-dead telemetry
+    row_bad_fraction = bad.mean(axis=1)
+    quarantine = meta_invalid | (row_bad_fraction > QUARANTINE_BAD_FRACTION)
+    report.rows_quarantined = int(quarantine.sum())
+    keep = ~quarantine
+    if not keep.any():
+        raise TelemetryFaultError(
+            f"all {n} samples quarantined; telemetry is irrecoverable"
+        )
+
+    kept_idx = np.flatnonzero(keep)
+    end_k = end[kept_idx]
+    key_k = key[kept_idx]
+    bad_k = bad[kept_idx]
+
+    # -- 2. restore time order (stable, so clean spans keep their order)
+    time_order = np.argsort(end_k, kind="stable")
+    report.rows_reordered = int(np.count_nonzero(time_order != np.arange(end_k.size)))
+
+    # -- 3. dedupe (run, node): keep the least-corrupt, earliest copy
+    badness = bad_k.sum(axis=1)
+    pos_in_time = np.empty(end_k.size, dtype=np.int64)
+    pos_in_time[time_order] = np.arange(end_k.size)
+    choice_order = np.lexsort((pos_in_time, badness, key_k))
+    _, first_of_group = np.unique(key_k[choice_order], return_index=True)
+    chosen = choice_order[first_of_group]
+    report.duplicates_removed = int(end_k.size - chosen.size)
+    chosen = chosen[np.argsort(pos_in_time[chosen], kind="stable")]
+    rows = kept_idx[chosen]
+
+    # -- 4. reconcile SBE counter resets (negative deltas -> floor of 0)
+    sbe_out = sbe[rows].copy()
+    resets = sbe_out < 0
+    report.counter_resets = int(resets.sum())
+    sbe_out[resets] = 0
+
+    # -- 5. impute corrupt sensor statistics
+    T_out = T[rows].copy()
+    bad_out = bad[rows]
+    report.values_imputed = int(bad_out.sum())
+    if report.values_imputed:
+        T_out[bad_out] = np.nan
+        _impute(T_out, node[rows], trace)
+
+    # -- assemble the repaired trace
+    samples: dict[str, np.ndarray] = {}
+    for name, col in s.items():
+        samples[name] = col[rows]
+    for j, name in enumerate(tele_cols):
+        samples[name] = T_out[:, j]
+    samples["sbe_count"] = sbe_out
+    report.rows_out = int(rows.size)
+
+    repaired = Trace(
+        config=trace.config,
+        samples=samples,
+        runs=trace.runs,
+        app_names=trace.app_names,
+        node_mean_temp=trace.node_mean_temp,
+        node_mean_power=trace.node_mean_power,
+        node_susceptibility=trace.node_susceptibility,
+        recorded_series=trace.recorded_series,
+    )
+    warnings.warn(
+        f"telemetry repaired: {report.summary()}", DegradedDataWarning, stacklevel=2
+    )
+    return repaired, report
+
+
+def _impute(T: np.ndarray, node: np.ndarray, trace: Trace) -> None:
+    """Fill NaNs in-place: node forward-fill, slot mean, column mean, 0."""
+    n, n_cols = T.shape
+    order = np.lexsort((np.arange(n), node))
+    T_s = T[order]
+    node_s = node[order]
+
+    # Forward-fill within each node's time-ordered samples.
+    valid = np.isfinite(T_s)
+    if not valid.all():
+        idx = np.where(valid, np.arange(n)[:, None], -1)
+        np.maximum.accumulate(idx, axis=0)
+        src = np.clip(idx, 0, None)
+        usable = ~valid & (idx >= 0) & (node_s[src] == node_s[:, None])
+        rows_i, cols_i = np.nonzero(usable)
+        T_s[rows_i, cols_i] = T_s[idx[rows_i, cols_i], cols_i]
+
+    # Neighbour interpolation: mean over the node's slot.
+    still = ~np.isfinite(T_s)
+    if still.any():
+        per_slot = max(1, trace.machine.config.nodes_per_slot)
+        slot = node_s // per_slot
+        num_slots = int(slot.max()) + 1
+        finite = np.isfinite(T_s)
+        sums = np.zeros((num_slots, n_cols))
+        counts = np.zeros((num_slots, n_cols))
+        np.add.at(sums, slot, np.where(finite, T_s, 0.0))
+        np.add.at(counts, slot, finite.astype(float))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            slot_mean = sums / counts
+        fill = slot_mean[slot]
+        use = still & np.isfinite(fill)
+        T_s[use] = fill[use]
+
+    # Column mean, then zero, as last resorts.
+    still = ~np.isfinite(T_s)
+    if still.any():
+        finite = np.isfinite(T_s)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            col_mean = np.where(
+                finite.any(axis=0), np.nansum(np.where(finite, T_s, 0.0), axis=0)
+                / np.maximum(finite.sum(axis=0), 1), 0.0,
+            )
+        T_s[still] = np.broadcast_to(col_mean, T_s.shape)[still]
+
+    T[order] = T_s

@@ -276,6 +276,19 @@ class SampleTableBuilder:
         return job_s[is_last], node_s[is_last], end_s[is_last], cnt_s[is_last]
 
 
-def build_features(trace: Trace, *, top_k_apps: int = 16) -> FeatureMatrix:
-    """Convenience wrapper around :class:`SampleTableBuilder`."""
+def build_features(
+    trace: Trace, *, top_k_apps: int = 16, sanitize: bool = False
+) -> FeatureMatrix:
+    """Convenience wrapper around :class:`SampleTableBuilder`.
+
+    With ``sanitize=True`` the trace first passes through
+    :func:`repro.faults.sanitizer.sanitize_trace`, which repairs or
+    quarantines degraded telemetry (and is an exact no-op on clean
+    traces).  Use it whenever the trace did not come straight from the
+    simulator.
+    """
+    if sanitize:
+        from repro.faults.sanitizer import sanitize_trace
+
+        trace, _ = sanitize_trace(trace)
     return SampleTableBuilder(trace, top_k_apps=top_k_apps).build()

@@ -10,7 +10,10 @@ recorded nodes (for the run-profile figure).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -18,7 +21,7 @@ import numpy as np
 
 from repro.telemetry.config import TraceConfig
 from repro.topology.machine import Machine, MachineConfig
-from repro.utils.errors import ValidationError
+from repro.utils.errors import TraceIOError, ValidationError
 
 __all__ = ["Trace", "SAMPLE_TELEMETRY_COLUMNS", "PRE_WINDOWS_MINUTES"]
 
@@ -118,7 +121,13 @@ class Trace:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the trace to ``<path>.npz`` plus a JSON config sidecar."""
+        """Write the trace to ``<path>.npz`` plus a JSON config sidecar.
+
+        Both files are written atomically (temp file + rename) and the
+        sidecar records a SHA-256 checksum of the archive, so a crash or
+        concurrent writer can never leave a half-written trace that a
+        later :meth:`load` would silently accept.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         arrays: dict[str, np.ndarray] = {}
@@ -132,43 +141,102 @@ class Trace:
         for node_id, series in self.recorded_series.items():
             for name, col in series.items():
                 arrays[f"recorded/{node_id}/{name}"] = col
-        np.savez_compressed(path.with_suffix(".npz"), **arrays)
+        npz_path = path.with_suffix(".npz")
+        npz_tmp = npz_path.with_name(npz_path.name + ".tmp")
+        try:
+            with open(npz_tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            os.replace(npz_tmp, npz_path)
+        finally:
+            npz_tmp.unlink(missing_ok=True)
         meta = {
             "app_names": self.app_names,
             "config": _config_to_dict(self.config),
+            "checksum": _sha256_file(npz_path),
         }
-        path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+        json_path = path.with_suffix(".json")
+        json_tmp = json_path.with_name(json_path.name + ".tmp")
+        try:
+            json_tmp.write_text(json.dumps(meta, indent=2))
+            os.replace(json_tmp, json_path)
+        finally:
+            json_tmp.unlink(missing_ok=True)
 
     @classmethod
-    def load(cls, path: str | Path) -> "Trace":
-        """Load a trace previously written with :meth:`save`."""
+    def load(cls, path: str | Path, *, verify_checksum: bool = True) -> "Trace":
+        """Load a trace previously written with :meth:`save`.
+
+        A missing, truncated, or corrupt archive raises
+        :class:`~repro.utils.errors.TraceIOError` carrying the offending
+        path, never a raw ``zipfile``/``numpy``/``json`` exception.  When
+        the sidecar records a checksum it is verified first (disable with
+        ``verify_checksum=False``).
+        """
         path = Path(path)
-        meta = json.loads(path.with_suffix(".json").read_text())
-        with np.load(path.with_suffix(".npz")) as data:
-            samples: dict[str, np.ndarray] = {}
-            runs: dict[str, np.ndarray] = {}
-            recorded: dict[int, dict[str, np.ndarray]] = {}
-            extras: dict[str, np.ndarray] = {}
-            for key in data.files:
-                if key.startswith("samples/"):
-                    samples[key.split("/", 1)[1]] = data[key]
-                elif key.startswith("runs/"):
-                    runs[key.split("/", 1)[1]] = data[key]
-                elif key.startswith("recorded/"):
-                    _, node_str, name = key.split("/", 2)
-                    recorded.setdefault(int(node_str), {})[name] = data[key]
-                else:
-                    extras[key] = data[key]
-        return cls(
-            config=_config_from_dict(meta["config"]),
-            samples=samples,
-            runs=runs,
-            app_names=list(meta["app_names"]),
-            node_mean_temp=extras["node_mean_temp"],
-            node_mean_power=extras["node_mean_power"],
-            node_susceptibility=extras["node_susceptibility"],
-            recorded_series=recorded,
-        )
+        json_path = path.with_suffix(".json")
+        npz_path = path.with_suffix(".npz")
+        try:
+            meta = json.loads(json_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise TraceIOError(json_path, f"unreadable trace metadata: {exc}") from exc
+        if not isinstance(meta, dict) or "config" not in meta:
+            raise TraceIOError(json_path, "trace metadata lacks a 'config' entry")
+        expected = meta.get("checksum")
+        if verify_checksum and expected:
+            try:
+                actual = _sha256_file(npz_path)
+            except OSError as exc:
+                raise TraceIOError(npz_path, f"unreadable trace archive: {exc}") from exc
+            if actual != expected:
+                raise TraceIOError(
+                    npz_path,
+                    f"trace archive checksum mismatch "
+                    f"(expected {expected[:12]}..., got {actual[:12]}...)",
+                )
+        try:
+            with np.load(npz_path) as data:
+                samples: dict[str, np.ndarray] = {}
+                runs: dict[str, np.ndarray] = {}
+                recorded: dict[int, dict[str, np.ndarray]] = {}
+                extras: dict[str, np.ndarray] = {}
+                for key in data.files:
+                    if key.startswith("samples/"):
+                        samples[key.split("/", 1)[1]] = data[key]
+                    elif key.startswith("runs/"):
+                        runs[key.split("/", 1)[1]] = data[key]
+                    elif key.startswith("recorded/"):
+                        _, node_str, name = key.split("/", 2)
+                        recorded.setdefault(int(node_str), {})[name] = data[key]
+                    else:
+                        extras[key] = data[key]
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise TraceIOError(
+                npz_path, f"corrupt or truncated trace archive: {exc}"
+            ) from exc
+        try:
+            return cls(
+                config=_config_from_dict(meta["config"]),
+                samples=samples,
+                runs=runs,
+                app_names=list(meta["app_names"]),
+                node_mean_temp=extras["node_mean_temp"],
+                node_mean_power=extras["node_mean_power"],
+                node_susceptibility=extras["node_susceptibility"],
+                recorded_series=recorded,
+            )
+        except (KeyError, TypeError, ValidationError) as exc:
+            raise TraceIOError(
+                npz_path, f"trace archive has missing or invalid contents: {exc}"
+            ) from exc
+
+
+def _sha256_file(path: Path) -> str:
+    """SHA-256 hex digest of a file, streamed in chunks."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
 
 
 def _config_to_dict(config: TraceConfig) -> dict:

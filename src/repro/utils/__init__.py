@@ -13,8 +13,11 @@ This package intentionally contains only dependency-free building blocks:
 from repro.utils.errors import (
     ReproError,
     ConfigurationError,
+    DegradedDataWarning,
     NotFittedError,
     SimulationError,
+    TelemetryFaultError,
+    TraceIOError,
     ValidationError,
 )
 from repro.utils.ringbuffer import RingBuffer
@@ -33,6 +36,9 @@ __all__ = [
     "ConfigurationError",
     "NotFittedError",
     "SimulationError",
+    "TelemetryFaultError",
+    "TraceIOError",
+    "DegradedDataWarning",
     "ValidationError",
     "RingBuffer",
     "SeedSequenceFactory",

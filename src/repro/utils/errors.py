@@ -25,3 +25,33 @@ class NotFittedError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The trace simulator reached an inconsistent internal state."""
+
+
+class TraceIOError(ReproError, RuntimeError):
+    """A trace archive on disk is missing, corrupt, or truncated.
+
+    Carries the offending ``path`` so callers (e.g. the experiment
+    context's disk cache) can report it and fall back to re-simulation.
+    """
+
+    def __init__(self, path, message: str) -> None:
+        self.path = path
+        super().__init__(f"{message} [{path}]")
+
+
+class TelemetryFaultError(ReproError, RuntimeError):
+    """Telemetry is too corrupt for the sanitizer to recover.
+
+    Raised when a trace fails structural validation (missing columns),
+    when strict sanitization is requested on degraded data, or when
+    quarantining would discard every sample.
+    """
+
+
+class DegradedDataWarning(UserWarning):
+    """Telemetry was repaired or discarded; results may be degraded.
+
+    Emitted (never raised) by the sanitizer when it imputes, dedupes,
+    reconciles counters, or quarantines, and by the experiment context
+    when a corrupt disk cache forces re-simulation.
+    """

@@ -1,0 +1,52 @@
+"""Tests for the experiment context's resilient disk cache."""
+
+import warnings
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.utils.errors import DegradedDataWarning
+
+
+def _cache_npz(tmp_path):
+    files = list(tmp_path.glob("trace-*.npz"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestCacheFallback:
+    def test_corrupt_cache_falls_back_to_resimulation(self, tmp_path):
+        first = ExperimentContext("tiny", cache_dir=tmp_path)
+        expected_rows = first.trace.num_samples
+        npz = _cache_npz(tmp_path)
+        npz.write_bytes(b"this is not a zip archive")
+
+        again = ExperimentContext("tiny", cache_dir=tmp_path)
+        with pytest.warns(DegradedDataWarning, match="re-simulating"):
+            trace = again.trace
+        assert trace.num_samples == expected_rows
+
+    def test_fallback_rewrites_a_valid_cache(self, tmp_path):
+        first = ExperimentContext("tiny", cache_dir=tmp_path)
+        first.trace
+        _cache_npz(tmp_path).write_bytes(b"junk")
+
+        broken = ExperimentContext("tiny", cache_dir=tmp_path)
+        with pytest.warns(DegradedDataWarning):
+            broken.trace
+
+        # Third context reads the repaired cache silently.
+        healed = ExperimentContext("tiny", cache_dir=tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DegradedDataWarning)
+            assert healed.trace.num_samples > 0
+
+    def test_truncated_cache_falls_back(self, tmp_path):
+        first = ExperimentContext("tiny", cache_dir=tmp_path)
+        first.trace
+        npz = _cache_npz(tmp_path)
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 3])
+
+        again = ExperimentContext("tiny", cache_dir=tmp_path)
+        with pytest.warns(DegradedDataWarning):
+            assert again.trace.num_samples > 0

@@ -1,0 +1,42 @@
+"""Tests for the degradation experiment's graceful-degradation claims."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.faults_experiment import run_faults
+
+
+@pytest.fixture(scope="module")
+def faults_result(tiny_context):
+    return run_experiment("faults", tiny_context)
+
+
+class TestDegradationCurve:
+    def test_clean_point_is_sanitizer_noop(self, faults_result):
+        assert faults_result.data["clean_noop"] is True
+        clean = faults_result.data["curve"][0]
+        assert clean["intensity"] == 0.0
+        assert clean["drop"] == 0.0
+        assert clean["f1"] == faults_result.data["baseline_f1"]
+
+    def test_moderate_intensity_bounded_drop(self, faults_result):
+        # The acceptance gate: the default preset at moderate intensity
+        # completes and loses < 0.15 absolute F1.
+        moderate = faults_result.data["moderate_drop"]
+        assert moderate is not None
+        assert moderate < 0.15
+
+    def test_quarantine_fraction_reported(self, faults_result):
+        for point in faults_result.data["curve"]:
+            assert 0.0 <= point["quarantined_fraction"] <= 1.0
+        degraded = [p for p in faults_result.data["curve"] if p["intensity"] > 0]
+        assert degraded and all(p["error"] is None for p in degraded)
+
+    def test_custom_sweep_parameters(self, tiny_context):
+        result = run_faults(
+            tiny_context, intensities=(0.0, 0.2), seed=3, model="lr", split="DS2"
+        )
+        assert result.data["model"] == "lr"
+        assert result.data["split"] == "DS2"
+        assert len(result.data["curve"]) == 2
+        assert result.data["curve"][1]["fault_rows"] > 0

@@ -1,0 +1,151 @@
+"""Tests for the seeded fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CounterResetInjector,
+    DuplicateInjector,
+    FaultLog,
+    FaultSpec,
+    NodeOutageInjector,
+    OutOfOrderInjector,
+    SensorCorruptionInjector,
+    inject_faults,
+)
+from repro.faults.injectors import CLIP_SENTINEL, telemetry_columns_present
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedSequenceFactory
+
+
+def _rng(name="test"):
+    return SeedSequenceFactory(123).generator(name)
+
+
+def _samples_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(a[k], b[k], equal_nan=True) for k in a
+    )
+
+
+class TestFaultSpec:
+    def test_intensity_range_enforced(self):
+        with pytest.raises(ValidationError):
+            FaultSpec(intensity=1.5)
+        with pytest.raises(ValidationError):
+            FaultSpec(intensity=-0.1)
+
+    def test_presets(self):
+        assert FaultSpec.preset("clean").intensity == 0.0
+        assert FaultSpec.preset("moderate").intensity == 0.25
+        with pytest.raises(ValidationError):
+            FaultSpec.preset("catastrophic")
+
+    def test_scaled(self):
+        spec = FaultSpec(intensity=0.5, sensor_rate=0.2)
+        assert spec.scaled(spec.sensor_rate) == pytest.approx(0.1)
+
+
+class TestInjectFaults:
+    def test_zero_intensity_is_exact_noop(self, tiny_trace):
+        faulty, log = inject_faults(tiny_trace, FaultSpec(intensity=0.0))
+        assert faulty is tiny_trace
+        assert len(log) == 0
+
+    def test_deterministic_per_seed(self, tiny_trace):
+        spec = FaultSpec(intensity=0.3)
+        a, log_a = inject_faults(tiny_trace, spec, seed=11)
+        b, log_b = inject_faults(tiny_trace, spec, seed=11)
+        assert _samples_equal(a.samples, b.samples)
+        assert log_a.digest() == log_b.digest()
+
+    def test_seed_changes_outcome(self, tiny_trace):
+        spec = FaultSpec(intensity=0.3)
+        _, log_a = inject_faults(tiny_trace, spec, seed=1)
+        _, log_b = inject_faults(tiny_trace, spec, seed=2)
+        assert log_a.digest() != log_b.digest()
+
+    def test_original_trace_untouched(self, tiny_trace):
+        before = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        inject_faults(tiny_trace, FaultSpec(intensity=0.5), seed=3)
+        assert _samples_equal(before, tiny_trace.samples)
+
+    def test_log_covers_all_kinds_at_high_intensity(self, tiny_trace):
+        _, log = inject_faults(tiny_trace, FaultSpec(intensity=0.5), seed=5)
+        assert set(log.kinds()) == {
+            "outage",
+            "counter_reset",
+            "sensor",
+            "duplicate",
+            "out_of_order",
+        }
+        assert log.rows_affected() > 0
+
+
+class TestIndividualInjectors:
+    def test_outage_drops_only_chosen_nodes(self, tiny_trace):
+        log = FaultLog(seed=0, intensity=1.0)
+        spec = FaultSpec(intensity=1.0)
+        out = NodeOutageInjector().apply(tiny_trace.samples, spec, _rng(), log)
+        dropped = tiny_trace.num_samples - out["node_id"].shape[0]
+        assert dropped == log.rows_affected("outage")
+        assert dropped > 0
+        affected_nodes = {e.node_id for e in log.events}
+        survivors = set(np.unique(out["node_id"]).astype(int))
+        untouched = set(np.unique(tiny_trace.samples["node_id"]).astype(int))
+        assert survivors <= untouched
+        assert affected_nodes <= untouched
+
+    def test_counter_reset_goes_negative(self, tiny_trace):
+        log = FaultLog(seed=0, intensity=1.0)
+        spec = FaultSpec(intensity=1.0)
+        out = CounterResetInjector().apply(tiny_trace.samples, spec, _rng(), log)
+        negatives = int((out["sbe_count"] < 0).sum())
+        assert negatives > 0
+        assert (tiny_trace.samples["sbe_count"] >= 0).all()
+
+    def test_duplicates_grow_table(self, tiny_trace):
+        log = FaultLog(seed=0, intensity=1.0)
+        spec = FaultSpec(intensity=1.0)
+        out = DuplicateInjector().apply(tiny_trace.samples, spec, _rng(), log)
+        added = out["node_id"].shape[0] - tiny_trace.num_samples
+        assert added == log.rows_affected("duplicate")
+        assert added > 0
+
+    def test_out_of_order_permutes_without_loss(self, tiny_trace):
+        log = FaultLog(seed=0, intensity=1.0)
+        spec = FaultSpec(intensity=1.0)
+        s = tiny_trace.samples
+        out = OutOfOrderInjector().apply(s, spec, _rng(), log)
+        assert out["node_id"].shape[0] == tiny_trace.num_samples
+        # Same multiset of rows (check via a per-row composite key).
+        key_in = np.sort(s["run_idx"].astype(np.int64) * 10**6 + s["node_id"])
+        key_out = np.sort(out["run_idx"].astype(np.int64) * 10**6 + out["node_id"])
+        assert np.array_equal(key_in, key_out)
+        assert not np.array_equal(out["end_minute"], s["end_minute"])
+
+    def test_sensor_corruption_modes(self, tiny_trace):
+        log = FaultLog(seed=0, intensity=1.0)
+        spec = FaultSpec(intensity=1.0)
+        out = SensorCorruptionInjector().apply(tiny_trace.samples, spec, _rng(), log)
+        columns = telemetry_columns_present(out)
+        stacked = np.column_stack([out[c].astype(float) for c in columns])
+        assert np.isnan(stacked).any()
+        assert (stacked == CLIP_SENTINEL).any()
+        # Non-telemetry columns are never touched.
+        for name in ("node_id", "start_minute", "end_minute", "sbe_count"):
+            assert np.array_equal(out[name], tiny_trace.samples[name])
+
+    def test_empty_samples_pass_through(self, tiny_trace):
+        empty = {k: v[:0] for k, v in tiny_trace.samples.items()}
+        spec = FaultSpec(intensity=1.0)
+        for injector in (
+            NodeOutageInjector(),
+            CounterResetInjector(),
+            DuplicateInjector(),
+            OutOfOrderInjector(),
+            SensorCorruptionInjector(),
+        ):
+            log = FaultLog(seed=0, intensity=1.0)
+            out = injector.apply(empty, spec, _rng(), log)
+            assert out["node_id"].shape[0] == 0

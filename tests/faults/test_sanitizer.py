@@ -1,0 +1,178 @@
+"""Tests for the telemetry sanitizer, including the satellite edge cases."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSpec, inject_faults, sanitize_trace
+from repro.features.builder import build_features
+from repro.telemetry.trace import SAMPLE_TELEMETRY_COLUMNS, Trace
+from repro.utils.errors import DegradedDataWarning, TelemetryFaultError
+
+
+def _with_samples(trace: Trace, samples: dict) -> Trace:
+    """A copy of ``trace`` with a replaced samples table."""
+    return Trace(
+        config=trace.config,
+        samples=samples,
+        runs=trace.runs,
+        app_names=trace.app_names,
+        node_mean_temp=trace.node_mean_temp,
+        node_mean_power=trace.node_mean_power,
+        node_susceptibility=trace.node_susceptibility,
+        recorded_series=trace.recorded_series,
+    )
+
+
+def _sanitize_quiet(trace):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedDataWarning)
+        return sanitize_trace(trace)
+
+
+class TestCleanPath:
+    def test_clean_trace_is_bitwise_noop(self, tiny_trace):
+        repaired, report = sanitize_trace(tiny_trace)
+        assert repaired is tiny_trace
+        assert report.clean
+        assert report.rows_quarantined == 0
+        assert report.quarantined_fraction == 0.0
+
+    def test_clean_trace_emits_no_warning(self, tiny_trace):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DegradedDataWarning)
+            sanitize_trace(tiny_trace)
+
+    def test_empty_trace_handled(self, tiny_trace):
+        empty = _with_samples(tiny_trace, {k: v[:0] for k, v in tiny_trace.samples.items()})
+        repaired, report = sanitize_trace(empty)
+        assert repaired is empty
+        assert report.total_rows == 0
+        assert report.clean
+
+    def test_missing_column_rejected(self, tiny_trace):
+        samples = dict(tiny_trace.samples)
+        del samples["gpu_temp_mean"]
+        broken = _with_samples(tiny_trace, samples)
+        with pytest.raises(TelemetryFaultError, match="gpu_temp_mean"):
+            sanitize_trace(broken)
+
+
+class TestRepairs:
+    def test_counter_reset_at_window_boundaries(self, tiny_trace):
+        samples = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        sbe = samples["sbe_count"].astype(np.int64)
+        first = int(np.argmin(samples["end_minute"]))
+        last = int(np.argmax(samples["end_minute"]))
+        sbe[first] = -7  # reset crossing the trace's first window boundary
+        sbe[last] = -3  # and its last
+        samples["sbe_count"] = sbe
+        repaired, report = _sanitize_quiet(_with_samples(tiny_trace, samples))
+        assert report.counter_resets == 2
+        assert repaired.num_samples == tiny_trace.num_samples
+        assert (repaired.samples["sbe_count"] >= 0).all()
+
+    def test_duplicate_timestamps_conflicting_values(self, tiny_trace):
+        samples = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        # Duplicate row 0 with identical timestamps but corrupt telemetry.
+        for name, col in list(samples.items()):
+            samples[name] = np.concatenate([col, col[:1]])
+        corrupt = samples["gpu_temp_mean"].astype(float)
+        corrupt[-1] = np.nan  # the duplicate disagrees with the original
+        samples["gpu_temp_mean"] = corrupt
+        repaired, report = _sanitize_quiet(_with_samples(tiny_trace, samples))
+        assert report.duplicates_removed == 1
+        assert repaired.num_samples == tiny_trace.num_samples
+        # The clean copy won: the surviving value is the original one.
+        row = (repaired.samples["run_idx"] == samples["run_idx"][0]) & (
+            repaired.samples["node_id"] == samples["node_id"][0]
+        )
+        kept = repaired.samples["gpu_temp_mean"][row]
+        assert np.isfinite(kept).all()
+        assert kept[0] == pytest.approx(float(tiny_trace.samples["gpu_temp_mean"][0]))
+
+    def test_all_rows_dead_raises(self, tiny_trace):
+        samples = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        for name in SAMPLE_TELEMETRY_COLUMNS:
+            samples[name] = np.full_like(samples[name], np.nan, dtype=float)
+        with pytest.raises(TelemetryFaultError, match="quarantined"):
+            _sanitize_quiet(_with_samples(tiny_trace, samples))
+
+    def test_all_nodes_out_outage_yields_empty_then_graceful(self, tiny_trace):
+        # An outage covering every node and the whole horizon drops every
+        # sample at injection time; the sanitizer must not crash on the
+        # resulting empty trace.
+        empty = _with_samples(
+            tiny_trace, {k: v[:0] for k, v in tiny_trace.samples.items()}
+        )
+        repaired, report = sanitize_trace(empty)
+        assert repaired.num_samples == 0
+        assert report.quarantined_fraction == 0.0
+
+    def test_strict_mode_raises_instead_of_repairing(self, tiny_trace):
+        samples = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        sbe = samples["sbe_count"].astype(np.int64)
+        sbe[0] = -1
+        samples["sbe_count"] = sbe
+        with pytest.raises(TelemetryFaultError, match="strict"):
+            sanitize_trace(_with_samples(tiny_trace, samples), strict=True)
+
+    def test_repair_emits_degraded_warning(self, tiny_trace):
+        faulty, _ = inject_faults(tiny_trace, FaultSpec(intensity=0.3), seed=9)
+        with pytest.warns(DegradedDataWarning):
+            sanitize_trace(faulty)
+
+    def test_out_of_range_values_imputed(self, tiny_trace):
+        samples = {k: v.copy() for k, v in tiny_trace.samples.items()}
+        col = samples["gpu_power_mean"].astype(float)
+        col[5] = 1.0e6  # clipped sensor rail
+        samples["gpu_power_mean"] = col
+        repaired, report = _sanitize_quiet(_with_samples(tiny_trace, samples))
+        assert report.values_imputed == 1
+        fixed = repaired.samples["gpu_power_mean"]
+        assert np.isfinite(fixed).all()
+        assert np.abs(fixed).max() < 1.0e4
+
+
+class TestRoundTripProperties:
+    """sanitize(inject(trace)) invariants, property-style over seeds."""
+
+    @pytest.mark.parametrize("intensity", [0.1, 0.25, 0.5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_row_count_and_feature_invariants(self, tiny_trace, intensity, seed):
+        faulty, log = inject_faults(
+            tiny_trace, FaultSpec(intensity=intensity), seed=seed
+        )
+        repaired, report = _sanitize_quiet(faulty)
+
+        # Row accounting is exact.
+        assert report.total_rows == faulty.num_samples
+        assert (
+            report.rows_out
+            == report.total_rows
+            - report.duplicates_removed
+            - report.rows_quarantined
+        )
+        assert repaired.num_samples == report.rows_out
+        # Never more rows than the clean trace had (dupes are collapsed).
+        assert repaired.num_samples <= tiny_trace.num_samples
+
+        # Every surviving (run, node) pair existed in the clean trace.
+        def pairs(trace):
+            return set(
+                zip(
+                    trace.samples["run_idx"].astype(int),
+                    trace.samples["node_id"].astype(int),
+                )
+            )
+
+        assert pairs(repaired) <= pairs(tiny_trace)
+        # One row per (run, node): the builder's core assumption.
+        assert len(pairs(repaired)) == repaired.num_samples
+
+        # Counters are monotone again and features are fully finite.
+        assert (repaired.samples["sbe_count"] >= 0).all()
+        features = build_features(repaired)
+        assert np.isfinite(features.X).all()
+        assert features.num_samples == repaired.num_samples

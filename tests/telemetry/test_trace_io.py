@@ -1,0 +1,79 @@
+"""Tests for hardened trace persistence: atomicity, checksums, errors."""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import Trace
+from repro.utils.errors import ReproError, TraceIOError
+
+
+@pytest.fixture()
+def saved(tmp_path, tiny_trace):
+    path = tmp_path / "trace"
+    tiny_trace.save(path)
+    return path
+
+
+class TestSave:
+    def test_roundtrip(self, saved, tiny_trace):
+        loaded = Trace.load(saved)
+        assert loaded.num_samples == tiny_trace.num_samples
+        assert loaded.config.seed == tiny_trace.config.seed
+
+    def test_checksum_recorded(self, saved):
+        meta = json.loads(saved.with_suffix(".json").read_text())
+        assert len(meta["checksum"]) == 64
+
+    def test_no_temp_files_left(self, saved):
+        leftovers = [p for p in saved.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestLoadFailures:
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(TraceIOError) as excinfo:
+            Trace.load(tmp_path / "nothing")
+        assert str(tmp_path / "nothing.json") in str(excinfo.value)
+        assert excinfo.value.path == tmp_path / "nothing.json"
+
+    def test_truncated_npz(self, saved):
+        npz = saved.with_suffix(".npz")
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        with pytest.raises(TraceIOError) as excinfo:
+            Trace.load(saved)
+        assert excinfo.value.path == npz
+
+    def test_garbage_json(self, saved):
+        saved.with_suffix(".json").write_text("{not json")
+        with pytest.raises(TraceIOError):
+            Trace.load(saved)
+
+    def test_json_without_config(self, saved):
+        saved.with_suffix(".json").write_text(json.dumps({"app_names": []}))
+        with pytest.raises(TraceIOError, match="config"):
+            Trace.load(saved)
+
+    def test_checksum_mismatch(self, saved):
+        meta = json.loads(saved.with_suffix(".json").read_text())
+        meta["checksum"] = "0" * 64
+        saved.with_suffix(".json").write_text(json.dumps(meta))
+        with pytest.raises(TraceIOError, match="checksum"):
+            Trace.load(saved)
+
+    def test_checksum_verification_can_be_skipped(self, saved):
+        meta = json.loads(saved.with_suffix(".json").read_text())
+        meta["checksum"] = "0" * 64
+        saved.with_suffix(".json").write_text(json.dumps(meta))
+        loaded = Trace.load(saved, verify_checksum=False)
+        assert loaded.num_samples > 0
+
+    def test_legacy_sidecar_without_checksum_loads(self, saved):
+        meta = json.loads(saved.with_suffix(".json").read_text())
+        del meta["checksum"]
+        saved.with_suffix(".json").write_text(json.dumps(meta))
+        loaded = Trace.load(saved)
+        assert loaded.num_samples > 0
+
+    def test_trace_io_error_is_repro_error(self):
+        assert issubclass(TraceIOError, ReproError)

@@ -25,6 +25,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--preset", "giant", "characterize"])
 
+    def test_faults_args(self):
+        args = build_parser().parse_args(
+            ["--preset", "tiny", "faults", "--seed", "7", "--intensities", "0,0.25"]
+        )
+        assert args.command == "faults"
+        assert args.seed == 7
+        assert args.intensities == "0,0.25"
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.seed == 0
+        assert args.intensities is None
+        assert args.model == "gbdt"
+
 
 class TestMain:
     def test_simulate_writes_trace(self, tmp_path, capsys):
@@ -48,3 +62,38 @@ class TestMain:
         code = main(["--preset", "tiny", "experiment", "fig1"])
         assert code == 0
         assert "fig1" in capsys.readouterr().out
+
+    def test_faults_sweep(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["--preset", "tiny", "faults", "--intensities", "0,0.25", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "baseline" in out
+
+
+class TestErrorHandling:
+    """Library failures exit nonzero with one stderr line, no traceback."""
+
+    def test_unknown_experiment_id(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--preset", "tiny", "experiment", "nope"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "nope" in err
+        assert "Traceback" not in err
+
+    def test_invalid_intensities(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--preset", "tiny", "faults", "--intensities", "0,2"])
+        assert code == 1
+        assert "[0, 1]" in capsys.readouterr().err
+
+    def test_unparseable_intensities(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--preset", "tiny", "faults", "--intensities", "a,b"])
+        assert code == 1
+        assert "invalid" in capsys.readouterr().err

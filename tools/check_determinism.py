@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI determinism gate: simulate + inject twice, assert identical hashes.
+
+Runs the tiny-preset simulation twice with one seed and the fault
+injector stack twice on top, then compares content hashes of the trace
+arrays and the fault logs.  Any drift (a reordered RNG draw, an
+accidental dependence on dict order or wall-clock) fails loudly here
+before it can silently invalidate cached traces or experiment results.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_determinism.py [--preset tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+import numpy as np
+
+from repro.experiments.presets import PRESETS, preset_config
+from repro.faults import FaultSpec, inject_faults
+from repro.telemetry.simulator import simulate_trace
+from repro.telemetry.trace import Trace
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable content hash over every array in the trace."""
+    hasher = hashlib.sha256()
+    for name in sorted(trace.samples):
+        hasher.update(name.encode())
+        hasher.update(np.ascontiguousarray(trace.samples[name]).tobytes())
+    for name in sorted(trace.runs):
+        hasher.update(name.encode())
+        hasher.update(np.ascontiguousarray(trace.runs[name]).tobytes())
+    hasher.update(np.ascontiguousarray(trace.node_mean_temp).tobytes())
+    hasher.update(np.ascontiguousarray(trace.node_mean_power).tobytes())
+    hasher.update(np.ascontiguousarray(trace.node_susceptibility).tobytes())
+    return hasher.hexdigest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="tiny", choices=sorted(PRESETS))
+    parser.add_argument("--fault-seed", type=int, default=7)
+    parser.add_argument("--intensity", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    failures = 0
+
+    print(f"simulating preset {args.preset!r} twice ...", flush=True)
+    trace_a = simulate_trace(preset_config(args.preset))
+    trace_b = simulate_trace(preset_config(args.preset))
+    digest_a, digest_b = trace_digest(trace_a), trace_digest(trace_b)
+    if digest_a == digest_b:
+        print(f"  trace ok ({digest_a[:16]}...)")
+    else:
+        print(f"  TRACE MISMATCH: {digest_a[:16]} != {digest_b[:16]}")
+        failures += 1
+
+    print(
+        f"injecting faults (intensity={args.intensity}, "
+        f"seed={args.fault_seed}) twice ...",
+        flush=True,
+    )
+    spec = FaultSpec(intensity=args.intensity, seed=args.fault_seed)
+    faulty_a, log_a = inject_faults(trace_a, spec)
+    faulty_b, log_b = inject_faults(trace_b, spec)
+    if trace_digest(faulty_a) == trace_digest(faulty_b):
+        print("  faulty trace ok")
+    else:
+        print("  FAULTY TRACE MISMATCH")
+        failures += 1
+    if log_a.digest() == log_b.digest():
+        print(f"  fault log ok ({log_a.digest()[:16]}..., {len(log_a)} events)")
+    else:
+        print(f"  FAULT LOG MISMATCH: {log_a.digest()[:16]} != {log_b.digest()[:16]}")
+        failures += 1
+
+    print("determinism check:", "PASS" if failures == 0 else f"FAIL ({failures})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

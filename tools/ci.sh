@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Single CI entry point: determinism gate + tier-1 test suite.
+#
+# Usage: tools/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== determinism check =="
+python tools/check_determinism.py --preset tiny
+
+echo
+echo "== tier-1 tests =="
+python -m pytest -x -q
