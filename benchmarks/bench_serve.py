@@ -1,0 +1,81 @@
+"""Benchmark the online serving path: scoring throughput vs batch size.
+
+Streams the benchmark trace through the feature engine once (shared
+fixture), then measures micro-batch scoring throughput at several batch
+sizes.  The printed table is rows/sec of pure scoring (queue + feature
+assembly + TwoStage prediction), the serving subsystem's headline
+number; a separate test times the full event-driven replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import compute_top_apps
+from repro.serve import (
+    MicroBatchScorer,
+    ScorerConfig,
+    StreamingFeatureEngine,
+    iter_trace_events,
+    serve_replay,
+)
+
+from conftest import run_once
+
+BATCH_SIZES = (32, 128, 512, 2048)
+
+
+@pytest.fixture(scope="module")
+def serving(context):
+    """Fitted fast predictor + streamed rows of the benchmark trace."""
+    train, _ = context.pipeline.train_test("DS1")
+    predictor = TwoStagePredictor("gbdt", random_state=0, fast=True)
+    predictor.fit(train)
+    trace = context.trace
+    engine = StreamingFeatureEngine(
+        trace.machine,
+        compute_top_apps(np.asarray(trace.samples["app_id"], dtype=int), 16),
+    )
+    rows = list(engine.stream(iter_trace_events(trace)))
+    return predictor, engine.schema, rows
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_scoring_throughput(benchmark, serving, batch_size):
+    """Rows/sec through the micro-batch scorer at one batch size."""
+    predictor, schema, rows = serving
+
+    def score_all():
+        scorer = MicroBatchScorer(
+            predictor, schema, ScorerConfig(max_batch_size=batch_size)
+        )
+        scorer.submit(rows, now_minute=0.0)
+        scorer.flush()
+        return scorer.counters
+
+    counters = run_once(benchmark, score_all)
+    print()
+    print(
+        f"batch={batch_size:5d}: {counters.rows_per_second:12,.0f} rows/s "
+        f"scoring, {counters.batches} batches, "
+        f"{counters.rows_scored} rows"
+    )
+    assert counters.rows_scored == len(rows)
+    assert counters.rows_per_second > 0
+
+
+def test_serve_replay_end_to_end(benchmark, context, tmp_path):
+    """The full online replay: events -> features -> registry -> alerts."""
+    report = run_once(
+        benchmark,
+        lambda: serve_replay(
+            context.trace,
+            tmp_path / "registry",
+            splits=context.preset_splits(),
+            batch_size=256,
+            fast=True,
+        ),
+    )
+    print()
+    print(report)
+    assert report.agreement == 1.0

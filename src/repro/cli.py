@@ -8,6 +8,7 @@ Subcommands::
     repro experiment fig10 table2 ...                  # named artifacts
     repro experiment all                               # the full sweep
     repro faults --intensities 0,0.1,0.25 --seed 7     # degradation curve
+    repro serve-replay --registry runs/registry        # online-path replay
 
 All subcommands share the preset-keyed trace cache (see
 ``repro.experiments.runner.default_cache_dir``).  Library failures
@@ -79,6 +80,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fa.add_argument("--split", default="DS1")
     fa.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
+
+    sv = sub.add_parser(
+        "serve-replay",
+        help="replay the trace through the online serving path "
+        "(registry + streaming features + micro-batch scoring)",
+    )
+    sv.add_argument(
+        "--registry", required=True, help="model registry root directory"
+    )
+    sv.add_argument("--split", default="DS1")
+    sv.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
+    sv.add_argument(
+        "--batch-size", type=int, default=256, help="scorer micro-batch size"
+    )
+    sv.add_argument(
+        "--flush-deadline",
+        type=float,
+        default=30.0,
+        help="max event-time minutes a row may wait before scoring",
+    )
+    sv.add_argument(
+        "--retrain-every",
+        type=float,
+        default=None,
+        help="periodic retrain cadence in days (off by default)",
+    )
+    sv.add_argument("--seed", type=int, default=0, help="stage-2 model seed")
+    sv.add_argument(
+        "--fast", action="store_true", help="reduced-capacity stage-2 model"
+    )
+    sv.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the fault sanitizer on the trace before replay",
+    )
     return parser
 
 
@@ -135,6 +171,25 @@ def _dispatch(args: argparse.Namespace) -> int:
         for experiment_id in ids:
             print(run_experiment(experiment_id, context))
             print()
+        return 0
+
+    if args.command == "serve-replay":
+        from repro.serve import serve_replay
+
+        report = serve_replay(
+            context.trace,
+            args.registry,
+            splits=context.preset_splits(),
+            split=args.split,
+            model=args.model,
+            batch_size=args.batch_size,
+            flush_deadline_minutes=args.flush_deadline,
+            retrain_every_days=args.retrain_every,
+            random_state=args.seed,
+            fast=args.fast,
+            sanitize=args.sanitize,
+        )
+        print(report)
         return 0
 
     if args.command == "faults":

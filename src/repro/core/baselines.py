@@ -39,6 +39,10 @@ class RandomBaseline:
         """Coin-flip labels for each sample."""
         return (self._rng.random(features.num_samples) < 0.5).astype(int)
 
+    def decision_scores(self, features: FeatureMatrix) -> np.ndarray:
+        """Uninformative ranking scores: 0.5 for every sample."""
+        return np.full(features.num_samples, 0.5)
+
 
 class BasicA:
     """Offender-node scheme: erred-before nodes always predicted positive."""
@@ -67,6 +71,10 @@ class BasicA:
         offenders = np.asarray(sorted(self._offenders), dtype=nodes.dtype)
         return np.isin(nodes, offenders).astype(int)
 
+    def decision_scores(self, features: FeatureMatrix) -> np.ndarray:
+        """Hard labels as ranking scores (the scheme has no margin)."""
+        return self.predict(features).astype(float)
+
 
 class BasicB:
     """Offender-application scheme: erred-before apps predicted positive."""
@@ -87,6 +95,10 @@ class BasicB:
         apps = features.meta["app_id"]
         offender_apps = np.asarray(sorted(self._apps), dtype=apps.dtype)
         return np.isin(apps, offender_apps).astype(int)
+
+    def decision_scores(self, features: FeatureMatrix) -> np.ndarray:
+        """Hard labels as ranking scores (the scheme has no margin)."""
+        return self.predict(features).astype(float)
 
 
 class BasicC:
@@ -120,3 +132,7 @@ class BasicC:
             return np.zeros(features.num_samples, dtype=int)
         offender_apps = np.asarray(sorted(self._apps), dtype=apps.dtype)
         return np.isin(apps, offender_apps).astype(int)
+
+    def decision_scores(self, features: FeatureMatrix) -> np.ndarray:
+        """Hard labels as ranking scores (the scheme has no margin)."""
+        return self.predict(features).astype(float)

@@ -132,6 +132,14 @@ class TwoStagePredictor:
             proba[passed] = self._model.predict_proba(X)
         return proba
 
+    def decision_scores(self, features: FeatureMatrix) -> np.ndarray:
+        """Ranking scores per sample (stage-1 rejected samples score 0).
+
+        Mirrors :meth:`repro.ml.base.BaseClassifier.decision_scores`: the
+        serving layer ranks alerts by this value.
+        """
+        return self.predict_proba(features)
+
     def stage1_pass_mask(self, features: FeatureMatrix) -> np.ndarray:
         """Boolean mask of samples forwarded to stage 2."""
         if self._offenders is None:

@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.core.pipeline import PredictionPipeline, SplitResult
 from repro.experiments.presets import preset_config, split_plan
 from repro.features.builder import FeatureMatrix, build_features
-from repro.features.splits import make_paper_splits
+from repro.features.splits import DatasetSplit, make_paper_splits
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
 from repro.utils.errors import DegradedDataWarning, ReproError
@@ -92,6 +92,16 @@ class ExperimentContext:
             self._pipeline = self.make_pipeline(self.features)
         return self._pipeline
 
+    def preset_splits(self) -> list[DatasetSplit]:
+        """This preset's DS1-DS3 sliding splits (validated against the trace)."""
+        plan = split_plan(self.preset)
+        return make_paper_splits(
+            train_days=plan["train_days"],
+            test_days=plan["test_days"],
+            offsets_days=tuple(plan["offsets"]),
+            duration_days=self.trace.config.duration_days,
+        )
+
     def make_pipeline(self, features: FeatureMatrix) -> PredictionPipeline:
         """A pipeline over ``features`` using this preset's split plan.
 
@@ -99,14 +109,7 @@ class ExperimentContext:
         (e.g. fault-injected) feature matrices under the exact splits of
         the cached :attr:`pipeline`.
         """
-        plan = split_plan(self.preset)
-        splits = make_paper_splits(
-            train_days=plan["train_days"],
-            test_days=plan["test_days"],
-            offsets_days=tuple(plan["offsets"]),
-            duration_days=self.trace.config.duration_days,
-        )
-        return PredictionPipeline(features, splits)
+        return PredictionPipeline(features, self.preset_splits())
 
     # ------------------------------------------------------------------
     def twostage(

@@ -15,8 +15,13 @@ groups in Fig. 11, temperature/power variants in Table IV, history
 variants in Fig. 12) are column selections, not re-implementations.
 """
 
-from repro.features.builder import FeatureMatrix, SampleTableBuilder, build_features
-from repro.features.history import HistoryIndex
+from repro.features.builder import (
+    FeatureMatrix,
+    SampleTableBuilder,
+    build_features,
+    compute_top_apps,
+)
+from repro.features.history import HistoryIndex, IncrementalHistoryIndex
 from repro.features.schema import (
     FeatureSchema,
     GROUP_APP,
@@ -30,7 +35,9 @@ __all__ = [
     "FeatureMatrix",
     "SampleTableBuilder",
     "build_features",
+    "compute_top_apps",
     "HistoryIndex",
+    "IncrementalHistoryIndex",
     "FeatureSchema",
     "GROUP_APP",
     "GROUP_HIST",

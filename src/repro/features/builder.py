@@ -23,10 +23,27 @@ from repro.features.schema import (
 from repro.telemetry.trace import PRE_WINDOWS_MINUTES, Trace
 from repro.utils.errors import ValidationError
 
-__all__ = ["FeatureMatrix", "SampleTableBuilder", "build_features"]
+__all__ = [
+    "FeatureMatrix",
+    "SampleTableBuilder",
+    "build_features",
+    "compute_top_apps",
+]
 
 MINUTES_PER_DAY = 1440.0
 _STAT_SUFFIXES = ("mean", "std", "dmean", "dstd")
+
+
+def compute_top_apps(app_ids: np.ndarray, top_k: int) -> np.ndarray:
+    """The ``top_k`` most frequent app ids, most frequent first.
+
+    This is the app vocabulary behind the ``app_is_topNN`` indicator
+    columns.  The streaming engine (:mod:`repro.serve.engine`) must use
+    the *same* ranking as the batch builder for its rows to be
+    bit-identical, so both call this helper.
+    """
+    app_ids = np.asarray(app_ids, dtype=int)
+    return np.argsort(np.bincount(app_ids))[::-1][: int(top_k)]
 
 
 @dataclass
@@ -99,7 +116,7 @@ class SampleTableBuilder:
         # ------------------------------------------------------------------
         app_id = s["app_id"].astype(int)
         add("app_code", app_id, GROUP_APP)
-        top_apps = np.argsort(np.bincount(app_id))[::-1][: self._top_k_apps]
+        top_apps = compute_top_apps(app_id, self._top_k_apps)
         for rank, app in enumerate(top_apps):
             add(f"app_is_top{rank:02d}", (app_id == app).astype(float), GROUP_APP)
         prev_app = s["prev_app_id"].astype(int)

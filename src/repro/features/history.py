@@ -12,11 +12,13 @@ jobs and answers window-count queries with binary search.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from repro.utils.errors import ValidationError
 
-__all__ = ["HistoryIndex", "dedupe_job_events"]
+__all__ = ["HistoryIndex", "IncrementalHistoryIndex", "dedupe_job_events"]
 
 
 def dedupe_job_events(
@@ -167,4 +169,94 @@ class HistoryIndex:
         lo = int(np.searchsorted(times, start, side="left"))
         upper = int(cums[hi - 1]) if hi > 0 else 0
         lower = int(cums[lo - 1]) if lo > 0 else 0
+        return upper - lower
+
+
+class IncrementalHistoryIndex:
+    """Event-at-a-time counterpart of :class:`HistoryIndex`.
+
+    The streaming feature engine cannot rebuild a batch index per event,
+    so this class accepts one ``(key, minute, count)`` event at a time —
+    in non-decreasing minute order, which is how an online collector sees
+    them — and answers the same window queries with the same semantics:
+    an event counts toward ``[start, end)`` when ``start <= t < end``
+    (``searchsorted(..., side="left")`` in the batch index, ``bisect_left``
+    here), so a batch index over the first *n* events and an incremental
+    index fed those same *n* events agree exactly.
+    """
+
+    def __init__(self) -> None:
+        self._times: dict[int, list[float]] = {}
+        self._cums: dict[int, list[int]] = {}
+        self._global_times: list[float] = []
+        self._global_cums: list[int] = []
+        self._last_minute = -np.inf
+
+    def __len__(self) -> int:
+        """Number of events applied so far."""
+        return len(self._global_times)
+
+    @property
+    def last_minute(self) -> float:
+        """Minute of the most recent event (``-inf`` when empty)."""
+        return self._last_minute
+
+    def add(self, key: int, minute: float, count: int) -> None:
+        """Apply one SBE event; minutes must be non-decreasing."""
+        minute = float(minute)
+        if minute < self._last_minute:
+            raise ValidationError(
+                f"events must arrive in time order: {minute} after "
+                f"{self._last_minute}"
+            )
+        self._last_minute = minute
+        times = self._times.setdefault(int(key), [])
+        cums = self._cums.setdefault(int(key), [])
+        times.append(minute)
+        cums.append((cums[-1] if cums else 0) + int(count))
+        self._global_times.append(minute)
+        self._global_cums.append(
+            (self._global_cums[-1] if self._global_cums else 0) + int(count)
+        )
+
+    def count_between(self, key: int, start_minute: float, end_minute: float) -> int:
+        """SBEs for ``key`` whose event time falls in ``[start, end)``."""
+        times = self._times.get(int(key))
+        if not times:
+            return 0
+        return self._window(times, self._cums[int(key)], start_minute, end_minute)
+
+    def count_before(self, key: int, minute: float) -> int:
+        """SBEs for ``key`` strictly before ``minute``."""
+        return self.count_between(key, -np.inf, minute)
+
+    def global_between(self, start_minute: float, end_minute: float) -> int:
+        """Machine-wide SBEs in ``[start, end)``."""
+        return self._window(
+            self._global_times, self._global_cums, start_minute, end_minute
+        )
+
+    def global_before(self, minute: float) -> int:
+        """Machine-wide SBEs strictly before ``minute``."""
+        return self.global_between(-np.inf, minute)
+
+    def keys_before(self, minute: float) -> np.ndarray:
+        """Keys with at least one SBE strictly before ``minute``.
+
+        The online form of the stage-1 offender predicate; matches
+        :meth:`HistoryIndex.keys_before` on the same event prefix.
+        """
+        keys = [
+            key for key, times in self._times.items() if times and times[0] < minute
+        ]
+        return np.asarray(sorted(keys), dtype=int)
+
+    @staticmethod
+    def _window(
+        times: list[float], cums: list[int], start: float, end: float
+    ) -> int:
+        hi = bisect_left(times, end)
+        lo = bisect_left(times, start)
+        upper = cums[hi - 1] if hi > 0 else 0
+        lower = cums[lo - 1] if lo > 0 else 0
         return upper - lower

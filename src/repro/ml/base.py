@@ -95,6 +95,16 @@ class BaseClassifier:
         """Predicted labels in {0, 1} for each row of ``X``."""
         return (self.predict_proba(X) >= self.threshold).astype(int)
 
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Ranking scores in ``[0, 1]``; larger means more likely class 1.
+
+        The uniform accessor the serving layer uses to rank alerts: every
+        classifier returns its class-1 probability (a monotone transform
+        of the raw margin), so scores are comparable across thresholds and
+        a sort by ``decision_scores`` is a sort by model confidence.
+        """
+        return self.predict_proba(X)
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------

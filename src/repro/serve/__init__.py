@@ -1,0 +1,53 @@
+"""Online serving: model registry, streaming features, micro-batch scoring.
+
+The paper's TwoStage framework is meant to run *online*: stage 1 filters
+live samples down to known offender nodes, stage 2 scores what passes,
+and the model is retrained periodically as new offenders appear.  This
+package turns the repo's offline pipeline into that service, in three
+layers:
+
+* :mod:`repro.serve.registry` -- versioned, checksummed on-disk artifacts
+  for fitted :class:`~repro.core.twostage.TwoStagePredictor` models;
+* :mod:`repro.serve.events` / :mod:`repro.serve.engine` -- an event-driven
+  feature engine whose rows are bit-identical to the batch
+  :func:`~repro.features.builder.build_features` output;
+* :mod:`repro.serve.scorer` -- a micro-batching scorer with latency /
+  throughput / queue-depth counters and hot model swap.
+
+:func:`repro.serve.replay.serve_replay` wires the three together to
+replay a trace through the full online path and compare against the
+batch oracle (the CLI's ``serve-replay`` subcommand).
+"""
+
+from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
+from repro.serve.events import (
+    JobResolved,
+    RunCompleted,
+    RunStarted,
+    SbeObserved,
+    iter_trace_events,
+)
+from repro.serve.registry import ModelRegistry, ModelVersion, load_model, save_model
+from repro.serve.replay import ReplayReport, serve_replay
+from repro.serve.scorer import Alert, MicroBatchScorer, ScorerConfig, ServeCounters
+
+__all__ = [
+    "StreamedRow",
+    "StreamingFeatureEngine",
+    "rows_to_matrix",
+    "RunStarted",
+    "RunCompleted",
+    "SbeObserved",
+    "JobResolved",
+    "iter_trace_events",
+    "ModelRegistry",
+    "ModelVersion",
+    "save_model",
+    "load_model",
+    "ReplayReport",
+    "serve_replay",
+    "Alert",
+    "MicroBatchScorer",
+    "ScorerConfig",
+    "ServeCounters",
+]

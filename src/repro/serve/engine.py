@@ -1,0 +1,341 @@
+"""Stateful streaming feature engine.
+
+Consumes the telemetry event stream (:mod:`repro.serve.events`) in
+delivery order and emits one model-ready feature row per (run, node)
+sample at run completion.  The contract — enforced by the parity tests —
+is that the emitted rows are **bit-identical** to the batch
+:func:`~repro.features.builder.build_features` output on the same trace:
+
+* telemetry and application columns are carried by the completion event
+  (the out-of-band sampler computed them online, exactly as in batch);
+* history features are evaluated at run *start* against an
+  :class:`~repro.features.history.IncrementalHistoryIndex` fed only the
+  SBE events observed so far, which matches the batch index's causal
+  window queries because both count events with ``start <= t < end``;
+* the app indicator vocabulary (``app_is_topNN``) is supplied by the
+  caller — frozen at training time in production, or computed with
+  :func:`~repro.features.builder.compute_top_apps` for replay parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.builder import FeatureMatrix
+from repro.features.history import IncrementalHistoryIndex
+from repro.features.schema import (
+    FeatureSchema,
+    GROUP_APP,
+    GROUP_HIST,
+    GROUP_LOCATION,
+    GROUP_TP,
+)
+from repro.serve.events import (
+    JobResolved,
+    RunCompleted,
+    RunStarted,
+    SbeObserved,
+)
+from repro.telemetry.trace import PRE_WINDOWS_MINUTES
+from repro.topology.machine import Machine
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "StreamedRow",
+    "StreamingFeatureEngine",
+    "build_stream_schema",
+    "rows_to_matrix",
+]
+
+MINUTES_PER_DAY = 1440.0
+_STAT_SUFFIXES = ("mean", "std", "dmean", "dstd")
+
+
+@dataclass(frozen=True)
+class StreamedRow:
+    """One (run, node) feature row emitted at run completion."""
+
+    run_idx: int
+    job_id: int
+    node_id: int
+    app_id: int
+    start_minute: float
+    end_minute: float
+    duration_minutes: float
+    n_nodes: int
+    gpu_core_hours: float
+    #: Feature vector in the engine's schema order.
+    features: np.ndarray
+
+
+def build_stream_schema(num_top_apps: int) -> FeatureSchema:
+    """The engine's feature schema; must mirror the batch builder exactly."""
+    schema = FeatureSchema()
+    schema.add("app_code", GROUP_APP)
+    for rank in range(num_top_apps):
+        schema.add(f"app_is_top{rank:02d}", GROUP_APP)
+    schema.add("prev_app_code", GROUP_APP)
+    schema.add("prev_app_same", GROUP_APP)
+    for name in (
+        "duration_minutes",
+        "n_nodes",
+        "gpu_core_hours",
+        "gpu_util",
+        "max_mem_gb",
+        "agg_mem_gb",
+    ):
+        schema.add(name, GROUP_APP)
+    for quantity in ("gpu_temp", "gpu_power"):
+        for suffix in _STAT_SUFFIXES:
+            schema.add(f"{quantity}_{suffix}", GROUP_TP, "tp_cur")
+    for window in PRE_WINDOWS_MINUTES:
+        for quantity in ("temp", "power"):
+            for suffix in _STAT_SUFFIXES:
+                schema.add(f"pre{window}_{quantity}_{suffix}", GROUP_TP, "tp_prev")
+    for quantity in ("cpu_temp", "nei_temp", "nei_power"):
+        for suffix in _STAT_SUFFIXES:
+            schema.add(f"{quantity}_{suffix}", GROUP_TP, "tp_nei")
+    for name in (
+        "loc_cabinet_x",
+        "loc_cabinet_y",
+        "loc_cage",
+        "loc_slot",
+        "loc_node_in_slot",
+        "loc_node_code",
+    ):
+        schema.add(name, GROUP_LOCATION)
+    for length in ("today", "yesterday", "before"):
+        schema.add(f"hist_node_{length}", GROUP_HIST, "hist_local", f"hist_{length}")
+        schema.add(f"hist_app_{length}", GROUP_HIST, "hist_app", f"hist_{length}")
+        schema.add(
+            f"hist_machine_{length}", GROUP_HIST, "hist_global", f"hist_{length}"
+        )
+    schema.add("hist_alloc_today", GROUP_HIST, "hist_local", "hist_today")
+    return schema
+
+
+class StreamingFeatureEngine:
+    """Turns the event stream into feature rows, one run at a time."""
+
+    def __init__(self, machine: Machine, top_apps: np.ndarray) -> None:
+        self._machine = machine
+        self._top_apps = np.asarray(top_apps, dtype=int)
+        self.schema = build_stream_schema(self._top_apps.size)
+        self._node_index = IncrementalHistoryIndex()
+        self._app_index = IncrementalHistoryIndex()
+        #: run_idx -> history feature arrays computed at the run's start.
+        self._pending: dict[int, dict[str, np.ndarray]] = {}
+        self.rows_emitted = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def node_index(self) -> IncrementalHistoryIndex:
+        """Node-keyed SBE history (the online stage-1 substrate)."""
+        return self._node_index
+
+    @property
+    def app_index(self) -> IncrementalHistoryIndex:
+        """Application-keyed SBE history."""
+        return self._app_index
+
+    @property
+    def pending_runs(self) -> int:
+        """Runs started but not yet completed."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def process(self, event) -> list[StreamedRow]:
+        """Apply one event; returns emitted rows (non-empty on completion)."""
+        self.events_processed += 1
+        if isinstance(event, RunStarted):
+            self._on_start(event)
+            return []
+        if isinstance(event, RunCompleted):
+            return self._on_complete(event)
+        if isinstance(event, SbeObserved):
+            self._node_index.add(event.node_id, event.minute, event.count)
+            self._app_index.add(event.app_id, event.minute, event.count)
+            return []
+        if isinstance(event, JobResolved):
+            return []  # label bookkeeping is the serving layer's job
+        raise ValidationError(f"unknown telemetry event type: {type(event).__name__}")
+
+    def stream(self, events):
+        """Process an iterable of events, yielding rows as they emit."""
+        for event in events:
+            yield from self.process(event)
+
+    # ------------------------------------------------------------------
+    def _on_start(self, event: RunStarted) -> None:
+        if event.run_idx in self._pending:
+            raise ValidationError(f"run {event.run_idx} started twice")
+        nodes = np.asarray(event.node_ids, dtype=int)
+        apps = np.asarray(event.app_ids, dtype=int)
+        starts = np.asarray(event.start_minutes, dtype=float)
+        day = MINUTES_PER_DAY
+        windows = (
+            ("today", -day, 0.0),
+            ("yesterday", -2.0 * day, -day),
+            ("before", -np.inf, -2.0 * day),
+        )
+        hist: dict[str, np.ndarray] = {}
+        for length, lo, hi in windows:
+            node_counts = np.asarray(
+                [
+                    self._node_index.count_between(nd, st + lo, st + hi)
+                    for nd, st in zip(nodes, starts)
+                ],
+                dtype=np.int64,
+            )
+            app_counts = np.asarray(
+                [
+                    self._app_index.count_between(ap, st + lo, st + hi)
+                    for ap, st in zip(apps, starts)
+                ],
+                dtype=np.int64,
+            )
+            machine_counts = np.asarray(
+                [
+                    self._node_index.global_between(st + lo, st + hi)
+                    for st in starts
+                ],
+                dtype=np.int64,
+            )
+            hist[f"node_{length}"] = node_counts
+            hist[f"app_{length}"] = app_counts
+            hist[f"machine_{length}"] = machine_counts
+        # Allocation-level history: mean node "today" count over the run's
+        # rows (float sum of integer-valued terms, exact — matches the
+        # batch builder's bincount accumulation).
+        today = hist["node_today"].astype(float)
+        hist["alloc_today"] = np.full(nodes.size, today.sum() / float(nodes.size))
+        self._pending[event.run_idx] = hist
+
+    def _on_complete(self, event: RunCompleted) -> list[StreamedRow]:
+        hist = self._pending.pop(event.run_idx, None)
+        if hist is None:
+            raise ValidationError(
+                f"run {event.run_idx} completed but was never started"
+            )
+        r = event.rows
+        app_id = np.asarray(r["app_id"], dtype=int)
+        prev_app = np.asarray(r["prev_app_id"], dtype=int)
+        node_id = np.asarray(r["node_id"], dtype=int)
+        machine = self._machine
+        cfg = machine.config
+
+        columns: list[np.ndarray] = [np.asarray(app_id, dtype=float)]
+        for app in self._top_apps:
+            columns.append((app_id == app).astype(float))
+        columns.append(np.asarray(prev_app, dtype=float))
+        columns.append((prev_app == app_id).astype(float))
+        for name in (
+            "duration_minutes",
+            "n_nodes",
+            "gpu_core_hours",
+            "gpu_util",
+            "max_mem_gb",
+            "agg_mem_gb",
+        ):
+            columns.append(np.asarray(r[name], dtype=float))
+        for quantity in ("gpu_temp", "gpu_power"):
+            for suffix in _STAT_SUFFIXES:
+                columns.append(np.asarray(r[f"{quantity}_{suffix}"], dtype=float))
+        for window in PRE_WINDOWS_MINUTES:
+            for quantity in ("temp", "power"):
+                for suffix in _STAT_SUFFIXES:
+                    columns.append(
+                        np.asarray(r[f"pre{window}_{quantity}_{suffix}"], dtype=float)
+                    )
+        for quantity in ("cpu_temp", "nei_temp", "nei_power"):
+            for suffix in _STAT_SUFFIXES:
+                columns.append(np.asarray(r[f"{quantity}_{suffix}"], dtype=float))
+
+        columns.append(np.asarray(machine.cabinet_x[node_id], dtype=float))
+        columns.append(np.asarray(machine.cabinet_y[node_id], dtype=float))
+        per_cab = cfg.nodes_per_cabinet
+        within = node_id % per_cab
+        per_cage = cfg.slots_per_cage * cfg.nodes_per_slot
+        columns.append(np.asarray(within // per_cage, dtype=float))
+        columns.append(
+            np.asarray((within % per_cage) // cfg.nodes_per_slot, dtype=float)
+        )
+        columns.append(np.asarray(within % cfg.nodes_per_slot, dtype=float))
+        columns.append(np.asarray(node_id, dtype=float))
+
+        for length in ("today", "yesterday", "before"):
+            columns.append(np.log1p(hist[f"node_{length}"]))
+            columns.append(np.log1p(hist[f"app_{length}"]))
+            columns.append(np.log1p(hist[f"machine_{length}"]))
+        columns.append(np.log1p(hist["alloc_today"]))
+
+        X = np.column_stack(columns)
+        if X.shape[1] != len(self.schema):  # pragma: no cover - invariant
+            raise ValidationError(
+                f"engine produced {X.shape[1]} columns, schema has "
+                f"{len(self.schema)}"
+            )
+        rows = [
+            StreamedRow(
+                run_idx=int(r["run_idx"][i]),
+                job_id=int(r["job_id"][i]),
+                node_id=int(node_id[i]),
+                app_id=int(app_id[i]),
+                start_minute=float(r["start_minute"][i]),
+                end_minute=float(r["end_minute"][i]),
+                duration_minutes=float(r["duration_minutes"][i]),
+                n_nodes=int(r["n_nodes"][i]),
+                gpu_core_hours=float(r["gpu_core_hours"][i]),
+                features=X[i],
+            )
+            for i in range(node_id.size)
+        ]
+        self.rows_emitted += len(rows)
+        return rows
+
+
+def rows_to_matrix(
+    rows: list[StreamedRow],
+    schema: FeatureSchema,
+    *,
+    sbe_counts: np.ndarray | None = None,
+) -> FeatureMatrix:
+    """Assemble streamed rows into a batch-compatible feature matrix.
+
+    ``sbe_counts`` supplies the resolved per-row labels (defaults to all
+    zeros for not-yet-resolved rows); the result then feeds the same
+    :class:`~repro.core.twostage.TwoStagePredictor` fit/predict API as
+    the batch path.
+    """
+    if not rows:
+        raise ValidationError("cannot build a feature matrix from zero rows")
+    if sbe_counts is None:
+        sbe_counts = np.zeros(len(rows), dtype=np.int64)
+    sbe_counts = np.asarray(sbe_counts, dtype=np.int64)
+    if sbe_counts.shape[0] != len(rows):
+        raise ValidationError("sbe_counts and rows disagree on sample count")
+    meta = {
+        "run_idx": np.asarray([row.run_idx for row in rows], dtype=int),
+        "job_id": np.asarray([row.job_id for row in rows], dtype=int),
+        "node_id": np.asarray([row.node_id for row in rows], dtype=int),
+        "app_id": np.asarray([row.app_id for row in rows], dtype=int),
+        "start_minute": np.asarray([row.start_minute for row in rows], dtype=float),
+        "end_minute": np.asarray([row.end_minute for row in rows], dtype=float),
+        "duration_minutes": np.asarray(
+            [row.duration_minutes for row in rows], dtype=float
+        ),
+        "n_nodes": np.asarray([row.n_nodes for row in rows], dtype=int),
+        "gpu_core_hours": np.asarray(
+            [row.gpu_core_hours for row in rows], dtype=float
+        ),
+        "sbe_count": sbe_counts,
+    }
+    return FeatureMatrix(
+        X=np.vstack([row.features for row in rows]),
+        y=(sbe_counts > 0).astype(int),
+        schema=schema,
+        meta=meta,
+    )

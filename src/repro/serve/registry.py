@@ -1,0 +1,310 @@
+"""Versioned on-disk registry for fitted TwoStage predictors.
+
+Artifact layout (one directory per version)::
+
+    <root>/<name>/v0001/predictor.pkl   # pickled fitted predictor
+    <root>/<name>/v0001/manifest.json   # commit record, written last
+
+The manifest is the commit point: it carries the SHA-256 checksum of the
+payload, the declared feature schema, and caller metadata (training
+window, split, seed, ...).  Payload and manifest are both written with
+the atomic temp-then-rename helpers from :mod:`repro.utils.io` — the
+same hardened-IO discipline as the trace archive — so a crashed writer
+can never leave a version that :meth:`ModelRegistry.load_model` would
+silently accept: a directory without a valid manifest is simply not a
+version.
+
+Every failure mode (missing version, corrupt payload, unsupported
+format, schema mismatch) raises
+:class:`~repro.utils.errors.ModelRegistryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.twostage import TwoStagePredictor
+from repro.utils.errors import ModelRegistryError
+from repro.utils.io import atomic_write_bytes, atomic_write_json, sha256_bytes
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ModelVersion",
+    "ModelRegistry",
+    "save_model",
+    "load_model",
+    "list_versions",
+]
+
+#: On-disk artifact format; bump when the payload layout changes.
+ARTIFACT_FORMAT = 1
+
+_PAYLOAD_FILE = "predictor.pkl"
+_MANIFEST_FILE = "manifest.json"
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One committed registry entry (manifest already parsed)."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: dict
+
+    @property
+    def model_name(self) -> str:
+        """Stage-2 model name recorded at save time."""
+        return self.manifest["model_name"]
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Stage-2 input column names recorded at save time."""
+        return list(self.manifest["feature_names"])
+
+    @property
+    def metadata(self) -> dict:
+        """Caller-supplied training metadata."""
+        return dict(self.manifest.get("metadata", {}))
+
+
+class ModelRegistry:
+    """Save / load / enumerate versioned TwoStage artifacts under a root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def list_versions(self, name: str = "twostage") -> list[ModelVersion]:
+        """Committed versions of ``name``, oldest first.
+
+        Uncommitted or unreadable version directories (no manifest, or a
+        manifest that fails to parse) are skipped: they are either
+        in-flight writers or crash debris, never load candidates.
+        """
+        name_dir = self.root / name
+        if not name_dir.is_dir():
+            return []
+        versions = []
+        for child in sorted(name_dir.iterdir()):
+            match = _VERSION_RE.match(child.name)
+            if not match:
+                continue
+            manifest = self._read_manifest(child, strict=False)
+            if manifest is None:
+                continue
+            versions.append(
+                ModelVersion(
+                    name=name,
+                    version=int(match.group(1)),
+                    path=child,
+                    manifest=manifest,
+                )
+            )
+        versions.sort(key=lambda v: v.version)
+        return versions
+
+    def latest(self, name: str = "twostage") -> ModelVersion:
+        """The most recent committed version of ``name``."""
+        versions = self.list_versions(name)
+        if not versions:
+            raise ModelRegistryError(
+                f"model {name!r} has no committed versions", path=self.root / name
+            )
+        return versions[-1]
+
+    # ------------------------------------------------------------------
+    def save_model(
+        self,
+        predictor: TwoStagePredictor,
+        *,
+        name: str = "twostage",
+        metadata: dict | None = None,
+    ) -> ModelVersion:
+        """Persist a fitted predictor as the next version of ``name``.
+
+        Raises :class:`~repro.utils.errors.NotFittedError` for an
+        unfitted predictor (there is nothing meaningful to serialize).
+        """
+        feature_names = predictor.feature_names  # raises NotFittedError
+        offenders = predictor.offender_nodes
+        payload = pickle.dumps(
+            {"format": ARTIFACT_FORMAT, "predictor": predictor},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        version = self._next_version(name)
+        version_dir = self.root / name / f"v{version:04d}"
+        version_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(version_dir / _PAYLOAD_FILE, payload)
+        manifest = {
+            "format": ARTIFACT_FORMAT,
+            "name": name,
+            "version": version,
+            "model_name": predictor.model_name,
+            "n_features": len(feature_names),
+            "feature_names": list(feature_names),
+            "num_offender_nodes": int(offenders.size),
+            "payload": _PAYLOAD_FILE,
+            "checksum": sha256_bytes(payload),
+            "metadata": metadata or {},
+        }
+        atomic_write_json(version_dir / _MANIFEST_FILE, manifest)
+        return ModelVersion(
+            name=name, version=version, path=version_dir, manifest=manifest
+        )
+
+    def load_model(
+        self,
+        name: str = "twostage",
+        version: int | None = None,
+        *,
+        expect_feature_names: list[str] | None = None,
+    ) -> tuple[TwoStagePredictor, ModelVersion]:
+        """Load a committed version (latest when ``version is None``).
+
+        The payload checksum is always verified, the artifact's declared
+        schema is cross-checked against the unpickled predictor, and —
+        when ``expect_feature_names`` is given — against the feature
+        schema the caller is about to serve.  Any mismatch raises
+        :class:`~repro.utils.errors.ModelRegistryError`.
+        """
+        entry = self._resolve(name, version)
+        payload_path = entry.path / entry.manifest.get("payload", _PAYLOAD_FILE)
+        if entry.manifest.get("format") != ARTIFACT_FORMAT:
+            raise ModelRegistryError(
+                f"unsupported artifact format {entry.manifest.get('format')!r} "
+                f"(this build reads format {ARTIFACT_FORMAT})",
+                path=entry.path,
+            )
+        try:
+            payload = payload_path.read_bytes()
+        except OSError as exc:
+            raise ModelRegistryError(
+                f"unreadable artifact payload: {exc}", path=payload_path
+            ) from exc
+        expected = entry.manifest.get("checksum")
+        actual = sha256_bytes(payload)
+        if actual != expected:
+            raise ModelRegistryError(
+                f"artifact payload checksum mismatch (expected "
+                f"{str(expected)[:12]}..., got {actual[:12]}...)",
+                path=payload_path,
+            )
+        try:
+            obj = pickle.loads(payload)
+        except Exception as exc:
+            raise ModelRegistryError(
+                f"artifact payload does not unpickle: {exc}", path=payload_path
+            ) from exc
+        predictor = obj.get("predictor") if isinstance(obj, dict) else None
+        if not isinstance(predictor, TwoStagePredictor):
+            raise ModelRegistryError(
+                "artifact payload is not a TwoStagePredictor", path=payload_path
+            )
+        if list(predictor.feature_names) != entry.feature_names:
+            raise ModelRegistryError(
+                "artifact is internally inconsistent: manifest and predictor "
+                "disagree on the feature schema",
+                path=entry.path,
+            )
+        if expect_feature_names is not None and list(expect_feature_names) != (
+            entry.feature_names
+        ):
+            raise ModelRegistryError(
+                f"schema-incompatible artifact: it serves "
+                f"{len(entry.feature_names)} features, the caller expects "
+                f"{len(list(expect_feature_names))} "
+                f"(first difference: {_first_difference(entry.feature_names, list(expect_feature_names))})",
+                path=entry.path,
+            )
+        return predictor, entry
+
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str, version: int | None) -> ModelVersion:
+        if version is None:
+            return self.latest(name)
+        version_dir = self.root / name / f"v{int(version):04d}"
+        if not version_dir.is_dir():
+            raise ModelRegistryError(
+                f"model {name!r} has no version {version}", path=version_dir
+            )
+        manifest = self._read_manifest(version_dir, strict=True)
+        return ModelVersion(
+            name=name, version=int(version), path=version_dir, manifest=manifest
+        )
+
+    def _next_version(self, name: str) -> int:
+        name_dir = self.root / name
+        if not name_dir.is_dir():
+            return 1
+        taken = [
+            int(match.group(1))
+            for child in name_dir.iterdir()
+            if (match := _VERSION_RE.match(child.name))
+        ]
+        return max(taken, default=0) + 1
+
+    @staticmethod
+    def _read_manifest(version_dir: Path, *, strict: bool) -> dict | None:
+        manifest_path = version_dir / _MANIFEST_FILE
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            if strict:
+                raise ModelRegistryError(
+                    f"unreadable artifact manifest: {exc}", path=manifest_path
+                ) from exc
+            return None
+        if not isinstance(manifest, dict) or "feature_names" not in manifest:
+            if strict:
+                raise ModelRegistryError(
+                    "artifact manifest lacks a feature schema", path=manifest_path
+                )
+            return None
+        return manifest
+
+
+def _first_difference(a: list[str], b: list[str]) -> str:
+    """Human-readable first point of divergence between two name lists."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"column {i}: {x!r} != {y!r}"
+    return f"length {len(a)} != {len(b)}"
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience API (the issue's save/load/list surface)
+# ----------------------------------------------------------------------
+def save_model(
+    predictor: TwoStagePredictor,
+    root: str | Path,
+    *,
+    name: str = "twostage",
+    metadata: dict | None = None,
+) -> ModelVersion:
+    """Save ``predictor`` as the next version under ``root``."""
+    return ModelRegistry(root).save_model(predictor, name=name, metadata=metadata)
+
+
+def load_model(
+    root: str | Path,
+    *,
+    name: str = "twostage",
+    version: int | None = None,
+    expect_feature_names: list[str] | None = None,
+) -> TwoStagePredictor:
+    """Load a predictor from ``root`` (latest version by default)."""
+    predictor, _ = ModelRegistry(root).load_model(
+        name, version, expect_feature_names=expect_feature_names
+    )
+    return predictor
+
+
+def list_versions(root: str | Path, *, name: str = "twostage") -> list[ModelVersion]:
+    """Committed versions of ``name`` under ``root``, oldest first."""
+    return ModelRegistry(root).list_versions(name)

@@ -1,0 +1,328 @@
+"""Replay a recorded trace through the full online serving path.
+
+:func:`serve_replay` is the subsystem's integration harness and the
+CLI's ``serve-replay`` subcommand.  It plays one trace twice:
+
+1. **Batch oracle** — the existing offline pipeline: build features,
+   take one sliding split, fit a :class:`TwoStagePredictor` on the
+   training window, score the test window.
+2. **Online path** — persist the fitted predictor through the model
+   registry (save → checksum-verified load), then drive the event stream
+   through the streaming feature engine and the micro-batch scorer,
+   alerting on every test-window sample as its run completes.
+
+Because the engine is bit-identical to the batch builder and the
+registry round-trip reproduces the fitted model exactly, the online
+alerts must agree with the batch predictions sample-for-sample (the
+report tracks the agreement fraction and the F1 delta; the acceptance
+bound is |ΔF1| <= 0.01).
+
+An optional periodic-retrain loop refits on the labels resolved so far
+and hot-swaps the scorer's model through a new registry version —
+after the first swap the online path intentionally diverges from the
+frozen batch oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import PredictionPipeline
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import build_features, compute_top_apps
+from repro.features.splits import DatasetSplit
+from repro.ml.metrics import classification_report
+from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
+from repro.serve.events import JobResolved, iter_trace_events
+from repro.serve.registry import ModelRegistry
+from repro.serve.scorer import Alert, MicroBatchScorer, ScorerConfig, ServeCounters
+from repro.telemetry.trace import Trace
+from repro.utils.errors import ValidationError
+
+__all__ = ["ReplayReport", "serve_replay"]
+
+MINUTES_PER_DAY = 1440.0
+
+
+@dataclass
+class ReplayReport:
+    """Everything one ``serve_replay`` invocation measured."""
+
+    split: str
+    model: str
+    registry_name: str
+    registry_versions: list[int]
+    num_events: int
+    rows_streamed: int
+    rows_test: int
+    counters: ServeCounters
+    alerts: list[Alert]
+    batch_report: dict[str, dict[str, float]]
+    online_report: dict[str, dict[str, float]]
+    #: Fraction of test samples where online and batch predictions agree.
+    agreement: float
+    #: max |online score - batch score| over the test window.
+    max_abs_score_diff: float
+    wall_seconds: float
+    retrains: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def batch_f1(self) -> float:
+        """SBE-class F1 of the offline oracle."""
+        return self.batch_report["sbe"]["f1"]
+
+    @property
+    def online_f1(self) -> float:
+        """SBE-class F1 of the online path."""
+        return self.online_report["sbe"]["f1"]
+
+    @property
+    def f1_delta(self) -> float:
+        """online F1 - batch F1 (acceptance bound: |delta| <= 0.01)."""
+        return self.online_f1 - self.batch_f1
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the replay outcome.
+
+        Covers the event stream size, both metric reports, and every
+        alert's identity/score/decision.  Excludes wall-clock timings
+        and registry version numbers: those legitimately vary across
+        same-seed invocations (machine load; pre-existing versions under
+        the registry root).
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.split}|{self.model}|{self.num_events}|".encode())
+        h.update(f"{self.rows_streamed}|{self.rows_test}|{self.retrains}|".encode())
+        for report in (self.batch_report, self.online_report):
+            for cls in sorted(report):
+                for metric in sorted(report[cls]):
+                    h.update(f"{cls}.{metric}={report[cls][metric]:.12g};".encode())
+        h.update(f"agreement={self.agreement:.12g};".encode())
+        h.update(f"max_abs_score_diff={self.max_abs_score_diff:.12g};".encode())
+        for alert in sorted(
+            self.alerts, key=lambda a: (a.run_idx, a.node_id, a.end_minute)
+        ):
+            h.update(
+                f"{alert.run_idx},{alert.node_id},{alert.job_id},{alert.app_id},"
+                f"{alert.end_minute:.12g},{alert.scored_minute:.12g},"
+                f"{alert.score:.12g},{alert.predicted};".encode()
+            )
+        return h.hexdigest()
+
+    def __str__(self) -> str:
+        c = self.counters
+        lines = [
+            f"serve-replay [{self.split}] twostage-{self.model}",
+            f"  events processed   {self.num_events}",
+            f"  rows streamed      {self.rows_streamed}"
+            f" (test window: {self.rows_test})",
+            f"  batches            {c.batches}"
+            f" (size {c.size_flushes} / deadline {c.deadline_flushes}"
+            f" / final {c.final_flushes})",
+            f"  max queue depth    {c.max_queue_depth}",
+            f"  mean queue latency {c.mean_queue_minutes:.2f} min (event time)",
+            f"  throughput         {c.rows_per_second:,.0f} rows/s"
+            f" (scoring wall-clock)",
+            f"  positive alerts    {c.positive_alerts}",
+            f"  registry versions  {self.registry_versions}"
+            f" (retrains: {self.retrains})",
+            f"  batch  P/R/F1      {self.batch_report['sbe']['precision']:.4f}"
+            f" / {self.batch_report['sbe']['recall']:.4f}"
+            f" / {self.batch_f1:.4f}",
+            f"  online P/R/F1      {self.online_report['sbe']['precision']:.4f}"
+            f" / {self.online_report['sbe']['recall']:.4f}"
+            f" / {self.online_f1:.4f}",
+            f"  agreement          {self.agreement:.6f}"
+            f"  (max |score diff| {self.max_abs_score_diff:.3g})",
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def serve_replay(
+    trace: Trace,
+    registry_root: str | Path,
+    *,
+    split: str = "DS1",
+    splits: list[DatasetSplit] | None = None,
+    model: str = "gbdt",
+    batch_size: int = 256,
+    flush_deadline_minutes: float = 30.0,
+    registry_name: str = "twostage",
+    retrain_every_days: float | None = None,
+    top_k_apps: int = 16,
+    random_state: int | None = 0,
+    fast: bool = False,
+    sanitize: bool = False,
+) -> ReplayReport:
+    """Replay ``trace`` through registry + streaming engine + scorer.
+
+    Trains the batch oracle on ``split``'s training window, publishes it
+    to the registry under ``registry_root``, reloads it (checksum and
+    schema verified), and scores the split's test window online.  With
+    ``retrain_every_days`` set, the model is refit on resolved labels at
+    that cadence and hot-swapped through new registry versions.
+    """
+    started = time.perf_counter()
+    notes: list[str] = []
+    if sanitize:
+        from repro.faults import sanitize_trace
+
+        trace, sanitize_report = sanitize_trace(trace)
+        notes.append(f"sanitized input trace: {sanitize_report.summary()}")
+
+    # ------------------------------------------------------------- batch
+    features = build_features(trace, top_k_apps=top_k_apps)
+    pipeline = PredictionPipeline(features, splits)
+    split_obj = pipeline.split(split)
+    train, test = pipeline.train_test(split)
+    predictor = TwoStagePredictor(model, random_state=random_state, fast=fast)
+    predictor.fit(train)
+    batch_scores = predictor.decision_scores(test)
+    batch_pred = (batch_scores >= predictor.model.threshold).astype(int)
+    batch_report = classification_report(test.y, batch_pred)
+
+    # ---------------------------------------------------------- registry
+    registry = ModelRegistry(registry_root)
+    entry = registry.save_model(
+        predictor,
+        name=registry_name,
+        metadata={
+            "split": split,
+            "model": model,
+            "train_start_minute": split_obj.train_start,
+            "train_end_minute": split_obj.train_end,
+            "random_state": random_state,
+            "fast": fast,
+            "top_k_apps": top_k_apps,
+        },
+    )
+    serving, entry = registry.load_model(
+        registry_name,
+        entry.version,
+        expect_feature_names=predictor.feature_names,
+    )
+    versions = [entry.version]
+
+    # ------------------------------------------------------------ stream
+    engine = StreamingFeatureEngine(
+        trace.machine,
+        compute_top_apps(np.asarray(trace.samples["app_id"], dtype=int), top_k_apps),
+    )
+    scorer = MicroBatchScorer(
+        serving,
+        engine.schema,
+        ScorerConfig(
+            max_batch_size=batch_size,
+            flush_deadline_minutes=flush_deadline_minutes,
+        ),
+        model_version=entry.version,
+    )
+    labels: dict[tuple[int, int], int] = {}
+    history_rows: list[StreamedRow] = []
+    alerts: list[Alert] = []
+    num_events = 0
+    retrains = 0
+    next_retrain = (
+        None
+        if retrain_every_days is None
+        else split_obj.train_end + retrain_every_days * MINUTES_PER_DAY
+    )
+
+    def maybe_retrain(now_minute: float) -> None:
+        nonlocal next_retrain, retrains, serving
+        while next_retrain is not None and now_minute >= next_retrain:
+            at = next_retrain
+            next_retrain += retrain_every_days * MINUTES_PER_DAY
+            resolved = [
+                row
+                for row in history_rows
+                if row.end_minute <= at and (row.job_id, row.node_id) in labels
+            ]
+            if not resolved:
+                notes.append(f"retrain at minute {at:g} skipped: no resolved rows")
+                continue
+            counts = np.asarray(
+                [labels[(row.job_id, row.node_id)] for row in resolved],
+                dtype=np.int64,
+            )
+            candidate = TwoStagePredictor(
+                model, random_state=random_state, fast=fast
+            )
+            try:
+                candidate.fit(rows_to_matrix(resolved, engine.schema, sbe_counts=counts))
+            except ValidationError as exc:
+                notes.append(f"retrain at minute {at:g} skipped: {exc}")
+                continue
+            new_entry = registry.save_model(
+                candidate,
+                name=registry_name,
+                metadata={"retrained_at_minute": at, "n_rows": len(resolved)},
+            )
+            scorer.swap_model(candidate, new_entry.version)
+            serving = candidate
+            versions.append(new_entry.version)
+            retrains += 1
+
+    for event in iter_trace_events(trace):
+        num_events += 1
+        alerts.extend(scorer.poll(event.minute))
+        maybe_retrain(event.minute)
+        if isinstance(event, JobResolved):
+            for node, count in zip(event.node_ids, event.counts):
+                labels[(event.job_id, int(node))] = int(count)
+        rows = engine.process(event)
+        if rows:
+            history_rows.extend(rows)
+            in_test = [
+                row
+                for row in rows
+                if split_obj.train_end <= row.start_minute < split_obj.test_end
+            ]
+            if in_test:
+                alerts.extend(scorer.submit(in_test, event.minute))
+    alerts.extend(scorer.flush())
+
+    # --------------------------------------------------------- alignment
+    # Alert order depends on flush timing, so align to the batch test rows
+    # by (run_idx, node_id) — unique per sample by construction.
+    by_key = {(a.run_idx, a.node_id): a for a in alerts}
+    test_keys = list(
+        zip(
+            (int(v) for v in test.meta["run_idx"]),
+            (int(v) for v in test.meta["node_id"]),
+        )
+    )
+    missing = [key for key in test_keys if key not in by_key]
+    if missing:
+        raise ValidationError(
+            f"online path never scored {len(missing)} of {len(test_keys)} "
+            f"batch test samples (first: {missing[0]})"
+        )
+    online_pred = np.asarray([by_key[key].predicted for key in test_keys], dtype=int)
+    online_scores = np.asarray([by_key[key].score for key in test_keys], dtype=float)
+
+    return ReplayReport(
+        split=split,
+        model=model,
+        registry_name=registry_name,
+        registry_versions=versions,
+        num_events=num_events,
+        rows_streamed=engine.rows_emitted,
+        rows_test=len(test_keys),
+        counters=scorer.counters,
+        alerts=alerts,
+        batch_report=batch_report,
+        online_report=classification_report(test.y, online_pred),
+        agreement=float(np.mean(online_pred == batch_pred)),
+        max_abs_score_diff=float(np.max(np.abs(online_scores - batch_scores))),
+        wall_seconds=time.perf_counter() - started,
+        retrains=retrains,
+        notes=notes,
+    )

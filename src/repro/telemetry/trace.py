@@ -10,9 +10,7 @@ recorded nodes (for the run-profile figure).
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,6 +20,7 @@ import numpy as np
 from repro.telemetry.config import TraceConfig
 from repro.topology.machine import Machine, MachineConfig
 from repro.utils.errors import TraceIOError, ValidationError
+from repro.utils.io import atomic_write, atomic_write_text, sha256_file
 
 __all__ = ["Trace", "SAMPLE_TELEMETRY_COLUMNS", "PRE_WINDOWS_MINUTES"]
 
@@ -142,25 +141,15 @@ class Trace:
             for name, col in series.items():
                 arrays[f"recorded/{node_id}/{name}"] = col
         npz_path = path.with_suffix(".npz")
-        npz_tmp = npz_path.with_name(npz_path.name + ".tmp")
-        try:
+        with atomic_write(npz_path) as npz_tmp:
             with open(npz_tmp, "wb") as fh:
                 np.savez_compressed(fh, **arrays)
-            os.replace(npz_tmp, npz_path)
-        finally:
-            npz_tmp.unlink(missing_ok=True)
         meta = {
             "app_names": self.app_names,
             "config": _config_to_dict(self.config),
-            "checksum": _sha256_file(npz_path),
+            "checksum": sha256_file(npz_path),
         }
-        json_path = path.with_suffix(".json")
-        json_tmp = json_path.with_name(json_path.name + ".tmp")
-        try:
-            json_tmp.write_text(json.dumps(meta, indent=2))
-            os.replace(json_tmp, json_path)
-        finally:
-            json_tmp.unlink(missing_ok=True)
+        atomic_write_text(path.with_suffix(".json"), json.dumps(meta, indent=2))
 
     @classmethod
     def load(cls, path: str | Path, *, verify_checksum: bool = True) -> "Trace":
@@ -184,7 +173,7 @@ class Trace:
         expected = meta.get("checksum")
         if verify_checksum and expected:
             try:
-                actual = _sha256_file(npz_path)
+                actual = sha256_file(npz_path)
             except OSError as exc:
                 raise TraceIOError(npz_path, f"unreadable trace archive: {exc}") from exc
             if actual != expected:
@@ -228,15 +217,6 @@ class Trace:
             raise TraceIOError(
                 npz_path, f"trace archive has missing or invalid contents: {exc}"
             ) from exc
-
-
-def _sha256_file(path: Path) -> str:
-    """SHA-256 hex digest of a file, streamed in chunks."""
-    hasher = hashlib.sha256()
-    with open(path, "rb") as fh:
-        for chunk in iter(lambda: fh.read(1 << 20), b""):
-            hasher.update(chunk)
-    return hasher.hexdigest()
 
 
 def _config_to_dict(config: TraceConfig) -> dict:

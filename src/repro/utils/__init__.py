@@ -3,6 +3,7 @@
 This package intentionally contains only dependency-free building blocks:
 
 * :mod:`repro.utils.errors` -- the exception hierarchy.
+* :mod:`repro.utils.io` -- checksummed, atomic file writes.
 * :mod:`repro.utils.rng` -- hierarchical, reproducible random streams.
 * :mod:`repro.utils.stats` -- online (Welford) statistics and helpers.
 * :mod:`repro.utils.ringbuffer` -- fixed-capacity numeric history buffers.
@@ -14,11 +15,20 @@ from repro.utils.errors import (
     ReproError,
     ConfigurationError,
     DegradedDataWarning,
+    ModelRegistryError,
     NotFittedError,
     SimulationError,
     TelemetryFaultError,
     TraceIOError,
     ValidationError,
+)
+from repro.utils.io import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    sha256_bytes,
+    sha256_file,
 )
 from repro.utils.ringbuffer import RingBuffer
 from repro.utils.rng import SeedSequenceFactory, child_rng
@@ -38,8 +48,15 @@ __all__ = [
     "SimulationError",
     "TelemetryFaultError",
     "TraceIOError",
+    "ModelRegistryError",
     "DegradedDataWarning",
     "ValidationError",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "sha256_bytes",
+    "sha256_file",
     "RingBuffer",
     "SeedSequenceFactory",
     "child_rng",

@@ -39,6 +39,20 @@ class TraceIOError(ReproError, RuntimeError):
         super().__init__(f"{message} [{path}]")
 
 
+class ModelRegistryError(ReproError, RuntimeError):
+    """A model-registry artifact is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.serve.registry` when an artifact fails its
+    checksum, has an unsupported format version, or declares a feature
+    schema that does not match what the caller expects.  Carries the
+    offending ``path`` when one exists.
+    """
+
+    def __init__(self, message: str, *, path=None) -> None:
+        self.path = path
+        super().__init__(f"{message} [{path}]" if path is not None else message)
+
+
 class TelemetryFaultError(ReproError, RuntimeError):
     """Telemetry is too corrupt for the sanitizer to recover.
 

@@ -1,0 +1,76 @@
+"""Hardened file IO: SHA-256 checksums and atomic temp-then-rename writes.
+
+Shared by the trace archive (:mod:`repro.telemetry.trace`) and the model
+registry (:mod:`repro.serve.registry`).  The invariant both rely on: a
+reader never observes a half-written file.  Writers stage content in a
+sibling temp file (same directory, so the final ``os.replace`` is an
+atomic rename on every mainstream filesystem) and the temp file is
+removed on any failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "sha256_file",
+    "sha256_bytes",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
+
+
+def sha256_file(path: str | Path) -> str:
+    """SHA-256 hex digest of a file, streamed in chunks."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def sha256_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of an in-memory payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@contextmanager
+def atomic_write(path: str | Path) -> Iterator[Path]:
+    """Yield a sibling temp path; publish it to ``path`` on clean exit.
+
+    The caller writes the temp file however it likes (binary stream,
+    ``np.savez``, ...).  On normal exit the temp file is renamed over
+    ``path``; on exception it is removed and ``path`` is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically write ``data`` to ``path``."""
+    with atomic_write(path) as tmp:
+        tmp.write_bytes(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically write ``text`` to ``path``."""
+    with atomic_write(path) as tmp:
+        tmp.write_text(text)
+
+
+def atomic_write_json(path: str | Path, obj, *, indent: int = 2) -> None:
+    """Atomically serialize ``obj`` as JSON to ``path``."""
+    atomic_write_text(path, json.dumps(obj, indent=indent, sort_keys=True))

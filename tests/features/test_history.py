@@ -106,3 +106,61 @@ class TestHistoryIndex:
                 c for k, m, c in events if k == key and lo <= m < hi
             )
             assert index.count_between(key, lo, hi) == expected
+
+
+class TestIncrementalHistoryIndex:
+    def test_requires_nondecreasing_minutes(self):
+        from repro.features.history import IncrementalHistoryIndex
+
+        index = IncrementalHistoryIndex()
+        index.add(1, 10.0, 2)
+        index.add(2, 10.0, 1)  # equal minutes are fine
+        with pytest.raises(ValidationError):
+            index.add(1, 9.0, 1)
+
+    def test_empty_index_counts_zero(self):
+        from repro.features.history import IncrementalHistoryIndex
+
+        index = IncrementalHistoryIndex()
+        assert len(index) == 0
+        assert index.count_between(5, 0.0, 100.0) == 0
+        assert index.global_before(1e9) == 0
+        assert index.keys_before(1e9).tolist() == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.floats(0, 1000, allow_nan=False),
+                st.integers(1, 5),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(0, 1000, allow_nan=False),
+        st.floats(0, 1000, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_batch_index_on_sorted_events(self, events, a, b):
+        """Feeding the same events one at a time must reproduce the batch
+        index's window semantics exactly (the streaming-parity substrate)."""
+        from repro.features.history import IncrementalHistoryIndex
+
+        lo, hi = min(a, b), max(a, b)
+        events = sorted(events, key=lambda e: e[1])  # arrival order
+        keys = np.array([e[0] for e in events])
+        minutes = np.array([e[1] for e in events])
+        counts = np.array([e[2] for e in events])
+        batch = HistoryIndex(keys, minutes, counts)
+        incremental = IncrementalHistoryIndex()
+        for key, minute, count in events:
+            incremental.add(key, minute, count)
+        assert len(incremental) == len(events)
+        for key in range(4):
+            assert incremental.count_between(key, lo, hi) == batch.count_between(
+                key, lo, hi
+            )
+            assert incremental.count_before(key, hi) == batch.count_before(key, hi)
+        assert incremental.global_between(lo, hi) == batch.global_between(lo, hi)
+        assert incremental.global_before(hi) == batch.global_before(hi)
+        assert incremental.keys_before(hi).tolist() == batch.keys_before(hi).tolist()

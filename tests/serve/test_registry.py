@@ -1,0 +1,158 @@
+"""Tests for the versioned model registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.twostage import TwoStagePredictor
+from repro.serve.registry import (
+    ARTIFACT_FORMAT,
+    ModelRegistry,
+    list_versions,
+    load_model,
+    save_model,
+)
+from repro.utils.errors import ModelRegistryError, NotFittedError, ReproError
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_context):
+    """A fitted fast predictor plus its train/test matrices."""
+    train, test = tiny_context.pipeline.train_test("DS1")
+    predictor = TwoStagePredictor("lr", random_state=0, fast=True)
+    predictor.fit(train)
+    return predictor, train, test
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_reproduces_predictions_exactly(self, fitted, tmp_path):
+        predictor, _, test = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor, metadata={"split": "DS1"})
+        loaded, loaded_entry = registry.load_model()
+        assert loaded_entry.version == entry.version == 1
+        np.testing.assert_array_equal(loaded.predict(test), predictor.predict(test))
+        np.testing.assert_array_equal(
+            loaded.decision_scores(test), predictor.decision_scores(test)
+        )
+        np.testing.assert_array_equal(
+            loaded.offender_nodes, predictor.offender_nodes
+        )
+        assert loaded.feature_names == predictor.feature_names
+
+    def test_manifest_records_schema_and_metadata(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        entry = ModelRegistry(tmp_path).save_model(
+            predictor, metadata={"split": "DS1", "seed": 0}
+        )
+        assert entry.model_name == "lr"
+        assert entry.feature_names == predictor.feature_names
+        assert entry.metadata == {"split": "DS1", "seed": 0}
+        assert entry.manifest["num_offender_nodes"] == predictor.offender_nodes.size
+
+    def test_versions_increment_and_list_in_order(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.save_model(predictor)
+        v2 = registry.save_model(predictor)
+        assert (v1.version, v2.version) == (1, 2)
+        assert [v.version for v in registry.list_versions()] == [1, 2]
+        assert registry.latest().version == 2
+        _, entry = registry.load_model(version=1)
+        assert entry.version == 1
+
+    def test_module_level_helpers(self, fitted, tmp_path):
+        predictor, _, test = fitted
+        save_model(predictor, tmp_path)
+        loaded = load_model(tmp_path)
+        np.testing.assert_array_equal(loaded.predict(test), predictor.predict(test))
+        assert [v.version for v in list_versions(tmp_path)] == [1]
+
+    def test_unfitted_predictor_is_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            ModelRegistry(tmp_path).save_model(TwoStagePredictor("lr", fast=True))
+
+
+class TestFailureModes:
+    def test_empty_registry(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.list_versions() == []
+        with pytest.raises(ModelRegistryError):
+            registry.latest()
+
+    def test_missing_version(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        with pytest.raises(ModelRegistryError):
+            registry.load_model(version=42)
+
+    def test_corrupt_payload_detected_by_checksum(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor)
+        payload = entry.path / "predictor.pkl"
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.raises(ModelRegistryError, match="checksum"):
+            registry.load_model()
+
+    def test_checksum_error_is_a_repro_error(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor)
+        (entry.path / "predictor.pkl").write_bytes(b"not a pickle")
+        with pytest.raises(ReproError):
+            registry.load_model()
+
+    def test_unsupported_format_is_rejected(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor)
+        manifest_path = entry.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = ARTIFACT_FORMAT + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ModelRegistryError, match="format"):
+            registry.load_model()
+
+    def test_schema_incompatible_artifact_is_rejected(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        wrong = list(predictor.feature_names)
+        wrong[0] = "definitely_not_a_feature"
+        with pytest.raises(ModelRegistryError, match="schema-incompatible"):
+            registry.load_model(expect_feature_names=wrong)
+        with pytest.raises(ModelRegistryError, match="schema-incompatible"):
+            registry.load_model(
+                expect_feature_names=predictor.feature_names + ["extra"]
+            )
+        # The exact expected schema loads fine.
+        registry.load_model(expect_feature_names=predictor.feature_names)
+
+    def test_uncommitted_version_dir_is_invisible(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        # A crashed writer: payload staged, manifest never committed.
+        stale = tmp_path / "twostage" / "v0002"
+        stale.mkdir(parents=True)
+        (stale / "predictor.pkl").write_bytes(b"half written")
+        assert [v.version for v in registry.list_versions()] == [1]
+        _, entry = registry.load_model()
+        assert entry.version == 1
+        # But the next save never reuses the stale slot.
+        assert registry.save_model(predictor).version == 3
+
+    def test_next_version_follows_max_existing(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        v2 = registry.save_model(predictor)
+        import shutil
+
+        shutil.rmtree(v2.path)
+        assert registry.save_model(predictor).version == 2

@@ -1,0 +1,140 @@
+"""Tests for the end-to-end serve-replay harness (and its CLI wiring)."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve import serve_replay
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def replayed(tiny_trace, tiny_context, tmp_path_factory):
+    """One shared replay of the tiny trace through the online path."""
+    root = tmp_path_factory.mktemp("registry")
+    report = serve_replay(
+        tiny_trace,
+        root,
+        splits=tiny_context.preset_splits(),
+        split="DS1",
+        model="gbdt",
+        batch_size=64,
+        fast=True,
+    )
+    return report, root
+
+
+class TestOnlineMatchesBatch:
+    def test_online_agrees_with_batch_oracle_exactly(self, replayed):
+        report, _ = replayed
+        assert report.agreement == 1.0
+        assert report.max_abs_score_diff == 0.0
+        # The acceptance bound is |dF1| <= 0.01; bit-parity makes it 0.
+        assert report.f1_delta == 0.0
+        assert report.online_report == report.batch_report
+
+    def test_every_test_sample_was_alerted_once(self, replayed):
+        report, _ = replayed
+        assert report.rows_test > 0
+        keys = {(a.run_idx, a.node_id) for a in report.alerts}
+        assert len(keys) == len(report.alerts) == report.rows_test
+        assert report.counters.rows_scored == report.rows_test
+        assert report.rows_streamed > report.rows_test  # full trace streamed
+
+    def test_registry_holds_the_served_model(self, replayed, tiny_trace):
+        report, root = replayed
+        assert report.registry_versions == [1]
+        entry = ModelRegistry(root).latest()
+        assert entry.metadata["split"] == "DS1"
+        assert entry.metadata["model"] == "gbdt"
+
+    def test_counters_populated(self, replayed):
+        report, _ = replayed
+        c = report.counters
+        assert c.batches > 0
+        assert c.max_queue_depth <= 64
+        assert c.rows_per_second > 0.0
+        assert c.size_flushes + c.deadline_flushes + c.final_flushes == c.batches
+        assert report.wall_seconds > 0.0
+
+
+class TestDeterminism:
+    def test_digest_is_stable_across_invocations(
+        self, replayed, tiny_trace, tiny_context, tmp_path
+    ):
+        report, _ = replayed
+        again = serve_replay(
+            tiny_trace,
+            tmp_path / "other-registry",  # fresh root: version ids differ
+            splits=tiny_context.preset_splits(),
+            split="DS1",
+            model="gbdt",
+            batch_size=64,
+            fast=True,
+        )
+        assert again.digest() == report.digest()
+        assert len(again.alerts) == len(report.alerts)
+
+    def test_digest_sensitive_to_scores(self, replayed):
+        report, _ = replayed
+        bumped = dataclasses.replace(report.alerts[0], score=report.alerts[0].score + 1)
+        tampered = dataclasses.replace(
+            report, alerts=[bumped] + report.alerts[1:]
+        )
+        assert tampered.digest() != report.digest()
+
+
+class TestRetrainLoop:
+    def test_periodic_retrain_publishes_new_versions(
+        self, tiny_trace, tiny_context, tmp_path
+    ):
+        report = serve_replay(
+            tiny_trace,
+            tmp_path / "registry",
+            splits=tiny_context.preset_splits(),
+            split="DS1",
+            model="lr",
+            batch_size=64,
+            retrain_every_days=1.0,
+            fast=True,
+        )
+        assert report.retrains >= 1
+        assert len(report.registry_versions) == report.retrains + 1
+        versions = ModelRegistry(tmp_path / "registry").list_versions()
+        assert [v.version for v in versions] == report.registry_versions
+        retrained = [v for v in versions if "retrained_at_minute" in v.metadata]
+        assert len(retrained) == report.retrains
+        # Online still covers every batch test sample.
+        assert len(report.alerts) == report.rows_test
+        # After a hot swap the online path may legitimately diverge.
+        assert 0.0 <= report.agreement <= 1.0
+
+
+class TestCli:
+    def test_serve_replay_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(
+            [
+                "--preset",
+                "tiny",
+                "serve-replay",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--fast",
+                "--batch-size",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-replay [DS1]" in out
+        assert "agreement          1.000000" in out
+        assert (tmp_path / "registry" / "twostage" / "v0001").is_dir()
+
+    def test_registry_flag_is_required(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-replay"])

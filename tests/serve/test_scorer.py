@@ -1,0 +1,154 @@
+"""Tests for the micro-batching scorer."""
+
+import numpy as np
+import pytest
+
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import compute_top_apps
+from repro.serve.engine import StreamingFeatureEngine, rows_to_matrix
+from repro.serve.events import iter_trace_events
+from repro.serve.scorer import MicroBatchScorer, ScorerConfig
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def serving(tiny_trace, tiny_context):
+    """(fitted predictor, engine schema, streamed rows) for scorer tests."""
+    train, _ = tiny_context.pipeline.train_test("DS1")
+    predictor = TwoStagePredictor("lr", random_state=0, fast=True)
+    predictor.fit(train)
+    engine = StreamingFeatureEngine(
+        tiny_trace.machine,
+        compute_top_apps(np.asarray(tiny_trace.samples["app_id"], dtype=int), 16),
+    )
+    rows = list(engine.stream(iter_trace_events(tiny_trace)))
+    return predictor, engine.schema, rows
+
+
+class TestScorerConfig:
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValidationError):
+            ScorerConfig(max_batch_size=0)
+        with pytest.raises(ValidationError):
+            ScorerConfig(flush_deadline_minutes=-1.0)
+
+
+class TestFlushTriggers:
+    def test_size_triggered_flush(self, serving):
+        predictor, schema, rows = serving
+        scorer = MicroBatchScorer(predictor, schema, ScorerConfig(max_batch_size=8))
+        alerts = scorer.submit(rows[:7], now_minute=0.0)
+        assert alerts == [] and scorer.queue_depth == 7
+        alerts = scorer.submit(rows[7:8], now_minute=1.0)
+        assert len(alerts) == 8
+        assert scorer.queue_depth == 0
+        assert scorer.counters.size_flushes == 1
+        assert scorer.counters.batches == 1
+        assert scorer.counters.batch_sizes == [8]
+
+    def test_deadline_triggered_flush(self, serving):
+        predictor, schema, rows = serving
+        scorer = MicroBatchScorer(
+            predictor,
+            schema,
+            ScorerConfig(max_batch_size=1000, flush_deadline_minutes=30.0),
+        )
+        scorer.submit(rows[:5], now_minute=100.0)
+        assert scorer.poll(np.nextafter(130.0, 0.0)) == []  # not yet due
+        alerts = scorer.poll(130.0)  # oldest row has waited exactly 30 min
+        assert len(alerts) == 5
+        assert scorer.counters.deadline_flushes == 1
+        assert scorer.counters.mean_queue_minutes == pytest.approx(30.0)
+
+    def test_final_flush_drains_everything(self, serving):
+        predictor, schema, rows = serving
+        scorer = MicroBatchScorer(predictor, schema, ScorerConfig(max_batch_size=16))
+        scorer.submit(rows[:40], now_minute=0.0)
+        alerts = scorer.flush()
+        assert scorer.queue_depth == 0
+        assert scorer.counters.rows_scored == 40
+        # 40 rows through batch size 16: two size flushes + final drain.
+        assert scorer.counters.size_flushes == 2
+        assert scorer.counters.final_flushes >= 1
+        assert len(alerts) == 8
+
+    def test_empty_flush_is_a_noop(self, serving):
+        predictor, schema, _ = serving
+        scorer = MicroBatchScorer(predictor, schema)
+        assert scorer.flush() == []
+        assert scorer.poll(1e9) == []
+        assert scorer.counters.batches == 0
+
+
+class TestScoringSemantics:
+    def test_alerts_match_batch_predictions(self, serving):
+        predictor, schema, rows = serving
+        subset = rows[:200]
+        scorer = MicroBatchScorer(
+            predictor, schema, ScorerConfig(max_batch_size=32), model_version=7
+        )
+        alerts = scorer.submit(subset, now_minute=0.0) + scorer.flush()
+        assert len(alerts) == len(subset)
+        # Expected values computed exactly as the scorer batches them (BLAS
+        # accumulation can differ by an ulp across matrix shapes, so the
+        # bitwise-equality reference must use the same 32-row chunks).
+        expected_scores = np.concatenate(
+            [
+                predictor.decision_scores(rows_to_matrix(subset[i : i + 32], schema))
+                for i in range(0, len(subset), 32)
+            ]
+        )
+        expected_preds = (expected_scores >= predictor.model.threshold).astype(int)
+        by_key = {(a.run_idx, a.node_id): a for a in alerts}
+        for row, score, pred in zip(subset, expected_scores, expected_preds):
+            alert = by_key[(row.run_idx, row.node_id)]
+            assert alert.score == score
+            assert alert.predicted == pred
+            assert alert.model_version == 7
+            assert alert.job_id == row.job_id
+            assert alert.end_minute == row.end_minute
+
+    def test_counters_track_throughput_and_depth(self, serving):
+        predictor, schema, rows = serving
+        subset = rows[:100]
+        scorer = MicroBatchScorer(predictor, schema, ScorerConfig(max_batch_size=64))
+        scorer.submit(subset, now_minute=0.0)
+        scorer.flush()
+        c = scorer.counters
+        assert c.rows_in == c.rows_scored == 100
+        assert c.max_queue_depth == 64
+        assert c.scoring_seconds > 0.0
+        assert c.rows_per_second > 0.0
+        expected_positive = sum(
+            int(predictor.predict(rows_to_matrix(subset[i : i + 64], schema)).sum())
+            for i in range(0, len(subset), 64)
+        )
+        assert c.positive_alerts == expected_positive
+
+
+class TestHotSwap:
+    def test_swap_changes_served_model_version(self, serving, tiny_context):
+        predictor, schema, rows = serving
+        scorer = MicroBatchScorer(
+            predictor, schema, ScorerConfig(max_batch_size=10), model_version=1
+        )
+        first = scorer.submit(rows[:10], now_minute=0.0)
+        train, _ = tiny_context.pipeline.train_test("DS2")
+        retrained = TwoStagePredictor("lr", random_state=1, fast=True)
+        retrained.fit(train)
+        scorer.swap_model(retrained, model_version=2)
+        second = scorer.submit(rows[10:20], now_minute=0.0)
+        assert {a.model_version for a in first} == {1}
+        assert {a.model_version for a in second} == {2}
+        assert scorer.predictor is retrained
+
+    def test_swap_rejects_mismatched_schema(self, serving, tiny_context):
+        predictor, schema, _ = serving
+        scorer = MicroBatchScorer(predictor, schema)
+        train, _ = tiny_context.pipeline.train_test("DS1")
+        narrower = TwoStagePredictor(
+            "lr", exclude={"hist"}, random_state=0, fast=True
+        )
+        narrower.fit(train)
+        with pytest.raises(ValidationError, match="feature schema"):
+            scorer.swap_model(narrower, model_version=2)

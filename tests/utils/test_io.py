@@ -1,0 +1,67 @@
+"""Tests for the shared hardened-IO helpers."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.utils.io import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    sha256_bytes,
+    sha256_file,
+)
+
+
+class TestChecksums:
+    def test_sha256_bytes_matches_hashlib(self):
+        payload = b"some payload"
+        assert sha256_bytes(payload) == hashlib.sha256(payload).hexdigest()
+
+    def test_sha256_file_matches_bytes(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"\x00\x01" * 5000)
+        assert sha256_file(path) == sha256_bytes(b"\x00\x01" * 5000)
+
+
+class TestAtomicWrite:
+    def test_writes_via_temp_then_rename(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as tmp:
+            tmp.write_bytes(b"hello")
+            assert not target.exists()  # not committed yet
+            assert tmp != target
+        assert target.read_bytes() == b"hello"
+        assert list(tmp_path.iterdir()) == [target]  # temp cleaned up
+
+    def test_failure_leaves_no_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as tmp:
+                tmp.write_bytes(b"partial")
+                raise RuntimeError("writer crashed")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_bytes(target, b"old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as tmp:
+                tmp.write_bytes(b"new")
+                raise RuntimeError("writer crashed")
+        assert target.read_bytes() == b"old"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "nested")
+        assert target.read_text() == "nested"
+
+    def test_json_is_sorted_and_round_trips(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        text = target.read_text()
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""CI determinism gate: simulate + inject twice, assert identical hashes.
+"""CI determinism gate: simulate + inject + replay twice, assert identical.
 
-Runs the tiny-preset simulation twice with one seed and the fault
-injector stack twice on top, then compares content hashes of the trace
-arrays and the fault logs.  Any drift (a reordered RNG draw, an
-accidental dependence on dict order or wall-clock) fails loudly here
-before it can silently invalidate cached traces or experiment results.
+Runs the tiny-preset simulation twice with one seed, the fault injector
+stack twice on top, and the online serve-replay path twice (each against
+a fresh registry root), then compares content hashes of the trace
+arrays, the fault logs, and the replay reports.  Any drift (a reordered
+RNG draw, an accidental dependence on dict order or wall-clock) fails
+loudly here before it can silently invalidate cached traces or
+experiment results.
 
 Usage::
 
@@ -17,11 +19,14 @@ from __future__ import annotations
 import argparse
 import hashlib
 import sys
+import tempfile
 
 import numpy as np
 
-from repro.experiments.presets import PRESETS, preset_config
+from repro.experiments.presets import PRESETS, preset_config, split_plan
 from repro.faults import FaultSpec, inject_faults
+from repro.features.splits import make_paper_splits
+from repro.serve import serve_replay
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
 
@@ -77,6 +82,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  fault log ok ({log_a.digest()[:16]}..., {len(log_a)} events)")
     else:
         print(f"  FAULT LOG MISMATCH: {log_a.digest()[:16]} != {log_b.digest()[:16]}")
+        failures += 1
+
+    print("replaying the online serving path twice ...", flush=True)
+    plan = split_plan(args.preset)
+    splits = make_paper_splits(
+        train_days=plan["train_days"],
+        test_days=plan["test_days"],
+        offsets_days=tuple(plan["offsets"]),
+        duration_days=trace_a.config.duration_days,
+    )
+    replay_digests = []
+    for _ in range(2):
+        # A fresh registry root each time: version numbering must not
+        # leak into the replay digest.
+        with tempfile.TemporaryDirectory() as root:
+            report = serve_replay(
+                trace_a, root, splits=splits, batch_size=64, fast=True
+            )
+            replay_digests.append(report.digest())
+    if replay_digests[0] == replay_digests[1]:
+        print(f"  serve-replay ok ({replay_digests[0][:16]}...)")
+    else:
+        print(
+            f"  SERVE-REPLAY MISMATCH: {replay_digests[0][:16]} != "
+            f"{replay_digests[1][:16]}"
+        )
         failures += 1
 
     print("determinism check:", "PASS" if failures == 0 else f"FAIL ({failures})")

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Single CI entry point: determinism gate + tier-1 test suite.
+# Single CI entry point: determinism gate + tier-1 tests + serve smoke.
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -13,3 +13,10 @@ python tools/check_determinism.py --preset tiny
 echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo
+echo "== serve-replay smoke =="
+registry="$(mktemp -d)"
+trap 'rm -rf "$registry"' EXIT
+python -m repro.cli --preset tiny serve-replay \
+    --registry "$registry" --fast --batch-size 64
