@@ -1,0 +1,91 @@
+"""Benchmark the fault-tolerant serving layer.
+
+Two questions, benchmarked separately:
+
+1. **Supervision overhead** — the supervised scorer with no chaos plan
+   must cost roughly nothing over the raw scorer (the clean path runs
+   the same vectorized prediction; the retry/breaker/DLQ machinery is
+   dormant).  The printed ratio is the number to watch.
+2. **Throughput under chaos** — a full moderate-intensity chaos replay,
+   including retries, fallback scoring, dead-letter replay, and hot-swap
+   verification loads, against the clean replay's wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import compute_top_apps
+from repro.serve import (
+    ChaosPlan,
+    MicroBatchScorer,
+    ScorerConfig,
+    StreamingFeatureEngine,
+    SupervisedScorer,
+    iter_trace_events,
+    serve_replay,
+)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def serving(context):
+    """Fitted fast predictor + streamed rows of the benchmark trace."""
+    train, _ = context.pipeline.train_test("DS1")
+    predictor = TwoStagePredictor("gbdt", random_state=0, fast=True)
+    predictor.fit(train)
+    trace = context.trace
+    engine = StreamingFeatureEngine(
+        trace.machine,
+        compute_top_apps(np.asarray(trace.samples["app_id"], dtype=int), 16),
+    )
+    rows = list(engine.stream(iter_trace_events(trace)))
+    return predictor, engine.schema, rows
+
+
+@pytest.mark.parametrize("supervised", [False, True], ids=["raw", "supervised"])
+def test_supervision_overhead(benchmark, serving, supervised):
+    """Clean-path rows/sec: supervised (no chaos) vs raw scorer."""
+    predictor, schema, rows = serving
+    cls = SupervisedScorer if supervised else MicroBatchScorer
+
+    def score_all():
+        scorer = cls(predictor, schema, ScorerConfig(max_batch_size=256))
+        scorer.submit(rows, now_minute=0.0)
+        scorer.flush()
+        return scorer.counters
+
+    counters = run_once(benchmark, score_all)
+    print()
+    print(
+        f"{'supervised' if supervised else 'raw       '}: "
+        f"{counters.rows_per_second:12,.0f} rows/s scoring, "
+        f"{counters.batches} batches"
+    )
+    assert counters.rows_scored == len(rows)
+
+
+def test_chaos_replay_throughput(benchmark, context, tmp_path):
+    """Full moderate-chaos replay: absorb faults, keep availability."""
+    report = run_once(
+        benchmark,
+        lambda: serve_replay(
+            context.trace,
+            tmp_path / "registry",
+            splits=context.preset_splits(),
+            batch_size=256,
+            fast=True,
+            chaos=ChaosPlan(intensity=0.25, seed=7),
+        ),
+    )
+    r = report.resilience
+    print()
+    print(report)
+    print(
+        f"chaos overhead: {r.retries} retries, "
+        f"{r.replayed_rows} rows via dead-letter replay, "
+        f"{r.simulated_stall_seconds:.0f}s simulated stalls (not slept)"
+    )
+    assert r.availability >= 0.99
+    assert len(report.alerts) == report.rows_test

@@ -9,6 +9,9 @@ Subcommands::
     repro experiment all                               # the full sweep
     repro faults --intensities 0,0.1,0.25 --seed 7     # degradation curve
     repro serve-replay --registry runs/registry        # online-path replay
+    repro serve-replay --registry r --chaos 0.25       # chaos replay
+    repro resilience --intensities 0,0.25 --seed 7     # availability curve
+    repro registry verify --registry runs/registry     # checksum audit
 
 All subcommands share the preset-keyed trace cache (see
 ``repro.experiments.runner.default_cache_dir``).  Library failures
@@ -24,6 +27,10 @@ import time
 
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from repro.experiments.faults_experiment import DEFAULT_INTENSITIES, run_faults
+from repro.experiments.resilience_experiment import (
+    DEFAULT_INTENSITIES as RESILIENCE_INTENSITIES,
+    run_resilience,
+)
 from repro.experiments.presets import PRESETS, preset_config
 from repro.telemetry.simulator import simulate_trace
 from repro.utils.errors import ReproError, ValidationError
@@ -115,13 +122,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fault sanitizer on the trace before replay",
     )
+    sv.add_argument(
+        "--chaos",
+        type=float,
+        default=None,
+        metavar="INTENSITY",
+        help="serve-layer chaos intensity in [0,1] (off by default)",
+    )
+    sv.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos-plan seed"
+    )
+    sv.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="commit resumable replay state under this directory",
+    )
+    sv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2000,
+        metavar="EVENTS",
+        help="events between checkpoints (with --checkpoint-dir)",
+    )
+    sv.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest checkpoint under --checkpoint-dir",
+    )
+    sv.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="simulate a crash after this many events (resume test hook)",
+    )
+
+    rs = sub.add_parser(
+        "resilience",
+        help="serving availability vs chaos-intensity sweep",
+    )
+    rs.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated chaos intensities in [0,1] "
+        f"(default: {','.join(str(x) for x in RESILIENCE_INTENSITIES)})",
+    )
+    rs.add_argument(
+        "--seed", type=int, default=0, help="chaos-plan and model seed"
+    )
+    rs.add_argument("--split", default="DS1")
+    rs.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
+
+    rg = sub.add_parser(
+        "registry", help="inspect a model registry (checksum audit)"
+    )
+    rg.add_argument("action", choices=["verify"], help="what to do")
+    rg.add_argument(
+        "--registry", required=True, help="model registry root directory"
+    )
+    rg.add_argument("--name", default="twostage", help="registered model name")
     return parser
 
 
-def _parse_intensities(raw: str | None) -> tuple[float, ...]:
+def _parse_intensities(
+    raw: str | None, default: tuple[float, ...] = DEFAULT_INTENSITIES
+) -> tuple[float, ...]:
     """Parse the ``--intensities`` comma list, validating the range."""
     if raw is None:
-        return DEFAULT_INTENSITIES
+        return default
     try:
         values = tuple(float(part) for part in raw.split(",") if part.strip())
     except ValueError:
@@ -175,7 +243,13 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve-replay":
         from repro.serve import serve_replay
+        from repro.serve.resilience import ChaosPlan
 
+        chaos = (
+            None
+            if args.chaos is None
+            else ChaosPlan(intensity=args.chaos, seed=args.chaos_seed)
+        )
         report = serve_replay(
             context.trace,
             args.registry,
@@ -188,9 +262,44 @@ def _dispatch(args: argparse.Namespace) -> int:
             random_state=args.seed,
             fast=args.fast,
             sanitize=args.sanitize,
+            chaos=chaos,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_events=args.checkpoint_every,
+            resume=args.resume,
+            crash_after_events=args.crash_after,
         )
         print(report)
         return 0
+
+    if args.command == "resilience":
+        result = run_resilience(
+            context,
+            intensities=_parse_intensities(
+                args.intensities, RESILIENCE_INTENSITIES
+            ),
+            seed=args.seed,
+            model=args.model,
+            split=args.split,
+        )
+        print(result)
+        return 0
+
+    if args.command == "registry":
+        from repro.serve import ModelRegistry
+
+        statuses = ModelRegistry(args.registry).verify(args.name)
+        if not statuses:
+            print(f"{args.name}: no version directories")
+            return 0
+        broken = 0
+        for version, status in statuses:
+            print(f"{args.name}/v{version:04d}  {status}")
+            broken += status != "ok"
+        print(
+            f"{len(statuses)} version(s), {len(statuses) - broken} ok, "
+            f"{broken} broken"
+        )
+        return 1 if broken else 0
 
     if args.command == "faults":
         result = run_faults(

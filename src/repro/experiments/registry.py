@@ -9,6 +9,7 @@ from repro.experiments import prediction_experiments as pred
 from repro.experiments.faults_experiment import run_faults
 from repro.experiments.imbalance_experiment import run_imbalance
 from repro.experiments.oracle_experiment import run_oracle
+from repro.experiments.resilience_experiment import run_resilience
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext
 from repro.utils.errors import ValidationError
@@ -39,6 +40,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult
     "imbalance": ("Imbalance-mitigation comparison", run_imbalance),
     "oracle": ("Oracle per-cabinet model selection", run_oracle),
     "faults": ("Telemetry fault-injection degradation curve", run_faults),
+    "resilience": ("Serving availability vs chaos intensity", run_resilience),
 }
 
 

@@ -17,8 +17,18 @@ layers:
 :func:`repro.serve.replay.serve_replay` wires the three together to
 replay a trace through the full online path and compare against the
 batch oracle (the CLI's ``serve-replay`` subcommand).
+
+Two robustness layers harden the service (both exact no-ops when off):
+
+* :mod:`repro.serve.resilience` -- serve-layer chaos injection plus the
+  supervised scorer: retry/backoff, per-batch timeouts, a circuit
+  breaker over Basic-B / all-negative fallbacks, and a dead-letter
+  queue with recovery replay;
+* :mod:`repro.serve.checkpoint` -- atomic, checksummed checkpoints so a
+  killed replay resumes bit-identically (``serve-replay --resume``).
 """
 
+from repro.serve.checkpoint import CheckpointManager
 from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
 from repro.serve.events import (
     JobResolved,
@@ -29,9 +39,28 @@ from repro.serve.events import (
 )
 from repro.serve.registry import ModelRegistry, ModelVersion, load_model, save_model
 from repro.serve.replay import ReplayReport, serve_replay
+from repro.serve.resilience import (
+    ChaosInjector,
+    ChaosPlan,
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterQueue,
+    ResilienceConfig,
+    ResilienceCounters,
+    SupervisedScorer,
+)
 from repro.serve.scorer import Alert, MicroBatchScorer, ScorerConfig, ServeCounters
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosInjector",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "ResilienceConfig",
+    "ResilienceCounters",
+    "SupervisedScorer",
+    "CheckpointManager",
     "StreamedRow",
     "StreamingFeatureEngine",
     "rows_to_matrix",

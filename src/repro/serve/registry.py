@@ -24,11 +24,12 @@ from __future__ import annotations
 import json
 import pickle
 import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.twostage import TwoStagePredictor
-from repro.utils.errors import ModelRegistryError
+from repro.utils.errors import DegradedDataWarning, ModelRegistryError
 from repro.utils.io import atomic_write_bytes, atomic_write_json, sha256_bytes
 
 __all__ = [
@@ -83,9 +84,13 @@ class ModelRegistry:
     def list_versions(self, name: str = "twostage") -> list[ModelVersion]:
         """Committed versions of ``name``, oldest first.
 
-        Uncommitted or unreadable version directories (no manifest, or a
-        manifest that fails to parse) are skipped: they are either
-        in-flight writers or crash debris, never load candidates.
+        Version directories must never be assumed complete: a crashed
+        writer leaves a directory without a manifest, a torn copy leaves
+        a manifest without its payload.  Both are skipped with a
+        :class:`~repro.utils.errors.DegradedDataWarning` (they are
+        in-flight writers or crash debris, never load candidates) so the
+        caller learns the registry is degraded without the enumeration
+        itself failing.
         """
         name_dir = self.root / name
         if not name_dir.is_dir():
@@ -97,6 +102,21 @@ class ModelRegistry:
                 continue
             manifest = self._read_manifest(child, strict=False)
             if manifest is None:
+                warnings.warn(
+                    f"skipping uncommitted registry version {name}/{child.name} "
+                    f"(missing or unreadable manifest)",
+                    DegradedDataWarning,
+                    stacklevel=2,
+                )
+                continue
+            payload = child / manifest.get("payload", _PAYLOAD_FILE)
+            if not payload.is_file():
+                warnings.warn(
+                    f"skipping registry version {name}/{child.name} "
+                    f"(manifest committed but payload missing)",
+                    DegradedDataWarning,
+                    stacklevel=2,
+                )
                 continue
             versions.append(
                 ModelVersion(
@@ -108,6 +128,47 @@ class ModelRegistry:
             )
         versions.sort(key=lambda v: v.version)
         return versions
+
+    def verify(self, name: str = "twostage") -> list[tuple[int, str]]:
+        """Checksum-audit every version directory of ``name``.
+
+        Returns ``(version, status)`` pairs, oldest first, where status
+        is ``"ok"``, ``"bad-manifest"``, ``"missing-payload"``,
+        ``"corrupt-payload"`` (checksum mismatch), or
+        ``"bad-format"``.  Unlike :meth:`list_versions` this reads and
+        hashes every payload, and reports broken directories instead of
+        skipping them — it is the ``registry verify`` CLI audit.
+        """
+        name_dir = self.root / name
+        if not name_dir.is_dir():
+            raise ModelRegistryError(
+                f"model {name!r} has no registry directory", path=name_dir
+            )
+        statuses: list[tuple[int, str]] = []
+        for child in sorted(name_dir.iterdir()):
+            match = _VERSION_RE.match(child.name)
+            if not match:
+                continue
+            version = int(match.group(1))
+            manifest = self._read_manifest(child, strict=False)
+            if manifest is None:
+                statuses.append((version, "bad-manifest"))
+                continue
+            if manifest.get("format") != ARTIFACT_FORMAT:
+                statuses.append((version, "bad-format"))
+                continue
+            payload = child / manifest.get("payload", _PAYLOAD_FILE)
+            try:
+                data = payload.read_bytes()
+            except OSError:
+                statuses.append((version, "missing-payload"))
+                continue
+            if sha256_bytes(data) != manifest.get("checksum"):
+                statuses.append((version, "corrupt-payload"))
+                continue
+            statuses.append((version, "ok"))
+        statuses.sort(key=lambda pair: pair[0])
+        return statuses
 
     def latest(self, name: str = "twostage") -> ModelVersion:
         """The most recent committed version of ``name``."""

@@ -21,28 +21,61 @@ An optional periodic-retrain loop refits on the labels resolved so far
 and hot-swaps the scorer's model through a new registry version —
 after the first swap the online path intentionally diverges from the
 frozen batch oracle.
+
+Two orthogonal robustness layers sit on top (both exact no-ops when
+unused — the no-chaos digest is bit-identical to the undecorated path):
+
+* ``chaos=ChaosPlan(...)`` injects pipeline faults (scorer exceptions
+  and outages, stalls, hot-swap corruption, malformed event bursts) and
+  the :class:`~repro.serve.resilience.SupervisedScorer` absorbs them
+  with retry/backoff, a circuit breaker over Basic-B / all-negative
+  fallbacks, and a dead-letter queue — every test row still gets scored
+  by *some* path, and the report breaks out which.
+* ``checkpoint_dir=...`` commits the full replay state every N events
+  through :class:`~repro.serve.checkpoint.CheckpointManager`;
+  ``resume=True`` restarts from the newest checkpoint and — because
+  every chaos draw is a pure function of the plan seed and restored
+  counters — reproduces the uninterrupted run's metrics and digest
+  bit-for-bit.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.baselines import BasicB
 from repro.core.pipeline import PredictionPipeline
 from repro.core.twostage import TwoStagePredictor
 from repro.features.builder import build_features, compute_top_apps
 from repro.features.splits import DatasetSplit
 from repro.ml.metrics import classification_report
+from repro.serve.checkpoint import CheckpointManager
 from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
 from repro.serve.events import JobResolved, iter_trace_events
 from repro.serve.registry import ModelRegistry
-from repro.serve.scorer import Alert, MicroBatchScorer, ScorerConfig, ServeCounters
+from repro.serve.resilience import (
+    AllNegativeFallback,
+    ChaosInjector,
+    ChaosPlan,
+    DeadLetter,
+    ResilienceConfig,
+    ResilienceCounters,
+    SupervisedScorer,
+)
+from repro.serve.scorer import Alert, ScorerConfig, ServeCounters
 from repro.telemetry.trace import Trace
-from repro.utils.errors import ValidationError
+from repro.utils.errors import (
+    ModelRegistryError,
+    SimulatedCrashError,
+    TelemetryFaultError,
+    ValidationError,
+)
 
 __all__ = ["ReplayReport", "serve_replay"]
 
@@ -71,6 +104,14 @@ class ReplayReport:
     wall_seconds: float
     retrains: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Supervision telemetry (all-zero when the replay ran without chaos).
+    resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
+    #: Fingerprint of the chaos plan, or ``None`` for a clean replay.
+    chaos_digest: str | None = None
+    #: Quarantined batches/events (payloads stripped), quarantine order.
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: Event cursor of the checkpoint this run resumed from, if any.
+    resumed_from: int | None = None
 
     @property
     def batch_f1(self) -> float:
@@ -94,7 +135,11 @@ class ReplayReport:
         alert's identity/score/decision.  Excludes wall-clock timings
         and registry version numbers: those legitimately vary across
         same-seed invocations (machine load; pre-existing versions under
-        the registry root).
+        the registry root).  A chaos replay additionally hashes the plan
+        fingerprint, the row-disposition breakdown, every dead letter,
+        and each alert's scoring path — a clean replay hashes exactly
+        what it always did, so resilience wrapping cannot move old
+        digests.
         """
         h = hashlib.sha256()
         h.update(f"{self.split}|{self.model}|{self.num_events}|".encode())
@@ -113,6 +158,27 @@ class ReplayReport:
                 f"{alert.end_minute:.12g},{alert.scored_minute:.12g},"
                 f"{alert.score:.12g},{alert.predicted};".encode()
             )
+        if self.chaos_digest is not None:
+            r = self.resilience
+            h.update(f"chaos={self.chaos_digest};".encode())
+            h.update(
+                f"rows={r.primary_rows},{r.fallback_rows},{r.dead_lettered_rows},"
+                f"{r.replayed_rows},{r.unresolved_rows};".encode()
+            )
+            h.update(
+                f"events={r.injected_events},{r.dead_letter_events};"
+                f"breaker={r.breaker_trips},{r.breaker_probes};"
+                f"swaps={r.swap_failures};".encode()
+            )
+            for letter in self.dead_letters:
+                h.update(
+                    f"dl:{letter.kind},{letter.reason},{letter.minute:.12g},"
+                    f"{letter.rows},{letter.resolution};".encode()
+                )
+            for alert in sorted(
+                self.alerts, key=lambda a: (a.run_idx, a.node_id, a.end_minute)
+            ):
+                h.update(f"src:{alert.run_idx},{alert.node_id},{alert.source};".encode())
         return h.hexdigest()
 
     def __str__(self) -> str:
@@ -141,8 +207,53 @@ class ReplayReport:
             f"  agreement          {self.agreement:.6f}"
             f"  (max |score diff| {self.max_abs_score_diff:.3g})",
         ]
+        if self.chaos_digest is not None:
+            r = self.resilience
+            lines.extend(
+                [
+                    f"  chaos plan         {self.chaos_digest[:16]}...",
+                    f"  availability       {r.availability:.6f}"
+                    f"  (primary {r.primary_rows} / fallback {r.fallback_rows}"
+                    f" / unresolved {r.unresolved_rows} rows)",
+                    f"  fallback share     {r.fallback_share:.4f}"
+                    f"  (breaker trips {r.breaker_trips},"
+                    f" probes {r.breaker_probes})",
+                    f"  dead letters       {len(self.dead_letters)}"
+                    f" ({r.dead_lettered_rows} rows quarantined,"
+                    f" {r.replayed_rows} replayed,"
+                    f" {r.dead_letter_events} bad events)",
+                    f"  faults absorbed    transient {r.transient_faults}"
+                    f" / outage {r.outage_faults} / timeout {r.timeouts}"
+                    f" / swap {r.swap_failures}"
+                    f" (retries {r.retries})",
+                ]
+            )
+        if self.resumed_from is not None:
+            lines.append(f"  resumed from       event {self.resumed_from}")
         lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
+
+
+def _zero_class_report() -> dict[str, dict[str, float]]:
+    """A well-formed all-zero classification report (no samples)."""
+    return {
+        "sbe": {"precision": 0.0, "recall": 0.0, "f1": 0.0},
+        "non_sbe": {"precision": 0.0, "recall": 0.0, "f1": 0.0},
+        "overall": {"accuracy": 0.0},
+    }
+
+
+def _trace_fingerprint(trace: Trace) -> str:
+    """Content hash binding a checkpoint to the exact trace it came from."""
+    h = hashlib.sha256()
+    h.update(f"{trace.num_samples}|".encode())
+    for name in sorted(trace.samples):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(trace.samples[name]).tobytes())
+    for name in sorted(trace.runs):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(trace.runs[name]).tobytes())
+    return h.hexdigest()
 
 
 def serve_replay(
@@ -160,6 +271,12 @@ def serve_replay(
     random_state: int | None = 0,
     fast: bool = False,
     sanitize: bool = False,
+    chaos: ChaosPlan | None = None,
+    resilience: ResilienceConfig | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every_events: int = 2000,
+    resume: bool = False,
+    crash_after_events: int | None = None,
 ) -> ReplayReport:
     """Replay ``trace`` through registry + streaming engine + scorer.
 
@@ -168,14 +285,51 @@ def serve_replay(
     schema verified), and scores the split's test window online.  With
     ``retrain_every_days`` set, the model is refit on resolved labels at
     that cadence and hot-swapped through new registry versions.
+
+    ``chaos`` injects pipeline faults; ``resilience`` tunes the
+    supervision absorbing them.  ``checkpoint_dir`` commits resumable
+    state every ``checkpoint_every_events`` events; ``resume=True``
+    restarts from the newest compatible checkpoint.
+    ``crash_after_events`` raises
+    :class:`~repro.utils.errors.SimulatedCrashError` after that many
+    events — the test hook for the kill-and-resume path.
     """
     started = time.perf_counter()
     notes: list[str] = []
     if sanitize:
         from repro.faults import sanitize_trace
 
-        trace, sanitize_report = sanitize_trace(trace)
+        try:
+            trace, sanitize_report = sanitize_trace(trace)
+        except TelemetryFaultError as exc:
+            # Everything was quarantined.  An empty stream is an answer
+            # (nothing scorable), not a crash.
+            return _empty_report(
+                split=split,
+                model=model,
+                registry_name=registry_name,
+                chaos=chaos,
+                wall_seconds=time.perf_counter() - started,
+                notes=notes + [f"sanitizer quarantined the whole trace: {exc}"],
+            )
         notes.append(f"sanitized input trace: {sanitize_report.summary()}")
+    if trace.num_samples == 0:
+        return _empty_report(
+            split=split,
+            model=model,
+            registry_name=registry_name,
+            chaos=chaos,
+            wall_seconds=time.perf_counter() - started,
+            notes=notes + ["input trace is empty; nothing to replay"],
+        )
+
+    injector = (
+        None
+        if chaos is None
+        else ChaosInjector(
+            chaos, span=(0.0, trace.config.duration_days * MINUTES_PER_DAY)
+        )
+    )
 
     # ------------------------------------------------------------- batch
     features = build_features(trace, top_k_apps=top_k_apps)
@@ -188,55 +342,111 @@ def serve_replay(
     batch_pred = (batch_scores >= predictor.model.threshold).astype(int)
     batch_report = classification_report(test.y, batch_pred)
 
-    # ---------------------------------------------------------- registry
-    registry = ModelRegistry(registry_root)
-    entry = registry.save_model(
-        predictor,
-        name=registry_name,
-        metadata={
-            "split": split,
-            "model": model,
-            "train_start_minute": split_obj.train_start,
-            "train_end_minute": split_obj.train_end,
-            "random_state": random_state,
-            "fast": fast,
-            "top_k_apps": top_k_apps,
-        },
+    # -------------------------------------------------------- checkpoint
+    checkpoints = (
+        None if checkpoint_dir is None else CheckpointManager(checkpoint_dir)
     )
-    serving, entry = registry.load_model(
-        registry_name,
-        entry.version,
-        expect_feature_names=predictor.feature_names,
-    )
-    versions = [entry.version]
+    config_key = hashlib.sha256(
+        json.dumps(
+            {
+                "split": split,
+                "model": model,
+                "batch_size": batch_size,
+                "flush_deadline_minutes": flush_deadline_minutes,
+                "registry_name": registry_name,
+                "retrain_every_days": retrain_every_days,
+                "top_k_apps": top_k_apps,
+                "random_state": random_state,
+                "fast": fast,
+                "sanitize": sanitize,
+                "chaos": None if chaos is None else chaos.digest(),
+                "resilience": repr(resilience or ResilienceConfig()),
+                "trace": _trace_fingerprint(trace),
+            },
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()
 
-    # ------------------------------------------------------------ stream
-    engine = StreamingFeatureEngine(
-        trace.machine,
-        compute_top_apps(np.asarray(trace.samples["app_id"], dtype=int), top_k_apps),
-    )
-    scorer = MicroBatchScorer(
-        serving,
-        engine.schema,
-        ScorerConfig(
-            max_batch_size=batch_size,
-            flush_deadline_minutes=flush_deadline_minutes,
-        ),
-        model_version=entry.version,
-    )
-    labels: dict[tuple[int, int], int] = {}
-    history_rows: list[StreamedRow] = []
-    alerts: list[Alert] = []
-    num_events = 0
-    retrains = 0
-    next_retrain = (
-        None
-        if retrain_every_days is None
-        else split_obj.train_end + retrain_every_days * MINUTES_PER_DAY
-    )
+    registry = ModelRegistry(registry_root)
+    resumed_from: int | None = None
+
+    if resume:
+        if checkpoints is None:
+            raise ValidationError("--resume requires a checkpoint directory")
+        resumed_from, state = checkpoints.load_latest(expected_key=config_key)
+        engine = state["engine"]
+        scorer = state["scorer"]
+        labels = state["labels"]
+        history_rows = state["history_rows"]
+        alerts = state["alerts"]
+        num_events = state["num_events"]
+        retrains = state["retrains"]
+        retrain_attempts = state["retrain_attempts"]
+        next_retrain = state["next_retrain"]
+        versions = state["versions"]
+        last_minute = state["last_minute"]
+        notes = state["notes"] + notes
+        serving = scorer.predictor
+        notes.append(f"resumed from checkpoint at event {resumed_from}")
+    else:
+        # -------------------------------------------------------- registry
+        entry = registry.save_model(
+            predictor,
+            name=registry_name,
+            metadata={
+                "split": split,
+                "model": model,
+                "train_start_minute": split_obj.train_start,
+                "train_end_minute": split_obj.train_end,
+                "random_state": random_state,
+                "fast": fast,
+                "top_k_apps": top_k_apps,
+            },
+        )
+        serving, entry = registry.load_model(
+            registry_name,
+            entry.version,
+            expect_feature_names=predictor.feature_names,
+        )
+        versions = [entry.version]
+
+        # ---------------------------------------------------------- stream
+        engine = StreamingFeatureEngine(
+            trace.machine,
+            compute_top_apps(
+                np.asarray(trace.samples["app_id"], dtype=int), top_k_apps
+            ),
+        )
+        scorer = SupervisedScorer(
+            serving,
+            engine.schema,
+            ScorerConfig(
+                max_batch_size=batch_size,
+                flush_deadline_minutes=flush_deadline_minutes,
+            ),
+            model_version=entry.version,
+            resilience=resilience,
+            chaos=injector,
+            fallbacks=[
+                ("basic_b", BasicB().fit(train)),
+                ("all_negative", AllNegativeFallback()),
+            ],
+        )
+        labels: dict[tuple[int, int], int] = {}
+        history_rows: list[StreamedRow] = []
+        alerts: list[Alert] = []
+        num_events = 0
+        retrains = 0
+        retrain_attempts = 0
+        last_minute = 0.0
+        next_retrain = (
+            None
+            if retrain_every_days is None
+            else split_obj.train_end + retrain_every_days * MINUTES_PER_DAY
+        )
 
     def maybe_retrain(now_minute: float) -> None:
-        nonlocal next_retrain, retrains, serving
+        nonlocal next_retrain, retrains, retrain_attempts, serving
         while next_retrain is not None and now_minute >= next_retrain:
             at = next_retrain
             next_retrain += retrain_every_days * MINUTES_PER_DAY
@@ -260,24 +470,77 @@ def serve_replay(
             except ValidationError as exc:
                 notes.append(f"retrain at minute {at:g} skipped: {exc}")
                 continue
+            attempt = retrain_attempts
+            retrain_attempts += 1
             new_entry = registry.save_model(
                 candidate,
                 name=registry_name,
                 metadata={"retrained_at_minute": at, "n_rows": len(resolved)},
             )
+            if injector is not None and injector.swap_corrupts(attempt):
+                # Chaos: flip one payload byte after commit, before the
+                # pre-swap verification load — a torn/bit-rotted artifact.
+                payload_path = new_entry.path / new_entry.manifest["payload"]
+                blob = bytearray(payload_path.read_bytes())
+                blob[len(blob) // 2] ^= 0xFF
+                payload_path.write_bytes(bytes(blob))
+            try:
+                stall = (
+                    0.0
+                    if injector is None
+                    else injector.registry_load_stall_seconds(attempt)
+                )
+                scorer.resilience.registry_load_stall_seconds += stall
+                registry.load_model(
+                    registry_name,
+                    new_entry.version,
+                    expect_feature_names=serving.feature_names,
+                )
+            except ModelRegistryError as exc:
+                # The previous model stays active; a bad artifact must
+                # never take the serving path down mid-replay.
+                scorer.resilience.swap_failures += 1
+                notes.append(
+                    f"hot swap to v{new_entry.version:04d} failed "
+                    f"(previous model kept): {exc}"
+                )
+                continue
+            # Swap in the in-memory candidate (the load above is
+            # verification only): bit-identical to the pre-supervision
+            # behavior, which never round-tripped the swap through disk.
             scorer.swap_model(candidate, new_entry.version)
             serving = candidate
             versions.append(new_entry.version)
             retrains += 1
 
-    for event in iter_trace_events(trace):
+    for index, event in enumerate(iter_trace_events(trace)):
+        if resumed_from is not None and index < resumed_from:
+            continue
+        if injector is not None:
+            for bad in injector.burst(index, event.minute):
+                scorer.resilience.injected_events += 1
+                try:
+                    engine.process(bad)
+                except ValidationError as exc:
+                    scorer.dlq.quarantine_event(
+                        reason=bad.reason, minute=bad.minute, detail=str(exc)
+                    )
+                    scorer.resilience.dead_letter_events += 1
         num_events += 1
+        last_minute = event.minute
         alerts.extend(scorer.poll(event.minute))
         maybe_retrain(event.minute)
         if isinstance(event, JobResolved):
             for node, count in zip(event.node_ids, event.counts):
                 labels[(event.job_id, int(node))] = int(count)
-        rows = engine.process(event)
+        try:
+            rows = engine.process(event)
+        except ValidationError as exc:
+            scorer.dlq.quarantine_event(
+                reason="malformed_event", minute=event.minute, detail=str(exc)
+            )
+            scorer.resilience.dead_letter_events += 1
+            rows = []
         if rows:
             history_rows.extend(rows)
             in_test = [
@@ -287,7 +550,32 @@ def serve_replay(
             ]
             if in_test:
                 alerts.extend(scorer.submit(in_test, event.minute))
+        if (
+            checkpoints is not None
+            and num_events % int(checkpoint_every_events) == 0
+        ):
+            checkpoints.save(
+                num_events,
+                {
+                    "engine": engine,
+                    "scorer": scorer,
+                    "labels": labels,
+                    "history_rows": history_rows,
+                    "alerts": alerts,
+                    "num_events": num_events,
+                    "retrains": retrains,
+                    "retrain_attempts": retrain_attempts,
+                    "next_retrain": next_retrain,
+                    "versions": versions,
+                    "last_minute": last_minute,
+                    "notes": list(notes),
+                },
+                key=config_key,
+            )
+        if crash_after_events is not None and num_events >= crash_after_events:
+            raise SimulatedCrashError(num_events)
     alerts.extend(scorer.flush())
+    alerts.extend(scorer.finalize(last_minute))
 
     # --------------------------------------------------------- alignment
     # Alert order depends on flush timing, so align to the batch test rows
@@ -325,4 +613,42 @@ def serve_replay(
         wall_seconds=time.perf_counter() - started,
         retrains=retrains,
         notes=notes,
+        resilience=scorer.resilience,
+        chaos_digest=None if chaos is None else chaos.digest(),
+        dead_letters=[letter.stripped() for letter in scorer.dlq.letters],
+        resumed_from=resumed_from,
+    )
+
+
+def _empty_report(
+    *,
+    split: str,
+    model: str,
+    registry_name: str,
+    chaos: ChaosPlan | None,
+    wall_seconds: float,
+    notes: list[str],
+) -> ReplayReport:
+    """A well-formed report for a replay with nothing to score."""
+    return ReplayReport(
+        split=split,
+        model=model,
+        registry_name=registry_name,
+        registry_versions=[],
+        num_events=0,
+        rows_streamed=0,
+        rows_test=0,
+        counters=ServeCounters(),
+        alerts=[],
+        batch_report=_zero_class_report(),
+        online_report=_zero_class_report(),
+        agreement=1.0,
+        max_abs_score_diff=0.0,
+        wall_seconds=wall_seconds,
+        retrains=0,
+        notes=notes,
+        resilience=ResilienceCounters(),
+        chaos_digest=None if chaos is None else chaos.digest(),
+        dead_letters=[],
+        resumed_from=None,
     )

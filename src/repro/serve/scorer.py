@@ -64,6 +64,9 @@ class Alert:
     predicted: int
     #: Registry version of the model that scored the row.
     model_version: int
+    #: Which path scored the row: ``"primary"`` or ``"fallback:<name>"``
+    #: (the latter only from the supervised scorer under degradation).
+    source: str = "primary"
 
 
 @dataclass
@@ -179,6 +182,24 @@ class MicroBatchScorer:
         if take == 0:
             return []
         entries = [self._queue.popleft() for _ in range(take)]
+        outcome = self._score_entries(entries, scored_minute)
+        if outcome is None:
+            # The supervising subclass quarantined the batch; the rows are
+            # in its dead-letter queue and will be replayed on recovery.
+            return []
+        scores, predicted, model_version, source = outcome
+        return self._emit(
+            entries, scores, predicted, scored_minute, model_version, source
+        )
+
+    def _score_entries(self, entries, scored_minute: float):
+        """Score one drained batch; the supervision hook.
+
+        Returns ``(scores, predicted, model_version, source)``, or ``None``
+        when the batch could not be scored and was quarantined (only the
+        supervised subclass does that — this base implementation scores
+        with the primary model, unconditionally).
+        """
         rows = [row for _, row in entries]
         matrix = rows_to_matrix(rows, self._schema)
         started = time.perf_counter()
@@ -186,6 +207,18 @@ class MicroBatchScorer:
         self.counters.scoring_seconds += time.perf_counter() - started
         threshold = self._predictor.model.threshold
         predicted = (scores >= threshold).astype(int)
+        return scores, predicted, self.model_version, "primary"
+
+    def _emit(
+        self,
+        entries,
+        scores,
+        predicted,
+        scored_minute: float,
+        model_version: int,
+        source: str,
+    ) -> list[Alert]:
+        """Turn one scored batch into alerts and update the counters."""
         alerts = []
         for (enqueue_minute, row), score, label in zip(entries, scores, predicted):
             self.counters.total_queue_minutes += scored_minute - enqueue_minute
@@ -199,11 +232,12 @@ class MicroBatchScorer:
                     scored_minute=scored_minute,
                     score=float(score),
                     predicted=int(label),
-                    model_version=self.model_version,
+                    model_version=model_version,
+                    source=source,
                 )
             )
-        self.counters.rows_scored += take
+        self.counters.rows_scored += len(entries)
         self.counters.batches += 1
-        self.counters.batch_sizes.append(take)
+        self.counters.batch_sizes.append(len(entries))
         self.counters.positive_alerts += int(predicted.sum())
         return alerts

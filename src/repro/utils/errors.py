@@ -53,6 +53,22 @@ class ModelRegistryError(ReproError, RuntimeError):
         super().__init__(f"{message} [{path}]" if path is not None else message)
 
 
+class SimulatedCrashError(ReproError, RuntimeError):
+    """A deliberately induced crash (``--crash-after``) for resume tests.
+
+    Raised by :func:`repro.serve.replay.serve_replay` when the caller
+    asked the replay to die after N events; the checkpoint/resume
+    tooling catches it to exercise the recovery path.  Carries the
+    number of events processed before the crash.
+    """
+
+    def __init__(self, events_done: int) -> None:
+        self.events_done = events_done
+        super().__init__(
+            f"simulated crash after {events_done} events (resume with --resume)"
+        )
+
+
 class TelemetryFaultError(ReproError, RuntimeError):
     """Telemetry is too corrupt for the sanitizer to recover.
 

@@ -13,9 +13,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
+
+from repro.utils.errors import TraceIOError
 
 __all__ = [
     "sha256_file",
@@ -24,6 +27,8 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "atomic_write_pickle",
+    "read_pickle_checked",
 ]
 
 
@@ -74,3 +79,35 @@ def atomic_write_text(path: str | Path, text: str) -> None:
 def atomic_write_json(path: str | Path, obj, *, indent: int = 2) -> None:
     """Atomically serialize ``obj`` as JSON to ``path``."""
     atomic_write_text(path, json.dumps(obj, indent=indent, sort_keys=True))
+
+
+def atomic_write_pickle(path: str | Path, obj) -> str:
+    """Atomically pickle ``obj`` to ``path``; returns the payload checksum.
+
+    The checksum is over the serialized bytes actually written, so a
+    manifest recording it can later prove the payload was not truncated
+    or tampered with (the registry and checkpoint stores both do this).
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    atomic_write_bytes(path, data)
+    return sha256_bytes(data)
+
+
+def read_pickle_checked(path: str | Path, *, checksum: str | None = None):
+    """Unpickle ``path``, optionally verifying a recorded checksum first.
+
+    Raises :class:`TraceIOError` when the file is missing, fails the
+    checksum, or does not unpickle — the caller decides whether that is
+    fatal or just means "skip this artifact".
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceIOError(path, f"cannot read pickle payload: {exc}") from exc
+    if checksum is not None and sha256_bytes(data) != checksum:
+        raise TraceIOError(path, "pickle payload failed its checksum")
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise TraceIOError(path, f"cannot unpickle payload: {exc}") from exc

@@ -7,8 +7,28 @@ once.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Pinned CI profile: derandomized (the seed derives from each test's
+    # signature, not from machine entropy) with an extended deadline, so
+    # property tests cannot flake on a loaded CI box.  Opt in with
+    # HYPOTHESIS_PROFILE=ci (tools/ci.sh exports it).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2000,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
 
 from repro.experiments.presets import preset_config
 from repro.experiments.runner import ExperimentContext

@@ -1,0 +1,85 @@
+"""Property test: sanitize-to-empty traces yield clean empty replays.
+
+The sanitizer quarantines irrecoverable rows; when *every* row is
+quarantined it raises :class:`TelemetryFaultError`.  ``serve_replay``
+with ``sanitize=True`` must turn that into a well-formed empty report —
+an empty stream is an answer, not a crash — whatever combination of
+corruption produced it.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.sanitizer import SENSOR_ABS_MAX, sanitize_trace
+from repro.serve import serve_replay
+from repro.telemetry.trace import SAMPLE_TELEMETRY_COLUMNS
+from repro.utils.errors import TelemetryFaultError
+
+#: Values no sensor statistic can legitimately take.
+BAD_VALUES = (
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    SENSOR_ABS_MAX * 10,
+    -SENSOR_ABS_MAX * 10,
+)
+
+
+def _corrupt_everything(trace, bad_value: float, mode: str):
+    """Return a copy of ``trace`` in which every sample is irrecoverable."""
+    bad = copy.deepcopy(trace)
+    if mode in ("sensors", "both"):
+        for name in SAMPLE_TELEMETRY_COLUMNS:
+            if name in bad.samples:
+                bad.samples[name][:] = bad_value
+    if mode in ("meta", "both"):
+        bad.samples["start_minute"][:] = np.nan
+    return bad
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bad_value=st.sampled_from(BAD_VALUES),
+    mode=st.sampled_from(["sensors", "meta", "both"]),
+)
+def test_all_quarantined_trace_yields_wellformed_empty_report(
+    tiny_trace, tmp_path_factory, bad_value, mode
+):
+    bad = _corrupt_everything(tiny_trace, bad_value, mode)
+    # Precondition: the sanitizer really does quarantine everything.
+    with pytest.raises(TelemetryFaultError):
+        sanitize_trace(bad)
+
+    registry_root = tmp_path_factory.mktemp("empty-replay-registry")
+    report = serve_replay(bad, registry_root, sanitize=True)
+
+    assert report.num_events == 0
+    assert report.rows_streamed == report.rows_test == 0
+    assert report.alerts == []
+    assert report.registry_versions == []
+    assert report.agreement == 1.0
+    assert report.max_abs_score_diff == 0.0
+    assert report.resilience.availability == 1.0
+    for section in (report.batch_report, report.online_report):
+        assert set(section) == {"sbe", "non_sbe", "overall"}
+        assert section["sbe"]["f1"] == 0.0
+    assert any("quarantined" in note for note in report.notes)
+    # The report still renders and fingerprints like any other.
+    assert "serve-replay" in str(report)
+    assert len(report.digest()) == 64
+
+
+def test_empty_input_trace_yields_wellformed_empty_report(tiny_trace, tmp_path):
+    empty = copy.deepcopy(tiny_trace)
+    for name in empty.samples:
+        empty.samples[name] = empty.samples[name][:0]
+    assert empty.num_samples == 0
+    report = serve_replay(empty, tmp_path / "registry")
+    assert report.num_events == 0
+    assert report.alerts == []
+    assert any("empty" in note for note in report.notes)

@@ -13,7 +13,12 @@ from repro.serve.registry import (
     load_model,
     save_model,
 )
-from repro.utils.errors import ModelRegistryError, NotFittedError, ReproError
+from repro.utils.errors import (
+    DegradedDataWarning,
+    ModelRegistryError,
+    NotFittedError,
+    ReproError,
+)
 
 
 @pytest.fixture(scope="module")
@@ -141,11 +146,24 @@ class TestFailureModes:
         stale = tmp_path / "twostage" / "v0002"
         stale.mkdir(parents=True)
         (stale / "predictor.pkl").write_bytes(b"half written")
-        assert [v.version for v in registry.list_versions()] == [1]
+        with pytest.warns(DegradedDataWarning, match="uncommitted"):
+            assert [v.version for v in registry.list_versions()] == [1]
         _, entry = registry.load_model()
         assert entry.version == 1
         # But the next save never reuses the stale slot.
         assert registry.save_model(predictor).version == 3
+
+    def test_manifest_without_payload_is_skipped_with_warning(
+        self, fitted, tmp_path
+    ):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        torn = registry.save_model(predictor)
+        (torn.path / "predictor.pkl").unlink()
+        with pytest.warns(DegradedDataWarning, match="payload missing"):
+            assert [v.version for v in registry.list_versions()] == [1]
+        assert registry.latest().version == 1
 
     def test_next_version_follows_max_existing(self, fitted, tmp_path):
         predictor, _, _ = fitted
@@ -156,3 +174,81 @@ class TestFailureModes:
 
         shutil.rmtree(v2.path)
         assert registry.save_model(predictor).version == 2
+
+
+class TestVerify:
+    def test_reports_per_version_checksum_status(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        ok = registry.save_model(predictor)
+        corrupt = registry.save_model(predictor)
+        missing = registry.save_model(predictor)
+        bad_manifest = registry.save_model(predictor)
+
+        data = bytearray((corrupt.path / "predictor.pkl").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (corrupt.path / "predictor.pkl").write_bytes(bytes(data))
+        (missing.path / "predictor.pkl").unlink()
+        (bad_manifest.path / "manifest.json").write_text("{torn")
+
+        assert registry.verify() == [
+            (ok.version, "ok"),
+            (corrupt.version, "corrupt-payload"),
+            (missing.version, "missing-payload"),
+            (bad_manifest.version, "bad-manifest"),
+        ]
+
+    def test_bad_format_reported(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor)
+        manifest_path = entry.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = ARTIFACT_FORMAT + 1
+        manifest_path.write_text(json.dumps(manifest))
+        assert registry.verify() == [(1, "bad-format")]
+
+    def test_unknown_name_raises(self, tmp_path):
+        with pytest.raises(ModelRegistryError, match="no registry directory"):
+            ModelRegistry(tmp_path).verify("ghost")
+
+    def test_cli_registry_verify(self, fitted, tmp_path, capsys):
+        from repro.cli import main
+
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        code = main(
+            ["registry", "verify", "--registry", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "twostage/v0001  ok" in out
+        assert "1 ok, 0 broken" in out
+
+    def test_cli_registry_verify_flags_corruption(self, fitted, tmp_path, capsys):
+        from repro.cli import main
+
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        entry = registry.save_model(predictor)
+        data = bytearray((entry.path / "predictor.pkl").read_bytes())
+        data[0] ^= 0xFF
+        (entry.path / "predictor.pkl").write_bytes(bytes(data))
+        code = main(["registry", "verify", "--registry", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "corrupt-payload" in out
+
+    def test_cli_registry_verify_missing_root_is_one_line_error(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        code = main(
+            ["registry", "verify", "--registry", str(tmp_path / "nope")]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro: error:")
+        assert "Traceback" not in captured.err

@@ -1,0 +1,413 @@
+"""Tests for serve-layer chaos injection and the supervised scorer."""
+
+import dataclasses
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import compute_top_apps
+from repro.serve import serve_replay
+from repro.serve.engine import StreamingFeatureEngine
+from repro.serve.events import iter_trace_events
+from repro.serve.resilience import (
+    FALLBACK_MODEL_VERSION,
+    LAST_RESORT_MODEL_VERSION,
+    AllNegativeFallback,
+    ChaosInjector,
+    ChaosPlan,
+    CircuitBreaker,
+    DeadLetterQueue,
+    ResilienceConfig,
+    SupervisedScorer,
+)
+from repro.serve.scorer import MicroBatchScorer, ScorerConfig
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def serving(tiny_trace, tiny_context):
+    """(fitted predictor, engine schema, streamed rows) for scorer tests."""
+    train, _ = tiny_context.pipeline.train_test("DS1")
+    predictor = TwoStagePredictor("lr", random_state=0, fast=True)
+    predictor.fit(train)
+    engine = StreamingFeatureEngine(
+        tiny_trace.machine,
+        compute_top_apps(np.asarray(tiny_trace.samples["app_id"], dtype=int), 16),
+    )
+    rows = list(engine.stream(iter_trace_events(tiny_trace)))
+    return predictor, engine.schema, rows
+
+
+class TestChaosPlan:
+    def test_intensity_validated(self):
+        with pytest.raises(ValidationError):
+            ChaosPlan(intensity=1.5)
+        with pytest.raises(ValidationError):
+            ChaosPlan(intensity=-0.1)
+
+    def test_presets(self):
+        assert ChaosPlan.preset("clean").intensity == 0.0
+        assert ChaosPlan.preset("moderate").intensity == 0.25
+        with pytest.raises(ValidationError, match="unknown chaos preset"):
+            ChaosPlan.preset("apocalyptic")
+
+    def test_digest_depends_on_every_knob(self):
+        base = ChaosPlan(intensity=0.25, seed=7)
+        assert base.digest() == ChaosPlan(intensity=0.25, seed=7).digest()
+        assert base.digest() != ChaosPlan(intensity=0.25, seed=8).digest()
+        assert base.digest() != dataclasses.replace(base, stall_rate=0.2).digest()
+
+    def test_zero_intensity_disables_everything(self):
+        injector = ChaosInjector(ChaosPlan(intensity=0.0), span=(0.0, 1000.0))
+        assert not injector.enabled
+        assert injector.outages == []
+        assert injector.attempt_fault(10.0, 0) is None
+        assert injector.attempt_stall_seconds(0) == 0.0
+        assert injector.burst(0, 0.0) == []
+        assert not injector.swap_corrupts(0)
+
+
+class TestChaosInjectorDeterminism:
+    def test_draws_are_pure_functions_of_seed_and_counter(self):
+        plan = ChaosPlan(intensity=0.5, seed=11)
+        a = ChaosInjector(plan, span=(0.0, 5000.0))
+        b = ChaosInjector(plan, span=(0.0, 5000.0))
+        assert a.outages == b.outages
+        for seq in range(50):
+            assert a.attempt_fault(123.0, seq) == b.attempt_fault(123.0, seq)
+            assert a.attempt_stall_seconds(seq) == b.attempt_stall_seconds(seq)
+            assert a.burst(seq, 1.0) == b.burst(seq, 1.0)
+            assert a.swap_corrupts(seq) == b.swap_corrupts(seq)
+
+    def test_different_seeds_disagree(self):
+        a = ChaosInjector(ChaosPlan(intensity=1.0, seed=1), span=(0.0, 5000.0))
+        b = ChaosInjector(ChaosPlan(intensity=1.0, seed=2), span=(0.0, 5000.0))
+        verdicts_a = [a.attempt_fault(9.0, s) for s in range(200)]
+        verdicts_b = [b.attempt_fault(9.0, s) for s in range(200)]
+        assert verdicts_a != verdicts_b
+
+    def test_outage_windows_fail_every_attempt_inside(self):
+        injector = ChaosInjector(
+            ChaosPlan(intensity=1.0, seed=3), span=(0.0, 5000.0)
+        )
+        assert injector.outages
+        start, end = injector.outages[0]
+        middle = (start + end) / 2.0
+        for seq in range(20):
+            kind, _ = injector.attempt_fault(middle, seq)
+            assert kind == "outage"
+
+
+class TestCircuitBreaker:
+    def test_trips_after_k_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_batches=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_cooldown_leads_to_half_open_then_close_or_reopen(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_batches=2)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.tick()
+        assert breaker.state == "open"
+        breaker.tick()
+        assert breaker.state == "half_open"
+        breaker.reopen()
+        assert breaker.state == "open"
+        breaker.tick()
+        breaker.tick()
+        assert breaker.state == "half_open"
+        breaker.close()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+
+class TestDeadLetterQueue:
+    def test_reasons_and_replay_bookkeeping(self):
+        dlq = DeadLetterQueue()
+        letter = dlq.quarantine_batch(
+            [(0.0, None)], reason="transient", minute=5.0, detail="x"
+        )
+        dlq.quarantine_event(reason="malformed_event", minute=6.0)
+        assert len(dlq) == 2
+        assert dlq.reasons() == {"transient": 1, "malformed_event": 1}
+        assert [l.reason for l in dlq.pending_batches()] == ["transient"]
+        letter.resolution = "primary"
+        assert dlq.pending_batches() == []
+        stripped = letter.stripped()
+        assert stripped.entries is None and stripped.rows == 1
+
+
+class TestSupervisedCleanPath:
+    def test_no_chaos_is_bit_identical_to_raw_scorer(self, serving):
+        predictor, schema, rows = serving
+        subset = rows[:200]
+        raw = MicroBatchScorer(predictor, schema, ScorerConfig(max_batch_size=32))
+        sup = SupervisedScorer(predictor, schema, ScorerConfig(max_batch_size=32))
+        raw_alerts = raw.submit(subset, now_minute=0.0) + raw.flush()
+        sup_alerts = sup.submit(subset, now_minute=0.0) + sup.flush()
+        sup_alerts += sup.finalize(0.0)
+        assert len(raw_alerts) == len(sup_alerts)
+        for a, b in zip(raw_alerts, sup_alerts):
+            assert (a.run_idx, a.node_id, a.score, a.predicted) == (
+                b.run_idx,
+                b.node_id,
+                b.score,
+                b.predicted,
+            )
+            assert b.source == "primary"
+        assert sup.resilience.fallback_rows == 0
+        assert sup.resilience.primary_rows == len(subset)
+        assert len(sup.dlq) == 0
+        assert raw.counters.positive_alerts == sup.counters.positive_alerts
+
+
+class TestSupervisedDegradation:
+    def test_transient_faults_are_absorbed_by_retry(self, serving):
+        predictor, schema, rows = serving
+        # ~40% per-attempt failure: retries (3 attempts) absorb almost all.
+        injector = ChaosInjector(
+            ChaosPlan(intensity=1.0, seed=5, scorer_fault_rate=0.4,
+                      outage_windows=0.0, stall_rate=0.0, burst_rate=0.0),
+            span=(0.0, 5000.0),
+        )
+        sup = SupervisedScorer(
+            predictor, schema, ScorerConfig(max_batch_size=16), chaos=injector
+        )
+        alerts = sup.submit(rows[:160], now_minute=0.0) + sup.flush()
+        alerts += sup.finalize(0.0)
+        assert len(alerts) == 160
+        assert sup.resilience.retries > 0
+        assert sup.resilience.transient_faults > 0
+        assert sup.resilience.availability == 1.0
+
+    def test_persistent_failure_trips_breaker_and_falls_back(self, serving):
+        predictor, schema, rows = serving
+        injector = ChaosInjector(
+            ChaosPlan(intensity=1.0, seed=5, scorer_fault_rate=1.0,
+                      outage_windows=0.0, stall_rate=0.0, burst_rate=0.0),
+            span=(0.0, 5000.0),
+        )
+        sup = SupervisedScorer(
+            predictor,
+            schema,
+            ScorerConfig(max_batch_size=16),
+            resilience=ResilienceConfig(
+                max_attempts=2, breaker_threshold=2, breaker_cooldown_batches=3
+            ),
+            chaos=injector,
+            fallbacks=[("all_negative", AllNegativeFallback())],
+        )
+        alerts = sup.submit(rows[:320], now_minute=0.0) + sup.flush()
+        alerts += sup.finalize(0.0)
+        r = sup.resilience
+        assert r.breaker_trips >= 1
+        assert r.fallback_rows > 0
+        assert r.dead_lettered_rows > 0
+        # Every dead-lettered row was eventually replayed to some path.
+        assert r.replayed_rows == r.dead_lettered_rows
+        assert r.unresolved_rows == 0
+        assert len(alerts) == 320
+        fallback_sources = {a.source for a in alerts if a.source != "primary"}
+        assert fallback_sources == {"fallback:all_negative"}
+        fallback_versions = {
+            a.model_version for a in alerts if a.source != "primary"
+        }
+        assert fallback_versions == {LAST_RESORT_MODEL_VERSION}
+
+    def test_half_open_probe_recovers_and_replays_dead_letters(self, serving):
+        predictor, schema, rows = serving
+
+        class FlakyPredictor:
+            """Fails hard for the first N calls, then recovers."""
+
+            def __init__(self, inner, failures):
+                self.inner = inner
+                self.failures = failures
+                self.model = inner.model
+                self.feature_names = inner.feature_names
+
+            def decision_scores(self, features):
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise RuntimeError("GPU fell off the bus")
+                return self.inner.decision_scores(features)
+
+        flaky = FlakyPredictor(predictor, failures=6)
+        sup = SupervisedScorer(
+            flaky,
+            schema,
+            ScorerConfig(max_batch_size=16),
+            resilience=ResilienceConfig(
+                max_attempts=2, breaker_threshold=2, breaker_cooldown_batches=1
+            ),
+        )
+        alerts = sup.submit(rows[:160], now_minute=0.0) + sup.flush()
+        alerts += sup.finalize(0.0)
+        r = sup.resilience
+        assert r.scorer_exceptions == 6
+        assert r.breaker_trips >= 1
+        assert r.breaker_probes >= 1
+        assert sup.breaker.state == "closed"
+        # Recovery replays the quarantined batches through the primary.
+        assert r.replayed_rows == r.dead_lettered_rows > 0
+        assert len(alerts) == 160
+        replayed_primary = [
+            a for a in alerts if a.source == "primary"
+        ]
+        assert len(replayed_primary) > 0
+
+    def test_stall_past_deadline_counts_as_timeout(self, serving):
+        predictor, schema, rows = serving
+        injector = ChaosInjector(
+            ChaosPlan(intensity=1.0, seed=5, scorer_fault_rate=0.0,
+                      outage_windows=0.0, stall_rate=1.0,
+                      stall_mean_seconds=1e6, burst_rate=0.0),
+            span=(0.0, 5000.0),
+        )
+        sup = SupervisedScorer(
+            predictor,
+            schema,
+            ScorerConfig(max_batch_size=16),
+            resilience=ResilienceConfig(max_attempts=1, batch_timeout_seconds=1.0),
+            chaos=injector,
+        )
+        alerts = sup.submit(rows[:16], now_minute=0.0) + sup.finalize(0.0)
+        assert sup.resilience.timeouts >= 1
+        assert sup.resilience.simulated_stall_seconds > 0.0
+        assert len(alerts) == 16  # finalize drained through fallback
+
+
+@pytest.fixture(scope="module")
+def chaos_replayed(tiny_trace, tiny_context, tmp_path_factory):
+    """One shared moderate-chaos replay (the acceptance-criteria run)."""
+    root = tmp_path_factory.mktemp("chaos-registry")
+    plan = ChaosPlan(intensity=0.25, seed=7)
+    report = serve_replay(
+        tiny_trace,
+        root,
+        splits=tiny_context.preset_splits(),
+        split="DS1",
+        model="gbdt",
+        batch_size=64,
+        retrain_every_days=4.0,
+        fast=True,
+        chaos=plan,
+    )
+    return report, plan
+
+
+class TestChaosReplay:
+    def test_moderate_chaos_keeps_availability_above_99pct(self, chaos_replayed):
+        report, _ = chaos_replayed
+        r = report.resilience
+        assert r.availability >= 0.99
+        assert r.unresolved_rows == 0
+
+    def test_no_event_silently_dropped(self, chaos_replayed):
+        report, _ = chaos_replayed
+        r = report.resilience
+        # Every test row got exactly one alert (scored or replayed) ...
+        keys = {(a.run_idx, a.node_id) for a in report.alerts}
+        assert len(keys) == len(report.alerts) == report.rows_test
+        # ... and every injected bad event is dead-lettered with a reason.
+        assert r.injected_events == r.dead_letter_events
+        event_letters = [l for l in report.dead_letters if l.kind == "event"]
+        assert len(event_letters) == r.dead_letter_events
+        assert all(
+            l.reason in ("malformed_event", "oversized_burst")
+            for l in event_letters
+        )
+
+    def test_report_breaks_out_scoring_paths(self, chaos_replayed):
+        report, _ = chaos_replayed
+        r = report.resilience
+        assert r.primary_rows + r.fallback_rows == report.rows_test
+        assert r.dead_lettered_rows == r.replayed_rows
+        text = str(report)
+        assert "availability" in text
+        assert "dead letters" in text
+        assert "faults absorbed" in text
+
+    def test_chaos_digest_is_deterministic(
+        self, chaos_replayed, tiny_trace, tiny_context, tmp_path
+    ):
+        report, plan = chaos_replayed
+        again = serve_replay(
+            tiny_trace,
+            tmp_path / "other-registry",
+            splits=tiny_context.preset_splits(),
+            split="DS1",
+            model="gbdt",
+            batch_size=64,
+            retrain_every_days=4.0,
+            fast=True,
+            chaos=plan,
+        )
+        assert again.digest() == report.digest()
+
+    def test_chaos_digest_differs_from_clean_digest_fields(self, chaos_replayed):
+        report, _ = chaos_replayed
+        assert report.chaos_digest is not None
+        tampered = dataclasses.replace(report, chaos_digest="0" * 64)
+        assert tampered.digest() != report.digest()
+
+
+class TestHotSwapFailure:
+    def test_corrupt_published_version_keeps_previous_model(
+        self, tiny_trace, tiny_context, tmp_path
+    ):
+        # Guarantee the first retrain publication is corrupted on disk.
+        plan = ChaosPlan(
+            intensity=1.0, seed=0, swap_failure_rate=1.0,
+            scorer_fault_rate=0.0, outage_windows=0.0, stall_rate=0.0,
+            burst_rate=0.0,
+        )
+        report = serve_replay(
+            tiny_trace,
+            tmp_path / "registry",
+            splits=tiny_context.preset_splits(),
+            split="DS1",
+            model="lr",
+            batch_size=64,
+            retrain_every_days=1.0,
+            fast=True,
+            chaos=plan,
+        )
+        assert report.resilience.swap_failures >= 1
+        assert report.retrains == 0  # every swap failed
+        assert report.registry_versions == [1]  # previous model kept
+        assert any("previous model kept" in note for note in report.notes)
+        # The serving path survived: every test row still alerted.
+        assert len(report.alerts) == report.rows_test
+        assert {a.model_version for a in report.alerts} == {1}
+
+
+class TestResilienceExperiment:
+    def test_curve_shape_and_clean_baseline(self, tiny_context):
+        from repro.experiments.resilience_experiment import run_resilience
+
+        result = run_resilience(
+            tiny_context, intensities=(0.0, 0.25), seed=7, model="lr"
+        )
+        assert result.experiment_id == "resilience"
+        curve = result.data["curve"]
+        assert [p["intensity"] for p in curve] == [0.0, 0.25]
+        assert curve[0]["availability"] == 1.0
+        assert curve[0]["fallback_share"] == 0.0
+        assert result.data["min_availability"] >= 0.99
+        assert "availability" in result.text

@@ -39,6 +39,51 @@ class TestParser:
         assert args.intensities is None
         assert args.model == "gbdt"
 
+    def test_serve_replay_chaos_and_checkpoint_args(self):
+        args = build_parser().parse_args(
+            [
+                "serve-replay",
+                "--registry",
+                "/tmp/r",
+                "--chaos",
+                "0.25",
+                "--chaos-seed",
+                "7",
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--checkpoint-every",
+                "500",
+                "--crash-after",
+                "1200",
+            ]
+        )
+        assert args.chaos == 0.25
+        assert args.chaos_seed == 7
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.checkpoint_every == 500
+        assert args.crash_after == 1200
+        assert args.resume is False
+
+    def test_serve_replay_chaos_defaults_off(self):
+        args = build_parser().parse_args(["serve-replay", "--registry", "/tmp/r"])
+        assert args.chaos is None
+        assert args.checkpoint_dir is None
+        assert args.crash_after is None
+
+    def test_resilience_args(self):
+        args = build_parser().parse_args(
+            ["resilience", "--intensities", "0,0.25", "--seed", "3"]
+        )
+        assert args.command == "resilience"
+        assert args.seed == 3
+
+    def test_registry_verify_args(self):
+        args = build_parser().parse_args(
+            ["registry", "verify", "--registry", "/tmp/r", "--name", "twostage"]
+        )
+        assert args.command == "registry"
+        assert args.action == "verify"
+
 
 class TestMain:
     def test_simulate_writes_trace(self, tmp_path, capsys):
@@ -72,6 +117,63 @@ class TestMain:
         out = capsys.readouterr().out
         assert "degradation" in out
         assert "baseline" in out
+
+
+class TestChaosServeCli:
+    def test_crash_then_resume_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        base = [
+            "--preset",
+            "tiny",
+            "serve-replay",
+            "--registry",
+            str(tmp_path / "registry"),
+            "--fast",
+            "--batch-size",
+            "64",
+            "--chaos",
+            "0.25",
+            "--chaos-seed",
+            "7",
+            "--checkpoint-dir",
+            str(tmp_path / "ckpt"),
+            "--checkpoint-every",
+            "300",
+        ]
+        code = main(base + ["--crash-after", "900"])
+        captured = capsys.readouterr()
+        # The simulated crash is a library error: one line, no traceback.
+        assert code == 1
+        assert "repro: error: simulated crash" in captured.err
+        assert "Traceback" not in captured.err
+
+        code = main(base + ["--resume"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "resumed from" in captured.out
+        assert "availability" in captured.out
+
+    def test_resume_without_checkpoints_is_one_line_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(
+            [
+                "--preset",
+                "tiny",
+                "serve-replay",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--fast",
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--resume",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro: error:" in captured.err
+        assert "nothing to resume" in captured.err
 
 
 class TestErrorHandling:

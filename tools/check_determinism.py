@@ -4,10 +4,13 @@
 Runs the tiny-preset simulation twice with one seed, the fault injector
 stack twice on top, and the online serve-replay path twice (each against
 a fresh registry root), then compares content hashes of the trace
-arrays, the fault logs, and the replay reports.  Any drift (a reordered
-RNG draw, an accidental dependence on dict order or wall-clock) fails
-loudly here before it can silently invalidate cached traces or
-experiment results.
+arrays, the fault logs, and the replay reports.  The same replay is then
+repeated under a chaos plan (retries, fallbacks, dead-letter replay must
+all be seed-stable), and finally killed mid-stream and resumed from its
+checkpoint — the resumed digest must be bit-identical to the
+uninterrupted chaos run.  Any drift (a reordered RNG draw, an accidental
+dependence on dict order or wall-clock) fails loudly here before it can
+silently invalidate cached traces or experiment results.
 
 Usage::
 
@@ -20,15 +23,17 @@ import argparse
 import hashlib
 import sys
 import tempfile
+from pathlib import Path
 
 import numpy as np
 
 from repro.experiments.presets import PRESETS, preset_config, split_plan
 from repro.faults import FaultSpec, inject_faults
 from repro.features.splits import make_paper_splits
-from repro.serve import serve_replay
+from repro.serve import ChaosPlan, serve_replay
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
+from repro.utils.errors import SimulatedCrashError
 
 
 def trace_digest(trace: Trace) -> str:
@@ -107,6 +112,68 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  SERVE-REPLAY MISMATCH: {replay_digests[0][:16]} != "
             f"{replay_digests[1][:16]}"
+        )
+        failures += 1
+
+    print("replaying under chaos twice ...", flush=True)
+    chaos = ChaosPlan(intensity=args.intensity, seed=args.fault_seed)
+    chaos_report = None
+    chaos_digests = []
+    for _ in range(2):
+        with tempfile.TemporaryDirectory() as root:
+            report = serve_replay(
+                trace_a, root, splits=splits, batch_size=64, fast=True, chaos=chaos
+            )
+            chaos_digests.append(report.digest())
+            chaos_report = report
+    if chaos_digests[0] == chaos_digests[1]:
+        resil = chaos_report.resilience
+        print(
+            f"  chaos replay ok ({chaos_digests[0][:16]}..., "
+            f"availability {resil.availability:.4f}, "
+            f"{resil.replayed_rows} rows via dead-letter replay)"
+        )
+    else:
+        print(
+            f"  CHAOS REPLAY MISMATCH: {chaos_digests[0][:16]} != "
+            f"{chaos_digests[1][:16]}"
+        )
+        failures += 1
+
+    print("killing the chaos replay mid-stream and resuming ...", flush=True)
+    crash_after = max(chaos_report.num_events * 3 // 5, 1)
+    checkpoint_every = max(chaos_report.num_events // 7, 1)
+    with tempfile.TemporaryDirectory() as root:
+        root_path = Path(root)
+        kwargs = dict(
+            splits=splits,
+            batch_size=64,
+            fast=True,
+            chaos=chaos,
+            checkpoint_dir=root_path / "ckpt",
+        )
+        try:
+            serve_replay(
+                trace_a,
+                root_path / "registry",
+                checkpoint_every_events=checkpoint_every,
+                crash_after_events=crash_after,
+                **kwargs,
+            )
+        except SimulatedCrashError as exc:
+            print(f"  killed: {exc}")
+        resumed = serve_replay(
+            trace_a, root_path / "registry", resume=True, **kwargs
+        )
+    if resumed.digest() == chaos_digests[0]:
+        print(
+            f"  kill-and-resume ok (resumed from event {resumed.resumed_from}, "
+            "digest matches uninterrupted run)"
+        )
+    else:
+        print(
+            f"  KILL-AND-RESUME MISMATCH: {resumed.digest()[:16]} != "
+            f"{chaos_digests[0][:16]}"
         )
         failures += 1
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Single CI entry point: determinism gate + tier-1 tests + serve smoke.
+# Single CI entry point: determinism gate + tier-1 tests + serve smoke
+# legs (clean, chaos, kill-and-resume).
 #
 # Usage: tools/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Pinned hypothesis profile: derandomized, bounded examples/deadline.
+export HYPOTHESIS_PROFILE=ci
 
-echo "== determinism check =="
+echo "== determinism check (incl. chaos + kill-and-resume legs) =="
 python tools/check_determinism.py --preset tiny
 
 echo
@@ -16,7 +19,35 @@ python -m pytest -x -q
 
 echo
 echo "== serve-replay smoke =="
-registry="$(mktemp -d)"
-trap 'rm -rf "$registry"' EXIT
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
 python -m repro.cli --preset tiny serve-replay \
-    --registry "$registry" --fast --batch-size 64
+    --registry "$workdir/registry" --fast --batch-size 64
+
+echo
+echo "== chaos-replay smoke =="
+python -m repro.cli --preset tiny serve-replay \
+    --registry "$workdir/registry-chaos" --fast --batch-size 64 \
+    --chaos 0.25 --chaos-seed 7
+
+echo
+echo "== kill-and-resume smoke =="
+# First leg crashes on purpose (exit 1, one-line error), second resumes.
+if python -m repro.cli --preset tiny serve-replay \
+    --registry "$workdir/registry-resume" --fast --batch-size 64 \
+    --chaos 0.25 --chaos-seed 7 \
+    --checkpoint-dir "$workdir/ckpt" --checkpoint-every 300 \
+    --crash-after 900; then
+    echo "expected the crash leg to exit nonzero" >&2
+    exit 1
+fi
+python -m repro.cli --preset tiny serve-replay \
+    --registry "$workdir/registry-resume" --fast --batch-size 64 \
+    --chaos 0.25 --chaos-seed 7 \
+    --checkpoint-dir "$workdir/ckpt" --resume
+
+echo
+echo "== registry audit =="
+# The clean-leg registry must verify ok.  (The chaos registries may hold
+# corrupt hot-swap debris by design, which verify would rightly flag.)
+python -m repro.cli registry verify --registry "$workdir/registry"
