@@ -3,6 +3,8 @@
 Subcommands::
 
     repro simulate --preset default --out trace        # simulate + save
+    repro --jobs 4 simulate --out trace --shards 4     # sharded (bit-identical)
+    repro --jobs 4 experiment all                      # parallel fan-out
     repro characterize --preset default                # figs 1-8 stats
     repro evaluate --preset default --split DS1 --model gbdt
     repro experiment fig10 table2 ...                  # named artifacts
@@ -26,6 +28,7 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments.registry import run_experiments
 from repro.experiments.faults_experiment import DEFAULT_INTENSITIES, run_faults
 from repro.experiments.resilience_experiment import (
     DEFAULT_INTENSITIES as RESILIENCE_INTENSITIES,
@@ -55,10 +58,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read/write the on-disk trace cache",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded simulation and experiment "
+        "fan-out (results are bit-identical to --jobs 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="simulate a trace and save it")
     sim.add_argument("--out", required=True, help="output path (without extension)")
+    sim.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="row-shard count for the simulation (default: the --jobs "
+        "value; merged output is bit-identical to a serial run)",
+    )
 
     sub.add_parser("characterize", help="run the characterization experiments")
 
@@ -203,16 +222,32 @@ def _parse_intensities(
 
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected subcommand; may raise :class:`ReproError`."""
-    context = ExperimentContext(args.preset, use_disk_cache=not args.no_cache)
+    jobs = max(1, int(getattr(args, "jobs", 1)))
+    context = ExperimentContext(
+        args.preset, use_disk_cache=not args.no_cache, jobs=jobs
+    )
 
     if args.command == "simulate":
         started = time.perf_counter()
-        trace = simulate_trace(preset_config(args.preset))
+        config = preset_config(args.preset)
+        shards = args.shards if args.shards is not None else jobs
+        if shards > 1 or jobs > 1:
+            from repro.parallel.simulate import simulate_trace_sharded
+
+            trace = simulate_trace_sharded(config, shards=max(1, shards), jobs=jobs)
+        else:
+            trace = simulate_trace(config)
         trace.save(args.out)
+        stages = trace.meta.get("stage_seconds", {})
+        stage_note = ", ".join(
+            f"{name} {seconds:.1f}s" for name, seconds in sorted(stages.items())
+        )
         print(
             f"simulated {trace.num_samples} samples over "
             f"{trace.config.duration_days:.0f} days in "
-            f"{time.perf_counter() - started:.0f}s -> {args.out}.npz"
+            f"{time.perf_counter() - started:.0f}s "
+            f"({trace.meta.get('shards', 1)} shard(s); {stage_note}) "
+            f"-> {args.out}.npz"
         )
         return 0
 
@@ -236,9 +271,19 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "experiment":
         ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
-        for experiment_id in ids:
-            print(run_experiment(experiment_id, context))
-            print()
+        if jobs > 1 and len(ids) > 1:
+            for result in run_experiments(
+                ids,
+                preset=args.preset,
+                jobs=jobs,
+                use_disk_cache=not args.no_cache,
+            ):
+                print(result)
+                print()
+        else:
+            for experiment_id in ids:
+                print(run_experiment(experiment_id, context))
+                print()
         return 0
 
     if args.command == "serve-replay":
@@ -308,6 +353,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=args.seed,
             model=args.model,
             split=args.split,
+            jobs=jobs,
         )
         print(result)
         return 0

@@ -7,7 +7,7 @@ simulates and caches the shared trace, features, pipeline, and trained
 models so a full sweep pays for each expensive step once.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_experiment, run_experiments
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.presets import PRESETS, preset_config
@@ -15,6 +15,7 @@ from repro.experiments.presets import PRESETS, preset_config
 __all__ = [
     "EXPERIMENTS",
     "run_experiment",
+    "run_experiments",
     "ExperimentResult",
     "ExperimentContext",
     "PRESETS",

@@ -7,6 +7,12 @@ the F1 curve against the clean-trace baseline.  The claim under test is
 the paper reproduction, and at moderate intensity it still completes with
 a bounded F1 drop instead of crashing, with the quarantined-span fraction
 reported alongside.
+
+The sweep points are independent cells, so with ``jobs > 1`` they fan out
+over a process pool (:class:`~repro.parallel.runner.ParallelRunner`).
+Every cell is fully seeded and the runner preserves input order, so the
+parallel sweep is cell-for-cell identical to the serial one — the parity
+tests in ``tests/parallel/test_parallel_runner.py`` enforce exactly that.
 """
 
 from __future__ import annotations
@@ -15,17 +21,87 @@ import warnings
 
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext
+from repro.experiments.presets import split_plan
 from repro.faults.injectors import FaultSpec, inject_faults
 from repro.faults.sanitizer import sanitize_trace
 from repro.features.builder import build_features
+from repro.features.splits import make_paper_splits
+from repro.core.pipeline import PredictionPipeline
+from repro.parallel.runner import ParallelRunner
+from repro.telemetry.trace import Trace
 from repro.utils.errors import DegradedDataWarning, ReproError
 from repro.utils.tables import format_table
 
-__all__ = ["run_faults", "DEFAULT_INTENSITIES"]
+__all__ = ["run_faults", "evaluate_fault_point", "DEFAULT_INTENSITIES"]
 
 #: Sweep points: clean baseline, mild, moderate (the acceptance gate),
 #: and severe.
 DEFAULT_INTENSITIES = (0.0, 0.1, 0.25, 0.5)
+
+
+def evaluate_fault_point(
+    args: tuple[Trace, str, float, int, str, str],
+) -> dict:
+    """Evaluate one nonzero-intensity sweep cell (picklable worker).
+
+    Takes ``(trace, preset, intensity, seed, model, split)`` as one tuple
+    so it can be mapped directly over a process pool.  Everything inside
+    is seeded (fault injection by ``seed``, training by ``random_state=0``),
+    so the returned point is identical no matter which process runs it.
+    The ``drop`` against the clean baseline is filled in by the caller,
+    which owns the baseline evaluation.
+    """
+    trace, preset, intensity, seed, model, split = args
+    spec = FaultSpec(intensity=intensity, seed=seed)
+    faulty, fault_log = inject_faults(trace, spec)
+    point = {
+        "intensity": intensity,
+        "fault_rows": fault_log.rows_affected(),
+        "fault_summary": fault_log.summary(),
+        "error": None,
+    }
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedDataWarning)
+            repaired, san_report = sanitize_trace(faulty)
+        features = build_features(repaired)
+        plan = split_plan(preset)
+        pipeline = PredictionPipeline(
+            features,
+            make_paper_splits(
+                train_days=plan["train_days"],
+                test_days=plan["test_days"],
+                offsets_days=tuple(plan["offsets"]),
+                duration_days=trace.config.duration_days,
+            ),
+        )
+        result = pipeline.evaluate_twostage(split, model, random_state=0)
+    except ReproError as exc:
+        # Graceful even past the design envelope: report the failure as
+        # a data point instead of aborting the sweep.
+        point.update(
+            {
+                "f1": float("nan"),
+                "precision": float("nan"),
+                "recall": float("nan"),
+                "rows_in": faulty.num_samples,
+                "rows_out": 0,
+                "quarantined_fraction": 1.0,
+                "error": str(exc),
+            }
+        )
+        return point
+    point.update(
+        {
+            "f1": result.f1,
+            "precision": result.precision,
+            "recall": result.recall,
+            "rows_in": san_report.total_rows,
+            "rows_out": san_report.rows_out,
+            "quarantined_fraction": san_report.quarantined_fraction,
+        }
+    )
+    return point
 
 
 def run_faults(
@@ -35,10 +111,24 @@ def run_faults(
     seed: int = 0,
     model: str = "gbdt",
     split: str = "DS1",
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Run the fault-intensity sweep and render the degradation curve."""
+    """Run the fault-intensity sweep and render the degradation curve.
+
+    ``jobs`` defaults to the context's job count; each nonzero intensity
+    is one cell on the pool, the clean baseline stays in-process (it
+    reuses the context's cached evaluation).
+    """
     trace = context.trace
     baseline = context.twostage(split, model)
+    if jobs is None:
+        jobs = context.jobs
+
+    swept = [i for i in intensities if i != 0.0]
+    cells = [(trace, context.preset, i, seed, model, split) for i in swept]
+    swept_points = ParallelRunner(max(1, jobs)).map(evaluate_fault_point, cells)
+    by_intensity = dict(zip(swept, swept_points))
+
     rows = []
     curve = []
     for intensity in intensities:
@@ -46,12 +136,11 @@ def run_faults(
             # Clean path: verify the sanitizer is a no-op, reuse the
             # cached baseline evaluation (bit-identical reproduction).
             _, san_report = sanitize_trace(trace)
-            result = baseline
             point = {
                 "intensity": 0.0,
-                "f1": result.f1,
-                "precision": result.precision,
-                "recall": result.recall,
+                "f1": baseline.f1,
+                "precision": baseline.precision,
+                "recall": baseline.recall,
                 "drop": 0.0,
                 "rows_in": san_report.total_rows,
                 "rows_out": san_report.rows_out,
@@ -61,50 +150,22 @@ def run_faults(
                 "error": None,
             }
         else:
-            spec = FaultSpec(intensity=intensity, seed=seed)
-            faulty, fault_log = inject_faults(trace, spec)
-            point = {
-                "intensity": intensity,
-                "fault_rows": fault_log.rows_affected(),
-                "fault_summary": fault_log.summary(),
-                "error": None,
-            }
-            try:
-                with warnings.catch_warnings():
-                    warnings.simplefilter("ignore", DegradedDataWarning)
-                    repaired, san_report = sanitize_trace(faulty)
-                features = build_features(repaired)
-                pipeline = context.make_pipeline(features)
-                result = pipeline.evaluate_twostage(split, model, random_state=0)
-            except ReproError as exc:
-                # Graceful even past the design envelope: report the
-                # failure as a data point instead of aborting the sweep.
-                point.update(
-                    {
-                        "f1": float("nan"),
-                        "precision": float("nan"),
-                        "recall": float("nan"),
-                        "drop": float("nan"),
-                        "rows_in": faulty.num_samples,
-                        "rows_out": 0,
-                        "quarantined_fraction": 1.0,
-                        "error": str(exc),
-                    }
-                )
+            point = by_intensity[intensity]
+            if point["error"] is not None:
+                point["drop"] = float("nan")
                 curve.append(point)
-                rows.append((f"{intensity:.2f}", "-", "-", "-", "-", f"failed: {exc}"))
+                rows.append(
+                    (
+                        f"{intensity:.2f}",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        f"failed: {point['error']}",
+                    )
+                )
                 continue
-            point.update(
-                {
-                    "f1": result.f1,
-                    "precision": result.precision,
-                    "recall": result.recall,
-                    "drop": baseline.f1 - result.f1,
-                    "rows_in": san_report.total_rows,
-                    "rows_out": san_report.rows_out,
-                    "quarantined_fraction": san_report.quarantined_fraction,
-                }
-            )
+            point["drop"] = baseline.f1 - point["f1"]
         curve.append(point)
         rows.append(
             (

@@ -12,9 +12,10 @@ from repro.experiments.oracle_experiment import run_oracle
 from repro.experiments.resilience_experiment import run_resilience
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext
+from repro.parallel.runner import ParallelRunner, experiment_cells, run_experiment_cell
 from repro.utils.errors import ValidationError
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_experiments"]
 
 #: Experiment id -> (title, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult]]] = {
@@ -55,3 +56,43 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
         ) from None
     return runner(context or ExperimentContext())
+
+
+def run_experiments(
+    experiment_ids: list[str],
+    *,
+    preset: str = "default",
+    jobs: int = 1,
+    cache_dir=None,
+    use_disk_cache: bool = True,
+) -> list[ExperimentResult]:
+    """Run several experiments, optionally fanned over worker processes.
+
+    Results come back in the order of ``experiment_ids`` regardless of
+    which worker finishes first, so ``jobs=N`` output is identical to
+    ``jobs=1``.  Before fanning out, the trace/feature caches are warmed
+    once in this process (when disk caching is on) so workers load the
+    shared entries instead of each re-simulating the trace.
+    """
+    unknown = [eid for eid in experiment_ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise ValidationError(
+            f"unknown experiments {unknown}; options: {sorted(EXPERIMENTS)}"
+        )
+    if jobs > 1 and len(experiment_ids) > 1 and use_disk_cache:
+        warm = ExperimentContext(
+            preset, cache_dir=cache_dir, use_disk_cache=True, jobs=jobs
+        )
+        warm.features  # simulates (sharded) + builds features, filling the cache
+    if jobs == 1 or len(experiment_ids) <= 1:
+        context = ExperimentContext(
+            preset, cache_dir=cache_dir, use_disk_cache=use_disk_cache, jobs=jobs
+        )
+        return [run_experiment(eid, context) for eid in experiment_ids]
+    cells = experiment_cells(
+        experiment_ids,
+        preset=preset,
+        cache_dir=cache_dir,
+        use_disk_cache=use_disk_cache,
+    )
+    return ParallelRunner(jobs).map(run_experiment_cell, cells)

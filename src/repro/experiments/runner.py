@@ -2,27 +2,38 @@
 
 Simulating a trace takes tens of seconds and training a GBDT tens more;
 many experiments share both.  :class:`ExperimentContext` memoizes the
-trace (also on disk, keyed by preset + seed), the feature matrix, the
-pipeline with preset-appropriate splits, and every ``(split, model,
-feature-selection)`` evaluation, so a full sweep over all experiments
-pays each cost once.
+trace and the feature matrix — in memory and on disk through the
+content-addressed :class:`~repro.parallel.cache.ContentCache`, keyed by
+config digest + code schema version so concurrent workers and config
+changes can never collide — plus the pipeline with preset-appropriate
+splits and every ``(split, model, feature-selection)`` evaluation, so a
+full sweep over all experiments pays each cost once.
+
+With ``jobs > 1`` the context simulates its trace as row-shards on a
+process pool (:func:`~repro.parallel.simulate.simulate_trace_sharded`);
+the result is bit-identical to the serial run, so the parallelism is
+invisible to every consumer.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from pathlib import Path
 
 from repro.core.pipeline import PredictionPipeline, SplitResult
 from repro.experiments.presets import preset_config, split_plan
 from repro.features.builder import FeatureMatrix, build_features
 from repro.features.splits import DatasetSplit, make_paper_splits
+from repro.parallel.cache import ContentCache
+from repro.parallel.simulate import simulate_trace_sharded
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
-from repro.utils.errors import DegradedDataWarning, ReproError
 
 __all__ = ["ExperimentContext", "default_cache_dir"]
+
+#: Feature-builder parameters recorded in the feature-cache key.  Must
+#: match the defaults of :func:`repro.features.builder.build_features`.
+_FEATURE_PARAMS = {"top_k_apps": 16, "sanitize": False}
 
 
 def default_cache_dir() -> Path:
@@ -42,9 +53,12 @@ class ExperimentContext:
         *,
         cache_dir: Path | str | None = None,
         use_disk_cache: bool = True,
+        jobs: int = 1,
     ) -> None:
         self.preset = preset
+        self.jobs = max(1, int(jobs))
         self._cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self._cache = ContentCache(self._cache_dir)
         self._use_disk_cache = use_disk_cache
         self._trace: Trace | None = None
         self._features: FeatureMatrix | None = None
@@ -53,36 +67,48 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------
     @property
+    def cache(self) -> ContentCache:
+        """The content-addressed disk cache backing this context."""
+        return self._cache
+
+    @property
     def trace(self) -> Trace:
         """The simulated trace (from memory, disk cache, or a fresh run).
 
         A corrupt or truncated cache entry is never fatal: the failure is
-        reported as a :class:`DegradedDataWarning` and the trace is
-        re-simulated (and the cache rewritten) instead.
+        reported as a :class:`~repro.utils.errors.DegradedDataWarning`
+        and the trace is re-simulated (and the cache rewritten) instead.
         """
         if self._trace is None:
             config = preset_config(self.preset)
-            cache_path = self._cache_dir / f"trace-{self.preset}-seed{config.seed}"
-            if self._use_disk_cache and cache_path.with_suffix(".npz").exists():
-                try:
-                    self._trace = Trace.load(cache_path)
-                except ReproError as exc:
-                    warnings.warn(
-                        f"trace cache is unreadable ({exc}); re-simulating",
-                        DegradedDataWarning,
-                        stacklevel=2,
-                    )
+            if self._use_disk_cache:
+                self._trace = self._cache.load_trace(config)
             if self._trace is None:
-                self._trace = simulate_trace(config)
+                if self.jobs > 1:
+                    self._trace = simulate_trace_sharded(
+                        config, shards=self.jobs, jobs=self.jobs
+                    )
+                else:
+                    self._trace = simulate_trace(config)
                 if self._use_disk_cache:
-                    self._trace.save(cache_path)
+                    self._cache.store_trace(config, self._trace)
         return self._trace
 
     @property
     def features(self) -> FeatureMatrix:
-        """The feature matrix for the trace."""
+        """The feature matrix for the trace (content-cached on disk)."""
         if self._features is None:
-            self._features = build_features(self.trace)
+            config = preset_config(self.preset)
+            if self._use_disk_cache:
+                self._features = self._cache.load_features(
+                    config, **_FEATURE_PARAMS
+                )
+            if self._features is None:
+                self._features = build_features(self.trace)
+                if self._use_disk_cache:
+                    self._cache.store_features(
+                        config, self._features, **_FEATURE_PARAMS
+                    )
         return self._features
 
     @property

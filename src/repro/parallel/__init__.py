@@ -1,0 +1,35 @@
+"""Parallel execution layer: sharded simulation, experiment fan-out, caching.
+
+Three pieces, all built on the determinism guarantees of the telemetry
+substrate:
+
+* :mod:`repro.parallel.simulate` — run the trace simulator as row-aligned
+  shards across worker processes and merge the results bit-identically to
+  the serial run;
+* :mod:`repro.parallel.runner` — map experiment cells (experiment id,
+  fault intensity, model/split/seed combinations) over a process pool
+  with ordered result collection;
+* :mod:`repro.parallel.cache` — a content-addressed store for traces and
+  feature matrices keyed by config digest + code schema version, so
+  concurrent workers and repeat runs share work safely.
+"""
+
+from repro.parallel.cache import CACHE_SCHEMA_VERSION, ContentCache, config_digest
+from repro.parallel.runner import (
+    ExperimentCell,
+    ParallelRunner,
+    experiment_cells,
+    run_experiment_cell,
+)
+from repro.parallel.simulate import simulate_trace_sharded
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ContentCache",
+    "config_digest",
+    "ExperimentCell",
+    "ParallelRunner",
+    "experiment_cells",
+    "run_experiment_cell",
+    "simulate_trace_sharded",
+]

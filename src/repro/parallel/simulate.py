@@ -1,0 +1,69 @@
+"""Sharded trace simulation across worker processes.
+
+:func:`simulate_trace_sharded` plans row-aligned shards
+(:func:`~repro.topology.sharding.plan_shards`), simulates each shard —
+in-process or on a process pool — and merges the per-shard results with
+:func:`~repro.telemetry.simulator.merge_shard_results` into a trace that
+is **bit-identical** to ``TraceSimulator(config).run()``.  The identity
+holds because every random draw in the substrate is keyed by a stable
+entity (cabinet row, run id, (run, node) pair) rather than by draw order;
+see the simulator module docstring for the full argument, and
+``tests/parallel/test_shard_parity.py`` for the property test that
+enforces it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.telemetry.config import TraceConfig
+from repro.telemetry.simulator import ShardResult, TraceSimulator, merge_shard_results
+from repro.telemetry.trace import Trace
+from repro.topology.sharding import ShardSpan, plan_shards
+from repro.utils.errors import ValidationError
+
+__all__ = ["simulate_trace_sharded", "simulate_span"]
+
+
+def simulate_span(args: tuple[TraceConfig, ShardSpan]) -> ShardResult:
+    """Worker entry point: simulate one shard (module-level so it pickles)."""
+    config, span = args
+    return TraceSimulator(config, span).run_span()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, shares the config by COW), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def simulate_trace_sharded(
+    config: TraceConfig | None = None,
+    *,
+    shards: int = 2,
+    jobs: int | None = None,
+) -> Trace:
+    """Simulate ``config`` as ``shards`` row-shards and merge the results.
+
+    ``jobs`` is the number of worker processes (default: one per shard,
+    capped at the CPU count); ``jobs=1`` runs the shards sequentially
+    in-process, which is the reference path the parity tests compare
+    against.  The shard count is clamped to the machine's cabinet-row
+    count by the planner, so asking for more shards than rows is safe.
+    """
+    config = config or TraceConfig()
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    spans = plan_shards(config.machine, shards)
+    if jobs is None:
+        jobs = min(len(spans), multiprocessing.cpu_count())
+    jobs = max(1, int(jobs))
+    if len(spans) == 1 or jobs == 1:
+        results = [simulate_span((config, span)) for span in spans]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(spans)), mp_context=_pool_context()
+        ) as pool:
+            results = list(pool.map(simulate_span, [(config, s) for s in spans]))
+    return merge_shard_results(config, results)

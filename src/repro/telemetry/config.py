@@ -170,6 +170,12 @@ class ErrorModelConfig:
     #: multiplicative stack so even extreme node/app/temperature
     #: combinations stay quiet outside episodes.
     max_rate_per_hour: float = 0.8
+    #: Per-(run, node) Poisson rates below this resolve to zero without a
+    #: draw.  Each pair has its own RNG substream (the sharded simulator
+    #: relies on that), and skipping the quiet majority keeps substream
+    #: setup off the hot path; the truncated probability mass per pair is
+    #: bounded by the threshold itself.
+    sbe_skip_lambda: float = 1e-7
 
     def __post_init__(self) -> None:
         if not 0.0 < self.offender_node_fraction < 1.0:

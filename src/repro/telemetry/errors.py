@@ -43,7 +43,7 @@ class SbeErrorModel:
     ) -> None:
         self._config = config
         self._machine = machine
-        self._rng = seeds.generator("sbe-draws")
+        self._seeds = seeds
         self._node_susceptibility = self._draw_node_susceptibility(
             seeds.generator("node-susceptibility")
         )
@@ -160,6 +160,7 @@ class SbeErrorModel:
 
     def sample_counts(
         self,
+        run_id: int,
         node_ids: np.ndarray,
         app_susceptibility: float,
         start_minute: float,
@@ -168,14 +169,34 @@ class SbeErrorModel:
         power_mean: np.ndarray,
         memory_fraction: float,
     ) -> np.ndarray:
-        """Poisson SBE counts per node for one completed run."""
-        lam = self.rate(
-            node_ids,
-            app_susceptibility,
-            start_minute,
-            duration_minutes,
-            temp_mean,
-            power_mean,
-            memory_fraction,
+        """Poisson SBE counts per node for one completed run.
+
+        Every ``(run, node)`` pair draws from its own named substream, so
+        the count depends only on ``(root seed, run_id, node_id, rate)``
+        — never on how many other pairs were drawn before it.  That is
+        what lets a sharded simulation, which only ever sees the subset
+        of a run's nodes it owns, reproduce the serial draw bit for bit.
+
+        Rates below ``config.sbe_skip_lambda`` resolve to zero without a
+        draw: the skipped probability mass is bounded by the threshold
+        itself (default 1e-7 per pair, far below one expected error per
+        trace) and skipping keeps the per-pair stream setup off the hot
+        path for the overwhelmingly quiet majority of samples.
+        """
+        lam = np.minimum(
+            self.rate(
+                node_ids,
+                app_susceptibility,
+                start_minute,
+                duration_minutes,
+                temp_mean,
+                power_mean,
+                memory_fraction,
+            ),
+            1e6,
         )
-        return self._rng.poisson(np.minimum(lam, 1e6))
+        counts = np.zeros(node_ids.size, dtype=np.int64)
+        for i in np.flatnonzero(lam >= self._config.sbe_skip_lambda):
+            rng = self._seeds.generator("sbe-draws", int(run_id), int(node_ids[i]))
+            counts[i] = rng.poisson(float(lam[i]))
+        return counts

@@ -1,0 +1,53 @@
+"""Partition-independent per-tick noise streams.
+
+The physics models need one Gaussian draw per node per tick.  A single
+machine-wide stream would make every node's noise depend on how many
+nodes precede it in the draw — which is exactly what sharded simulation
+cannot reproduce, because a shard never draws for nodes it does not own.
+Instead each cabinet **row** owns an independent child stream (rows are
+the shard-planning unit, see :mod:`repro.topology.sharding`): the serial
+simulator draws row streams 0..grid_y-1 in order and concatenates, a
+shard draws only the streams of its rows, and both see identical values
+for every node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.machine import MachineConfig
+from repro.topology.sharding import ShardSpan, full_span
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["RowNoise"]
+
+
+class RowNoise:
+    """Per-cabinet-row Gaussian noise over a span of the machine.
+
+    Each row's generator is the ``(name, row)`` child stream of the seed
+    factory, so draws for one row never depend on any other row's — the
+    property that makes a sharded run bit-identical to the serial one.
+    """
+
+    def __init__(
+        self,
+        seeds: SeedSequenceFactory,
+        name: str,
+        config: MachineConfig,
+        span: ShardSpan | None = None,
+    ) -> None:
+        span = span or full_span(config)
+        self._rngs = [
+            seeds.generator(name, row) for row in range(span.row_lo, span.row_hi)
+        ]
+        self._row_nodes = config.grid_x * config.nodes_per_cabinet
+        self._num_nodes = span.num_nodes
+
+    def normal(self, scale: float) -> np.ndarray:
+        """One centred Gaussian draw per node of the span, row by row."""
+        if len(self._rngs) == 1:
+            return self._rngs[0].normal(0.0, scale, self._num_nodes)
+        return np.concatenate(
+            [rng.normal(0.0, scale, self._row_nodes) for rng in self._rngs]
+        )

@@ -17,11 +17,24 @@ simulator
 
 Everything per-node is a flat numpy array, so cost per tick is independent
 of how many runs are in flight.
+
+**Sharding.**  The simulator can be restricted to a row-aligned
+:class:`~repro.topology.sharding.ShardSpan`: :meth:`TraceSimulator.run_span`
+replays the *full* schedule but keeps per-node state only for its span,
+and returns a :class:`ShardResult`.  All randomness is keyed by stable
+entities — per-cabinet-row noise streams, per-run utilization draws,
+per-``(run, node)`` SBE draws, whole-machine static draws sliced to the
+span — so a shard computes exactly the values the serial run would, and
+:func:`merge_shard_results` reassembles shard outputs (in the schedule's
+deterministic completion order) into a trace that is bit-identical to
+``TraceSimulator(config).run()``.  The serial path itself goes through the
+same merge, so there is a single ordering code path to keep in sync.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -37,21 +50,30 @@ from repro.telemetry.scheduler import ScheduledRun, WorkloadScheduler
 from repro.telemetry.thermal import ThermalModel
 from repro.telemetry.trace import PRE_WINDOWS_MINUTES, Trace
 from repro.topology.machine import Machine
+from repro.topology.sharding import ShardSpan, full_span, validate_span
 from repro.utils.errors import SimulationError
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["TraceSimulator", "simulate_trace"]
+__all__ = [
+    "TraceSimulator",
+    "ShardResult",
+    "simulate_trace",
+    "merge_shard_results",
+    "completion_order",
+]
 
 
 @dataclass
 class _ActiveRun:
-    """Bookkeeping for an aprun currently on the machine."""
+    """Bookkeeping for an aprun currently on the machine (span-local)."""
 
     run: ScheduledRun
+    local_nodes: np.ndarray  # span-local indices of the owned subset
+    global_nodes: np.ndarray  # global ids of the owned subset
     gpu_utilization: float
     memory_fraction: float
     prev_app_ids: np.ndarray
-    pre_window_stats: np.ndarray  # (n_nodes, 8 * len(PRE_WINDOWS_MINUTES))
+    pre_window_stats: np.ndarray  # (n_local, 8 * len(PRE_WINDOWS_MINUTES))
     start_tick: int
 
 
@@ -59,18 +81,67 @@ class _ActiveRun:
 class _PendingJob:
     """A batch job whose apruns have not all completed yet."""
 
-    node_ids: np.ndarray
+    local_nodes: np.ndarray
+    global_nodes: np.ndarray
     runs_remaining: int
     sample_blocks: list[dict[str, np.ndarray]] = field(default_factory=list)
     run_indices: list[int] = field(default_factory=list)
 
 
+@dataclass
+class ShardResult:
+    """Everything one shard contributes to the merged trace.
+
+    ``blocks`` and ``run_rows`` cover only runs that intersect the span
+    (with per-node columns restricted to owned nodes); ``sbe_total`` on a
+    run row is the *local* contribution, summed across shards at merge.
+    """
+
+    lo: int
+    hi: int
+    completion_order: list[int]
+    blocks: list[tuple[int, dict[str, np.ndarray]]]
+    run_rows: list[dict[str, float]]
+    temp_sum: np.ndarray
+    power_sum: np.ndarray
+    node_susceptibility: np.ndarray
+    recorded: dict[int, dict[str, np.ndarray]]
+    app_names: list[str]
+    num_ticks: int
+    stage_seconds: dict[str, float]
+
+
+def completion_order(
+    schedule: list[ScheduledRun], num_ticks: int, dt: float
+) -> list[int]:
+    """Run ids in the order the simulator completes them.
+
+    Completions happen tick by tick; within a tick, runs complete in
+    schedule order (the order their end tick was registered).  This is a
+    pure function of the schedule, which is how the merge step recovers
+    the serial block ordering without simulating anything.
+    """
+    ends_at: dict[int, list[int]] = defaultdict(list)
+    for run in schedule:
+        start_tick = int(math.ceil(run.start_minute / dt))
+        end_tick = int(math.floor(run.end_minute / dt))
+        if start_tick >= num_ticks or end_tick <= start_tick:
+            continue
+        ends_at[min(end_tick, num_ticks)].append(run.run_id)
+    order: list[int] = []
+    for tick in sorted(ends_at):
+        order.extend(ends_at[tick])
+    return order
+
+
 class TraceSimulator:
     """Builds a :class:`~repro.telemetry.trace.Trace` from a configuration."""
 
-    def __init__(self, config: TraceConfig) -> None:
+    def __init__(self, config: TraceConfig, span: ShardSpan | None = None) -> None:
         self._config = config
         self._machine = Machine(config.machine)
+        self._span = span or full_span(config.machine)
+        validate_span(self._span, config.machine)
         self._seeds = SeedSequenceFactory(config.seed)
         self._catalog = ApplicationCatalog(
             config.workload,
@@ -81,16 +152,17 @@ class TraceSimulator:
         self._scheduler = WorkloadScheduler(
             config, self._catalog, self._machine, self._seeds
         )
-        self._power = PowerModel(config.power, self._machine.num_nodes, self._seeds)
-        self._thermal = ThermalModel(config.thermal, self._machine, self._seeds)
+        self._power = PowerModel(config.power, self._machine, self._seeds, self._span)
+        self._thermal = ThermalModel(
+            config.thermal, self._machine, self._seeds, self._span
+        )
         self._errors = SbeErrorModel(
             config.errors,
             self._machine,
             self._seeds,
             num_days=int(math.ceil(config.duration_days)),
         )
-        self._smi = NvidiaSmiEmulator(self._machine.num_nodes)
-        self._run_rng = self._seeds.generator("per-run-noise")
+        self._smi = NvidiaSmiEmulator(self._span.num_nodes)
 
     @property
     def catalog(self) -> ApplicationCatalog:
@@ -102,25 +174,56 @@ class TraceSimulator:
         """Topology of the simulated machine."""
         return self._machine
 
+    @property
+    def span(self) -> ShardSpan:
+        """The node span this simulator advances."""
+        return self._span
+
     # ------------------------------------------------------------------
     def run(self) -> Trace:
-        """Simulate the whole trace and return it."""
+        """Simulate the whole trace and return it (full span only)."""
+        if self._span.lo != 0 or self._span.hi != self._machine.num_nodes:
+            raise SimulationError(
+                "run() needs the full machine; use run_span() + "
+                "merge_shard_results() for partial spans"
+            )
+        return merge_shard_results(self._config, [self.run_span()])
+
+    # ------------------------------------------------------------------
+    def run_span(self) -> ShardResult:
+        """Replay the schedule, keeping state only for this span."""
         cfg = self._config
-        machine = self._machine
-        n = machine.num_nodes
+        span = self._span
+        lo, hi = span.lo, span.hi
+        n = span.num_nodes
         dt = cfg.tick_minutes
         num_ticks = cfg.num_ticks
+        sim_seconds = 0.0
+        sample_seconds = 0.0
+        stage_start = time.perf_counter()
         schedule = self._scheduler.build_schedule()
 
         starts_at: dict[int, list[ScheduledRun]] = defaultdict(list)
         ends_at: dict[int, list[int]] = defaultdict(list)
+        order: list[int] = []
+        ends_order: dict[int, list[int]] = defaultdict(list)
+        job_total_runs: dict[int, int] = defaultdict(int)
+        local_subset: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for run in schedule:
             start_tick = int(math.ceil(run.start_minute / dt))
             end_tick = int(math.floor(run.end_minute / dt))
             if start_tick >= num_ticks or end_tick <= start_tick:
                 continue
+            ends_order[min(end_tick, num_ticks)].append(run.run_id)
+            inside = run.node_ids[(run.node_ids >= lo) & (run.node_ids < hi)]
+            if inside.size == 0:
+                continue
+            local_subset[run.run_id] = (inside - lo, inside)
             starts_at[start_tick].append(run)
             ends_at[min(end_tick, num_ticks)].append(run.run_id)
+            job_total_runs[run.job_id] += 1
+        for tick in sorted(ends_order):
+            order.extend(ends_order[tick])
 
         welford = {q: VectorWelford(n) for q in RUN_STAT_QUANTITIES}
         ring_capacity = max(1, int(round(60.0 / dt)))
@@ -135,30 +238,24 @@ class TraceSimulator:
 
         active: dict[int, _ActiveRun] = {}
         jobs: dict[int, _PendingJob] = {}
-        job_total_runs: dict[int, int] = defaultdict(int)
-        for run in schedule:
-            start_tick = int(math.ceil(run.start_minute / dt))
-            end_tick = int(math.floor(run.end_minute / dt))
-            if start_tick >= num_ticks or end_tick <= start_tick:
-                continue
-            job_total_runs[run.job_id] += 1
 
-        blocks: list[dict[str, np.ndarray]] = []
+        blocks: list[tuple[int, dict[str, np.ndarray]]] = []
         run_rows: list[dict[str, float]] = []
         recorded: dict[int, dict[str, list[float]]] = {
-            int(node): defaultdict(list) for node in cfg.record_nodes
+            int(node): defaultdict(list)
+            for node in cfg.record_nodes
+            if lo <= int(node) < hi
         }
 
-        nodes_per_slot = machine.config.nodes_per_slot
-        per_cage = machine.config.slots_per_cage * nodes_per_slot
+        nodes_per_slot = self._machine.config.nodes_per_slot
+        per_cage = (
+            self._machine.config.slots_per_cage * self._machine.config.nodes_per_slot
+        )
 
         for tick in range(num_ticks + 1):
             minute = tick * dt
             # --- 1. run completions -----------------------------------
-            ended = ends_at.pop(tick, [])
-            if tick == num_ticks:
-                ended = list(ended) + [rid for rid in active if rid not in ended]
-            for run_id in ended:
+            for run_id in ends_at.pop(tick, []):
                 state = active.pop(run_id, None)
                 if state is None:
                     raise SimulationError(f"run {run_id} ended but was never active")
@@ -169,19 +266,30 @@ class TraceSimulator:
             # --- 2. run starts ----------------------------------------
             for run in starts_at.pop(tick, []):
                 app = self._catalog[run.app_id]
+                # Per-run substream: every shard that sees this run draws
+                # the same utilization/memory regardless of draw order.
+                run_rng = self._seeds.generator("per-run-noise", run.run_id)
                 util = float(
-                    np.clip(app.gpu_utilization * self._run_rng.lognormal(0.0, 0.12), 0.03, 1.0)
+                    np.clip(
+                        app.gpu_utilization * run_rng.lognormal(0.0, 0.12), 0.03, 1.0
+                    )
                 )
                 mem = float(
-                    np.clip(app.memory_fraction * self._run_rng.lognormal(0.0, 0.18), 0.02, 1.0)
+                    np.clip(
+                        app.memory_fraction * run_rng.lognormal(0.0, 0.18), 0.02, 1.0
+                    )
                 )
-                nodes = run.node_ids
+                local, global_ids = local_subset[run.run_id]
                 pre_stats = np.hstack(
                     [
                         np.hstack(
                             [
-                                temp_ring.window_stats(nodes, max(1, int(round(w / dt)))),
-                                power_ring.window_stats(nodes, max(1, int(round(w / dt)))),
+                                temp_ring.window_stats(
+                                    local, max(1, int(round(w / dt)))
+                                ),
+                                power_ring.window_stats(
+                                    local, max(1, int(round(w / dt)))
+                                ),
                             ]
                         )
                         for w in PRE_WINDOWS_MINUTES
@@ -189,9 +297,11 @@ class TraceSimulator:
                 )
                 state = _ActiveRun(
                     run=run,
+                    local_nodes=local,
+                    global_nodes=global_ids,
                     gpu_utilization=util,
                     memory_fraction=mem,
-                    prev_app_ids=prev_app[nodes].copy(),
+                    prev_app_ids=prev_app[local].copy(),
                     pre_window_stats=pre_stats,
                     start_tick=tick,
                 )
@@ -199,14 +309,16 @@ class TraceSimulator:
                 job = jobs.get(run.job_id)
                 if job is None:
                     jobs[run.job_id] = _PendingJob(
-                        node_ids=nodes, runs_remaining=job_total_runs[run.job_id]
+                        local_nodes=local,
+                        global_nodes=global_ids,
+                        runs_remaining=job_total_runs[run.job_id],
                     )
-                    self._smi.snapshot_before(run.job_id, nodes)
-                gpu_util[nodes] = util
-                cpu_util[nodes] = app.cpu_utilization
-                prev_app[nodes] = run.app_id
+                    self._smi.snapshot_before(run.job_id, local)
+                gpu_util[local] = util
+                cpu_util[local] = app.cpu_utilization
+                prev_app[local] = run.app_id
                 for q in RUN_STAT_QUANTITIES:
-                    welford[q].reset(nodes)
+                    welford[q].reset(local)
 
             # --- 3. physics --------------------------------------------
             watts = self._power.sample(gpu_util)
@@ -215,6 +327,8 @@ class TraceSimulator:
             cpu_temp = self._thermal.cpu_temp
 
             # --- 4. sampling -------------------------------------------
+            sample_start = time.perf_counter()
+            sim_seconds += sample_start - stage_start
             if nodes_per_slot > 1:
                 slot_sum_t = gpu_temp.reshape(-1, nodes_per_slot).sum(axis=1)
                 slot_sum_p = watts.reshape(-1, nodes_per_slot).sum(axis=1)
@@ -238,37 +352,58 @@ class TraceSimulator:
             power_sum += watts
 
             for node, series in recorded.items():
+                local_node = node - lo
                 series["minute"].append(minute)
-                series["gpu_temp"].append(float(gpu_temp[node]))
-                series["gpu_power"].append(float(watts[node]))
-                series["cpu_temp"].append(float(cpu_temp[node]))
-                series["slot_avg_temp"].append(float(nei_temp[node]))
-                series["slot_avg_power"].append(float(nei_power[node]))
-                cage = node // per_cage
-                cage_slice = slice(cage * per_cage, (cage + 1) * per_cage)
+                series["gpu_temp"].append(float(gpu_temp[local_node]))
+                series["gpu_power"].append(float(watts[local_node]))
+                series["cpu_temp"].append(float(cpu_temp[local_node]))
+                series["slot_avg_temp"].append(float(nei_temp[local_node]))
+                series["slot_avg_power"].append(float(nei_power[local_node]))
+                cage_lo = (node // per_cage) * per_cage - lo
+                cage_slice = slice(cage_lo, cage_lo + per_cage)
                 series["cage_avg_temp"].append(float(gpu_temp[cage_slice].mean()))
+            stage_start = time.perf_counter()
+            sample_seconds += stage_start - sample_start
 
         if jobs:
             raise SimulationError(f"{len(jobs)} jobs never completed")
+        sim_seconds += time.perf_counter() - stage_start
 
-        return self._assemble_trace(blocks, run_rows, temp_sum, power_sum, recorded, num_ticks)
+        return ShardResult(
+            lo=lo,
+            hi=hi,
+            completion_order=order,
+            blocks=blocks,
+            run_rows=run_rows,
+            temp_sum=temp_sum,
+            power_sum=power_sum,
+            node_susceptibility=self._errors.node_susceptibility[lo:hi].copy(),
+            recorded={
+                node: {name: np.asarray(vals) for name, vals in cols.items()}
+                for node, cols in recorded.items()
+            },
+            app_names=list(self._catalog.names),
+            num_ticks=num_ticks,
+            stage_seconds={"simulate": sim_seconds, "sample": sample_seconds},
+        )
 
     # ------------------------------------------------------------------
     def _complete_run(
         self,
         state: _ActiveRun,
         jobs: dict[int, _PendingJob],
-        blocks: list[dict[str, np.ndarray]],
+        blocks: list[tuple[int, dict[str, np.ndarray]]],
         run_rows: list[dict[str, float]],
         welford: dict[str, VectorWelford],
     ) -> None:
         run = state.run
-        nodes = run.node_ids
+        local = state.local_nodes
         app = self._catalog[run.app_id]
-        stats = {q: welford[q].stats(nodes) for q in RUN_STAT_QUANTITIES}
+        stats = {q: welford[q].stats(local) for q in RUN_STAT_QUANTITIES}
 
         counts = self._errors.sample_counts(
-            nodes,
+            run.run_id,
+            state.global_nodes,
             app.susceptibility,
             run.start_minute,
             run.duration_minutes,
@@ -276,24 +411,25 @@ class TraceSimulator:
             stats["gpu_power"][:, 0],
             state.memory_fraction,
         )
-        self._smi.record_errors(nodes, counts)
+        self._smi.record_errors(local, counts)
 
-        k = nodes.size
+        k = local.size
+        k_full = run.node_ids.size
         max_mem_gb = state.memory_fraction * 6.0  # K20X has 6 GB per GPU
         block: dict[str, np.ndarray] = {
             "run_idx": np.full(k, run.run_id, dtype=np.int32),
             "job_id": np.full(k, run.job_id, dtype=np.int32),
             "app_id": np.full(k, run.app_id, dtype=np.int32),
             "user_id": np.full(k, run.user_id, dtype=np.int32),
-            "node_id": nodes.astype(np.int32),
+            "node_id": state.global_nodes.astype(np.int32),
             "start_minute": np.full(k, run.start_minute),
             "end_minute": np.full(k, run.end_minute),
             "duration_minutes": np.full(k, run.duration_minutes),
-            "n_nodes": np.full(k, k, dtype=np.int32),
+            "n_nodes": np.full(k, k_full, dtype=np.int32),
             "gpu_core_hours": np.full(k, run.gpu_core_hours),
             "gpu_util": np.full(k, state.gpu_utilization),
             "max_mem_gb": np.full(k, max_mem_gb),
-            "agg_mem_gb": np.full(k, max_mem_gb * k),
+            "agg_mem_gb": np.full(k, max_mem_gb * k_full),
             "prev_app_id": state.prev_app_ids.astype(np.int32),
             "sbe_count": np.zeros(k, dtype=np.int64),  # resolved at job end
         }
@@ -307,7 +443,7 @@ class TraceSimulator:
                     block[f"pre{w}_{quantity}_{suffix}"] = state.pre_window_stats[:, col]
                     col += 1
 
-        blocks.append(block)
+        blocks.append((run.run_id, block))
         run_rows.append(
             {
                 "run_id": run.run_id,
@@ -316,12 +452,12 @@ class TraceSimulator:
                 "user_id": run.user_id,
                 "start_minute": run.start_minute,
                 "end_minute": run.end_minute,
-                "n_nodes": k,
+                "n_nodes": k_full,
                 "gpu_core_hours": run.gpu_core_hours,
                 "gpu_util": state.gpu_utilization,
                 "max_mem_gb": max_mem_gb,
-                "agg_mem_gb": max_mem_gb * k,
-                "sbe_total": 0.0,  # resolved at job end
+                "agg_mem_gb": max_mem_gb * k_full,
+                "sbe_total": 0.0,  # resolved at job end (local contribution)
             }
         )
 
@@ -330,8 +466,11 @@ class TraceSimulator:
         job.run_indices.append(len(run_rows) - 1)
         job.runs_remaining -= 1
         if job.runs_remaining == 0:
-            deltas = self._smi.snapshot_after(run.job_id, job.node_ids)
-            per_node = {int(node): int(delta) for node, delta in zip(job.node_ids, deltas)}
+            deltas = self._smi.snapshot_after(run.job_id, job.local_nodes)
+            per_node = {
+                int(node): int(delta)
+                for node, delta in zip(job.global_nodes, deltas)
+            }
             for job_block in job.sample_blocks:
                 job_block["sbe_count"] = np.asarray(
                     [per_node[int(node)] for node in job_block["node_id"]],
@@ -341,42 +480,106 @@ class TraceSimulator:
                 run_rows[row_idx]["sbe_total"] = float(deltas.sum())
             del jobs[run.job_id]
 
-    # ------------------------------------------------------------------
-    def _assemble_trace(
-        self,
-        blocks: list[dict[str, np.ndarray]],
-        run_rows: list[dict[str, float]],
-        temp_sum: np.ndarray,
-        power_sum: np.ndarray,
-        recorded: dict[int, dict[str, list[float]]],
-        num_ticks: int,
-    ) -> Trace:
-        if not blocks:
+
+# ----------------------------------------------------------------------
+def merge_shard_results(config: TraceConfig, results: list[ShardResult]) -> Trace:
+    """Deterministically merge shard outputs into one trace.
+
+    Shards are sorted by node range (they must tile the machine without
+    gaps), per-run sample blocks are concatenated shard-ascending — which
+    restores ascending node id, the serial row order — and whole runs are
+    laid out in the schedule's completion order, which every shard
+    derived independently and must agree on.
+    """
+    collate_start = time.perf_counter()
+    if not results:
+        raise SimulationError("no shard results to merge")
+    results = sorted(results, key=lambda r: r.lo)
+    machine_nodes = config.machine.num_nodes
+    expected_lo = 0
+    for result in results:
+        if result.lo != expected_lo:
             raise SimulationError(
-                "simulation produced no samples; increase duration or utilization"
+                f"shard results do not tile the machine: expected a shard "
+                f"starting at node {expected_lo}, got {result.lo}"
             )
-        samples = {
-            name: np.concatenate([block[name] for block in blocks])
-            for name in blocks[0]
-        }
-        runs = {
-            name: np.asarray([row[name] for row in run_rows])
-            for name in run_rows[0]
-        }
-        series = {
-            node: {name: np.asarray(vals) for name, vals in cols.items()}
-            for node, cols in recorded.items()
-        }
-        return Trace(
-            config=self._config,
-            samples=samples,
-            runs=runs,
-            app_names=self._catalog.names,
-            node_mean_temp=temp_sum / max(1, num_ticks),
-            node_mean_power=power_sum / max(1, num_ticks),
-            node_susceptibility=self._errors.node_susceptibility,
-            recorded_series=series,
+        expected_lo = result.hi
+    if expected_lo != machine_nodes:
+        raise SimulationError(
+            f"shard results cover {expected_lo} of {machine_nodes} nodes"
         )
+    order = results[0].completion_order
+    for result in results[1:]:
+        if result.completion_order != order:
+            raise SimulationError(
+                "shards disagree on the schedule's completion order; "
+                "the workload scheduler is not deterministic"
+            )
+
+    blocks_by_run: dict[int, list[dict[str, np.ndarray]]] = defaultdict(list)
+    rows_by_run: dict[int, list[dict[str, float]]] = defaultdict(list)
+    for result in results:
+        for run_id, block in result.blocks:
+            blocks_by_run[run_id].append(block)
+        for row in result.run_rows:
+            rows_by_run[int(row["run_id"])].append(row)
+
+    ordered_blocks: list[dict[str, np.ndarray]] = []
+    run_rows: list[dict[str, float]] = []
+    for run_id in order:
+        parts = blocks_by_run.get(run_id)
+        if not parts:
+            raise SimulationError(f"run {run_id} completed in no shard")
+        ordered_blocks.extend(parts)
+        rows = rows_by_run[run_id]
+        merged = dict(rows[0])
+        for other in rows[1:]:
+            if other["gpu_util"] != merged["gpu_util"] or (
+                other["n_nodes"] != merged["n_nodes"]
+            ):
+                raise SimulationError(
+                    f"shards disagree on run {run_id}'s per-run draws"
+                )
+            merged["sbe_total"] += other["sbe_total"]
+        run_rows.append(merged)
+
+    if not ordered_blocks:
+        raise SimulationError(
+            "simulation produced no samples; increase duration or utilization"
+        )
+    samples = {
+        name: np.concatenate([block[name] for block in ordered_blocks])
+        for name in ordered_blocks[0]
+    }
+    runs = {
+        name: np.asarray([row[name] for row in run_rows]) for name in run_rows[0]
+    }
+    recorded: dict[int, dict[str, np.ndarray]] = {}
+    for result in results:
+        recorded.update(result.recorded)
+    num_ticks = results[0].num_ticks
+    stage_seconds = {
+        "simulate": sum(r.stage_seconds.get("simulate", 0.0) for r in results),
+        "sample": sum(r.stage_seconds.get("sample", 0.0) for r in results),
+    }
+    trace = Trace(
+        config=config,
+        samples=samples,
+        runs=runs,
+        app_names=results[0].app_names,
+        node_mean_temp=np.concatenate([r.temp_sum for r in results])
+        / max(1, num_ticks),
+        node_mean_power=np.concatenate([r.power_sum for r in results])
+        / max(1, num_ticks),
+        node_susceptibility=np.concatenate(
+            [r.node_susceptibility for r in results]
+        ),
+        recorded_series=recorded,
+    )
+    stage_seconds["collate"] = time.perf_counter() - collate_start
+    trace.meta["stage_seconds"] = stage_seconds
+    trace.meta["shards"] = len(results)
+    return trace
 
 
 def simulate_trace(config: TraceConfig | None = None) -> Trace:

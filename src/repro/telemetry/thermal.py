@@ -12,6 +12,12 @@ The neighbour coupling is what makes the temperature profile of the *same
 application on the same node* differ across runs (paper Fig. 8): the
 steady state depends on what happens to be running in the rest of the
 slot.
+
+The model can be restricted to a :class:`~repro.topology.sharding.ShardSpan`
+for sharded simulation: static offsets are drawn for the whole machine and
+sliced (so every shard sees the same values), per-tick noise comes from
+per-row streams (:class:`~repro.telemetry.noise.RowNoise`), and the slot
+coupling needs no halo because spans are slot-aligned.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.telemetry.config import ThermalConfig
+from repro.telemetry.noise import RowNoise
 from repro.topology.machine import Machine
+from repro.topology.sharding import ShardSpan, full_span, validate_span
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["ThermalModel", "cooling_pattern"]
@@ -42,23 +50,31 @@ def cooling_pattern(grid_y: int, grid_x: int, amplitude: float) -> np.ndarray:
 
 
 class ThermalModel:
-    """Vectorized GPU + CPU temperature dynamics for all nodes."""
+    """Vectorized GPU + CPU temperature dynamics for a span of nodes."""
 
     def __init__(
         self,
         config: ThermalConfig,
         machine: Machine,
         seeds: SeedSequenceFactory,
+        span: ShardSpan | None = None,
     ) -> None:
         self._config = config
         self._machine = machine
+        self._span = span or full_span(machine.config)
+        validate_span(self._span, machine.config)
+        window = slice(self._span.lo, self._span.hi)
         rng = seeds.generator("thermal-offsets")
         pattern = cooling_pattern(
             machine.config.grid_y, machine.config.grid_x, config.cooling_pattern_celsius
         )
-        self._cabinet_offset = pattern[machine.cabinet_y, machine.cabinet_x]
-        self._node_offset = rng.normal(0.0, config.node_offset_sigma, machine.num_nodes)
-        self._noise_rng = seeds.generator("thermal-noise")
+        # Static per-node draws cover the whole machine and are sliced, so
+        # every shard sees the same offsets regardless of the partition.
+        self._cabinet_offset = pattern[machine.cabinet_y, machine.cabinet_x][window]
+        self._node_offset = rng.normal(
+            0.0, config.node_offset_sigma, machine.num_nodes
+        )[window]
+        self._noise = RowNoise(seeds, "thermal-noise", machine.config, self._span)
         ambient = config.ambient_celsius + self._cabinet_offset + self._node_offset
         self.gpu_temp = ambient.copy()
         self.cpu_temp = ambient.copy()
@@ -78,6 +94,12 @@ class ThermalModel:
             + cfg.degrees_per_watt * power_watts
         )
 
+    def _slot_means(self, values: np.ndarray) -> np.ndarray:
+        """Per-node slot mean over the span (spans are slot-aligned)."""
+        nodes_per_slot = self._machine.config.nodes_per_slot
+        per_slot = values.reshape(-1, nodes_per_slot)
+        return np.repeat(per_slot.mean(axis=1), nodes_per_slot)
+
     def step(
         self,
         power_watts: np.ndarray,
@@ -86,19 +108,16 @@ class ThermalModel:
     ) -> None:
         """Advance both temperature fields by ``dt_minutes``."""
         cfg = self._config
-        machine = self._machine
         target = self.steady_state(power_watts)
         # First-order relaxation, exact for the step size (exp integrator),
         # so large sampler ticks stay stable.
         alpha = 1.0 - np.exp(-dt_minutes / cfg.time_constant_minutes)
         self.gpu_temp += alpha * (target - self.gpu_temp)
         # Exchange with slot neighbours.
-        slot_mean = machine.slot_means(self.gpu_temp)
+        slot_mean = self._slot_means(self.gpu_temp)
         coupling = min(1.0, cfg.neighbor_coupling * dt_minutes)
         self.gpu_temp += coupling * (slot_mean - self.gpu_temp)
-        self.gpu_temp += self._noise_rng.normal(
-            0.0, cfg.noise_celsius * np.sqrt(dt_minutes), machine.num_nodes
-        )
+        self.gpu_temp += self._noise.normal(cfg.noise_celsius * np.sqrt(dt_minutes))
 
         cpu_target = (
             cfg.ambient_celsius
@@ -108,6 +127,4 @@ class ThermalModel:
         )
         cpu_alpha = 1.0 - np.exp(-dt_minutes / cfg.cpu_time_constant_minutes)
         self.cpu_temp += cpu_alpha * (cpu_target - self.cpu_temp)
-        self.cpu_temp += self._noise_rng.normal(
-            0.0, cfg.noise_celsius * np.sqrt(dt_minutes), machine.num_nodes
-        )
+        self.cpu_temp += self._noise.normal(cfg.noise_celsius * np.sqrt(dt_minutes))

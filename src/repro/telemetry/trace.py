@@ -64,6 +64,12 @@ class Trace:
     #: node id -> {"minute", "gpu_temp", "gpu_power", "cpu_temp",
     #: "slot_avg_temp", "slot_avg_power", "cage_avg_temp"}.
     recorded_series: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: Provenance and instrumentation (JSON-serializable values only):
+    #: the simulator records per-stage wall-time counters under
+    #: ``stage_seconds`` (simulate / sample / collate) and the shard
+    #: count under ``shards``.  Deliberately excluded from every content
+    #: digest — wall times vary run to run, content must not.
+    meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         lengths = {k: v.shape[0] for k, v in self.samples.items()}
@@ -148,6 +154,7 @@ class Trace:
             "app_names": self.app_names,
             "config": _config_to_dict(self.config),
             "checksum": sha256_file(npz_path),
+            "meta": self.meta,
         }
         atomic_write_text(path.with_suffix(".json"), json.dumps(meta, indent=2))
 
@@ -212,6 +219,7 @@ class Trace:
                 node_mean_power=extras["node_mean_power"],
                 node_susceptibility=extras["node_susceptibility"],
                 recorded_series=recorded,
+                meta=dict(meta.get("meta") or {}),
             )
         except (KeyError, TypeError, ValidationError) as exc:
             raise TraceIOError(

@@ -1,0 +1,156 @@
+"""Canonical configuration and stage digests for the golden suite.
+
+The golden tests pin SHA-256 digests of every pipeline stage — simulated
+trace, feature matrix, TwoStage metrics — for a *canonical* small
+configuration under several seeds.  The configuration is spelled out
+literally here (never derived from the experiment presets) so that
+tuning a preset cannot silently re-key the goldens: any digest change
+must come from a content-affecting code change, and the suite reports
+which stage diverged first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.core.pipeline import PredictionPipeline, SplitResult
+from repro.features.builder import FeatureMatrix
+from repro.features.splits import make_paper_splits
+from repro.telemetry.config import (
+    ErrorModelConfig,
+    TraceConfig,
+    WorkloadConfig,
+)
+from repro.telemetry.trace import Trace
+from repro.topology.machine import MachineConfig
+
+__all__ = [
+    "GOLDEN_SEEDS",
+    "STAGES",
+    "canonical_config",
+    "trace_digest",
+    "features_digest",
+    "metrics_digest",
+    "evaluate_canonical",
+]
+
+#: Seeds the goldens are pinned for.
+GOLDEN_SEEDS = (2018, 2019, 2020)
+
+#: Pipeline stages in dependency order; drift is reported at the first
+#: stage whose digest diverges.
+STAGES = ("simulate", "features", "predict")
+
+
+def canonical_config(seed: int) -> TraceConfig:
+    """The frozen small config the goldens are pinned against.
+
+    Do not edit casually: any change re-keys every golden digest.  128
+    nodes, 8 days at 10-minute ticks, with a hot error model so the SBE
+    path is exercised end to end.
+    """
+    return TraceConfig(
+        machine=MachineConfig(
+            grid_x=4,
+            grid_y=4,
+            cages_per_cabinet=1,
+            slots_per_cage=2,
+            nodes_per_slot=4,
+        ),
+        workload=WorkloadConfig(
+            num_applications=12,
+            popularity_exponent=1.1,
+            target_utilization=0.8,
+            mean_runtime_minutes=240.0,
+            runtime_sigma=0.4,
+            mean_nodes_per_run=3.0,
+            max_nodes_per_run=16,
+            second_aprun_probability=0.25,
+            locality_bias=0.5,
+        ),
+        errors=ErrorModelConfig(
+            base_rate_per_hour=0.05,
+            offender_node_fraction=0.15,
+            quiet_day_factor=0.02,
+            episode_rate_per_100_days=12.0,
+        ),
+        duration_days=8.0,
+        tick_minutes=10.0,
+        seed=seed,
+        record_nodes=(3,),
+    )
+
+
+def _update_array(hasher: "hashlib._Hash", name: str, array: np.ndarray) -> None:
+    hasher.update(name.encode())
+    hasher.update(str(array.dtype).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content hash of a trace (``meta`` deliberately excluded)."""
+    hasher = hashlib.sha256()
+    for name in sorted(trace.samples):
+        _update_array(hasher, f"samples/{name}", trace.samples[name])
+    for name in sorted(trace.runs):
+        _update_array(hasher, f"runs/{name}", trace.runs[name])
+    _update_array(hasher, "node_mean_temp", trace.node_mean_temp)
+    _update_array(hasher, "node_mean_power", trace.node_mean_power)
+    _update_array(hasher, "node_susceptibility", trace.node_susceptibility)
+    hasher.update(json.dumps(trace.app_names).encode())
+    for node in sorted(trace.recorded_series):
+        for name in sorted(trace.recorded_series[node]):
+            _update_array(
+                hasher, f"recorded/{node}/{name}", trace.recorded_series[node][name]
+            )
+    return hasher.hexdigest()
+
+
+def features_digest(features: FeatureMatrix) -> str:
+    """Content hash of a feature matrix (data, labels, schema, meta)."""
+    hasher = hashlib.sha256()
+    _update_array(hasher, "X", features.X)
+    _update_array(hasher, "y", features.y)
+    hasher.update(json.dumps(features.schema.names).encode())
+    hasher.update(
+        json.dumps(
+            {name: sorted(tags) for name, tags in features.schema.tags.items()},
+            sort_keys=True,
+        ).encode()
+    )
+    for name in sorted(features.meta):
+        _update_array(hasher, f"meta/{name}", features.meta[name])
+    return hasher.hexdigest()
+
+
+def metrics_digest(result: SplitResult) -> str:
+    """Content hash of an evaluation's predictions and metrics."""
+    hasher = hashlib.sha256()
+    _update_array(hasher, "y_true", np.asarray(result.y_true))
+    _update_array(hasher, "y_pred", np.asarray(result.y_pred))
+    hasher.update(
+        json.dumps(
+            {
+                "precision": f"{result.precision:.17g}",
+                "recall": f"{result.recall:.17g}",
+                "f1": f"{result.f1:.17g}",
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    return hasher.hexdigest()
+
+
+def evaluate_canonical(features: FeatureMatrix, duration_days: float) -> SplitResult:
+    """The pinned evaluation: TwoStage GBDT on a 5-train/2-test split."""
+    splits = make_paper_splits(
+        train_days=5.0,
+        test_days=2.0,
+        offsets_days=(0.0,),
+        duration_days=duration_days,
+    )
+    pipeline = PredictionPipeline(features, splits)
+    return pipeline.evaluate_twostage("DS1", "gbdt", random_state=0)

@@ -1,0 +1,114 @@
+"""Golden-digest regression suite.
+
+Pins SHA-256 digests of the canonical small-config trace, feature
+matrix, and TwoStage metrics for three seeds
+(``tests/golden/golden_digests.json``).  Any content drift fails with a
+message naming the *first* pipeline stage that diverged (simulate →
+features → predict), which localizes the regression immediately: a
+``simulate`` drift is an RNG/substrate change, a ``features``-only drift
+is a builder change, a ``predict``-only drift is an ML change.
+
+The suite also enforces the sharding contract on every run: merged
+2-shard and 4-shard simulations must produce the *same* digest as the
+pinned serial trace.
+
+After an intentional content change, re-pin with::
+
+    GOLDEN_UPDATE=1 PYTHONPATH=src python -m pytest tests/golden -q
+
+and commit the refreshed JSON together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.features.builder import build_features
+from repro.telemetry.simulator import TraceSimulator, merge_shard_results
+from repro.topology.sharding import plan_shards
+
+from tests.golden.canonical import (
+    GOLDEN_SEEDS,
+    STAGES,
+    canonical_config,
+    evaluate_canonical,
+    features_digest,
+    metrics_digest,
+    trace_digest,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
+UPDATE = bool(os.environ.get("GOLDEN_UPDATE"))
+
+
+@lru_cache(maxsize=None)
+def compute_digests(seed: int) -> dict[str, str]:
+    """All stage digests for one seed (cached: computed once per session)."""
+    config = canonical_config(seed)
+    trace = TraceSimulator(config).run()
+    digests = {"simulate": trace_digest(trace)}
+    for shards in (2, 4):
+        spans = plan_shards(config.machine, shards)
+        merged = merge_shard_results(
+            config, [TraceSimulator(config, span).run_span() for span in spans]
+        )
+        digests[f"simulate_shards{shards}"] = trace_digest(merged)
+    features = build_features(trace)
+    digests["features"] = features_digest(features)
+    result = evaluate_canonical(features, config.duration_days)
+    digests["predict"] = metrics_digest(result)
+    return digests
+
+
+def load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} is missing; regenerate with GOLDEN_UPDATE=1 "
+            "and commit it"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+class TestGoldenDigests:
+    def test_stages_match_pinned_digests(self, seed):
+        actual = compute_digests(seed)
+        if UPDATE:
+            goldens = (
+                json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+            )
+            goldens[str(seed)] = {
+                stage: actual[stage] for stage in STAGES
+            }
+            GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"golden digests re-pinned for seed {seed}")
+        pinned = load_goldens().get(str(seed))
+        assert pinned is not None, (
+            f"no golden digests pinned for seed {seed}; "
+            "regenerate with GOLDEN_UPDATE=1"
+        )
+        diverged = [stage for stage in STAGES if actual[stage] != pinned[stage]]
+        if diverged:
+            first = diverged[0]
+            pytest.fail(
+                f"golden digest drift (seed {seed}): first divergence at stage "
+                f"{first!r} (diverged stages: {diverged}; stages are checked "
+                f"in order {list(STAGES)}, so fix/inspect {first!r} first). "
+                f"expected {pinned[first][:16]}..., got {actual[first][:16]}... "
+                "If the change is intentional, re-pin with GOLDEN_UPDATE=1 "
+                "and commit the refreshed golden_digests.json."
+            )
+
+    def test_sharded_simulation_matches_serial_digest(self, seed):
+        """Shards ∈ {2, 4} must reproduce the serial trace bit for bit."""
+        actual = compute_digests(seed)
+        for shards in (2, 4):
+            assert actual[f"simulate_shards{shards}"] == actual["simulate"], (
+                f"{shards}-shard merge diverged from the serial trace for "
+                f"seed {seed}: the sharding layer broke bit-parity"
+            )

@@ -1,0 +1,32 @@
+"""Bit-exact trace comparison shared by the parallel parity tests."""
+
+import numpy as np
+
+from repro.telemetry.trace import Trace
+
+__all__ = ["assert_traces_bit_identical"]
+
+
+def assert_traces_bit_identical(expected: Trace, actual: Trace) -> None:
+    """Every content array equal, bit for bit (``meta`` excluded)."""
+    assert set(expected.samples) == set(actual.samples)
+    for name in expected.samples:
+        assert np.array_equal(
+            expected.samples[name], actual.samples[name]
+        ), f"samples column {name!r} differs"
+    assert set(expected.runs) == set(actual.runs)
+    for name in expected.runs:
+        assert np.array_equal(
+            expected.runs[name], actual.runs[name]
+        ), f"runs column {name!r} differs"
+    assert expected.app_names == actual.app_names
+    for attr in ("node_mean_temp", "node_mean_power", "node_susceptibility"):
+        assert np.array_equal(
+            getattr(expected, attr), getattr(actual, attr)
+        ), f"{attr} differs"
+    assert set(expected.recorded_series) == set(actual.recorded_series)
+    for node, series in expected.recorded_series.items():
+        for name, values in series.items():
+            assert np.array_equal(
+                values, actual.recorded_series[node][name]
+            ), f"recorded series {node}/{name} differs"

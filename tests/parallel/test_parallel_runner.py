@@ -1,0 +1,99 @@
+"""ParallelRunner: ordered fan-out, and jobs=N == jobs=1 cell-for-cell."""
+
+import math
+
+import pytest
+
+from repro.experiments.faults_experiment import run_faults
+from repro.experiments.registry import run_experiments
+from repro.parallel.runner import ExperimentCell, ParallelRunner, experiment_cells
+from repro.utils.errors import ValidationError
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+def _affine(item):
+    """Pure, picklable worker for pool tests."""
+    return 3 * item + 1
+
+
+def _boom(item):
+    raise RuntimeError(f"cell {item} failed")
+
+
+class TestParallelRunner:
+    def test_inline_path_preserves_order(self):
+        assert ParallelRunner(1).map(_affine, range(7)) == [_affine(i) for i in range(7)]
+
+    def test_pool_path_preserves_order(self):
+        items = list(range(23))
+        assert ParallelRunner(3).map(_affine, items) == [_affine(i) for i in items]
+
+    def test_worker_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="cell \\d failed"):
+            ParallelRunner(2).map(_boom, [0, 1, 2])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            ParallelRunner(0)
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=25, deadline=None)
+        @given(items=st.lists(st.integers(-1000, 1000), max_size=12),
+               jobs=st.sampled_from([2, 3]))
+        def test_jobs_n_equals_jobs_1(self, items, jobs):
+            assert ParallelRunner(jobs).map(_affine, items) == ParallelRunner(1).map(
+                _affine, items
+            )
+
+
+class TestExperimentCell:
+    def test_make_sorts_params(self):
+        cell = ExperimentCell.make("experiment", "fig1", b=2, a=1)
+        assert cell.params == (("a", 1), ("b", 2))
+        assert cell.as_dict() == {"a": 1, "b": 2}
+
+    def test_experiment_cells_carry_ids(self):
+        cells = experiment_cells(["fig1", "fig3"], preset="tiny")
+        assert [c.label for c in cells] == ["fig1", "fig3"]
+        assert all(c.as_dict()["preset"] == "tiny" for c in cells)
+
+
+class TestExperimentFanout:
+    def test_registry_fanout_matches_serial(self, tmp_path):
+        """run_experiments(jobs=2) returns the same results, in order."""
+        serial = run_experiments(
+            ["fig1", "fig3"], preset="tiny", jobs=1, cache_dir=tmp_path
+        )
+        fanned = run_experiments(
+            ["fig1", "fig3"], preset="tiny", jobs=2, cache_dir=tmp_path
+        )
+        assert [r.experiment_id for r in fanned] == ["fig1", "fig3"]
+        for a, b in zip(serial, fanned):
+            assert a.text == b.text
+
+    def test_unknown_experiment_rejected_before_fanout(self, tmp_path):
+        with pytest.raises(ValidationError, match="unknown experiments"):
+            run_experiments(["nope"], preset="tiny", jobs=2, cache_dir=tmp_path)
+
+
+class TestFaultsSweepParity:
+    def test_faults_jobs_2_equals_jobs_1(self, tiny_context):
+        intensities = (0.0, 0.25)
+        serial = run_faults(tiny_context, intensities=intensities, jobs=1)
+        fanned = run_faults(tiny_context, intensities=intensities, jobs=2)
+        assert len(serial.data["curve"]) == len(fanned.data["curve"])
+        for a, b in zip(serial.data["curve"], fanned.data["curve"]):
+            for key in ("intensity", "f1", "precision", "recall", "drop",
+                        "rows_out", "quarantined_fraction", "fault_rows"):
+                va, vb = a.get(key), b.get(key)
+                if isinstance(va, float) and math.isnan(va):
+                    assert math.isnan(vb), key
+                else:
+                    assert va == vb, key

@@ -90,7 +90,7 @@ class TestRate:
     def test_sample_counts_poisson_like(self, machine, model):
         nodes = np.arange(machine.num_nodes)
         counts = model.sample_counts(
-            nodes, 1.0, 0.0, 420.0,
+            0, nodes, 1.0, 0.0, 420.0,
             np.full(machine.num_nodes, 35.0),
             np.full(machine.num_nodes, 100.0),
             0.5,
@@ -98,6 +98,21 @@ class TestRate:
         assert counts.shape == (machine.num_nodes,)
         assert counts.dtype.kind in "iu"
         assert np.all(counts >= 0)
+
+    def test_sample_counts_partition_independent(self, machine, model):
+        """Counts for a node subset equal the subset of full-machine counts."""
+        nodes = np.arange(machine.num_nodes)
+        temp = np.full(machine.num_nodes, 44.0)
+        power = np.full(machine.num_nodes, 130.0)
+        full = model.sample_counts(11, nodes, 1.0, 0.0, 420.0, temp, power, 0.5)
+        half = machine.num_nodes // 2
+        lo = model.sample_counts(
+            11, nodes[:half], 1.0, 0.0, 420.0, temp[:half], power[:half], 0.5
+        )
+        hi = model.sample_counts(
+            11, nodes[half:], 1.0, 0.0, 420.0, temp[half:], power[half:], 0.5
+        )
+        assert np.array_equal(full, np.concatenate([lo, hi]))
 
 
 class TestEpisodes:

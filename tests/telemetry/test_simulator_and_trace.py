@@ -168,3 +168,37 @@ class TestDeterminism:
         assert a.num_samples == b.num_samples
         assert np.array_equal(a.samples["sbe_count"], b.samples["sbe_count"])
         assert np.allclose(a.samples["gpu_temp_mean"], b.samples["gpu_temp_mean"])
+
+
+class TestStageTimers:
+    """The simulator instruments its stages on ``Trace.meta``."""
+
+    def test_meta_records_stage_seconds(self, tiny_trace):
+        stages = tiny_trace.meta["stage_seconds"]
+        assert set(stages) == {"simulate", "sample", "collate"}
+        assert all(seconds >= 0.0 for seconds in stages.values())
+        assert tiny_trace.meta["shards"] == 1
+
+    def test_meta_survives_save_and_load(self, tiny_trace, tmp_path):
+        from repro.telemetry.trace import Trace
+
+        tiny_trace.save(tmp_path / "trace")
+        loaded = Trace.load(tmp_path / "trace")
+        assert loaded.meta == tiny_trace.meta
+
+    def test_meta_excluded_from_content_digests(self, tiny_trace):
+        """Wall times vary run to run; content digests must not."""
+        import sys
+        sys.path.insert(0, "tools")
+        try:
+            from check_determinism import trace_digest
+        finally:
+            sys.path.pop(0)
+        before = trace_digest(tiny_trace)
+        original = dict(tiny_trace.meta)
+        try:
+            tiny_trace.meta["stage_seconds"] = {"simulate": 123.0}
+            assert trace_digest(tiny_trace) == before
+        finally:
+            tiny_trace.meta.clear()
+            tiny_trace.meta.update(original)

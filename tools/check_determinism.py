@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """CI determinism gate: simulate + inject + replay twice, assert identical.
 
-Runs the tiny-preset simulation twice with one seed, the fault injector
-stack twice on top, and the online serve-replay path twice (each against
-a fresh registry root), then compares content hashes of the trace
-arrays, the fault logs, and the replay reports.  The same replay is then
+Runs the tiny-preset simulation twice with one seed, the sharded
+simulation (2 row-shards on 2 worker processes) twice — which must be
+bit-identical not just to itself but to the *serial* trace — the fault
+injector stack twice on top, and the online serve-replay path twice
+(each against a fresh registry root), then compares content hashes of
+the trace arrays, the fault logs, and the replay reports.  The same replay is then
 repeated under a chaos plan (retries, fallbacks, dead-letter replay must
 all be seed-stable), and finally killed mid-stream and resumed from its
 checkpoint — the resumed digest must be bit-identical to the
@@ -30,6 +32,7 @@ import numpy as np
 from repro.experiments.presets import PRESETS, preset_config, split_plan
 from repro.faults import FaultSpec, inject_faults
 from repro.features.splits import make_paper_splits
+from repro.parallel.simulate import simulate_trace_sharded
 from repro.serve import ChaosPlan, serve_replay
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
@@ -69,6 +72,27 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"  TRACE MISMATCH: {digest_a[:16]} != {digest_b[:16]}")
         failures += 1
+
+    print("simulating sharded (2 shards, --jobs 2) twice ...", flush=True)
+    sharded_digests = [
+        trace_digest(
+            simulate_trace_sharded(preset_config(args.preset), shards=2, jobs=2)
+        )
+        for _ in range(2)
+    ]
+    if sharded_digests[0] != sharded_digests[1]:
+        print(
+            f"  SHARDED MISMATCH: {sharded_digests[0][:16]} != "
+            f"{sharded_digests[1][:16]}"
+        )
+        failures += 1
+    elif sharded_digests[0] != digest_a:
+        print(
+            f"  SHARDED != SERIAL: {sharded_digests[0][:16]} != {digest_a[:16]}"
+        )
+        failures += 1
+    else:
+        print(f"  sharded ok (bit-identical to serial, {sharded_digests[0][:16]}...)")
 
     print(
         f"injecting faults (intensity={args.intensity}, "

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Single CI entry point: determinism gate + tier-1 tests + serve smoke
-# legs (clean, chaos, kill-and-resume).
+# Single CI entry point: determinism gate (incl. the sharded --jobs 2
+# leg) + tier-1 tests + golden-digest regression + parallel smoke +
+# serve smoke legs (clean, chaos, kill-and-resume).
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -9,18 +10,33 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # Pinned hypothesis profile: derandomized, bounded examples/deadline.
 export HYPOTHESIS_PROFILE=ci
+# Fixed hash seed: digests and goldens must not depend on machine entropy.
+export PYTHONHASHSEED=0
 
-echo "== determinism check (incl. chaos + kill-and-resume legs) =="
+echo "== determinism check (incl. sharded, chaos + kill-and-resume legs) =="
 python tools/check_determinism.py --preset tiny
 
 echo
 echo "== tier-1 tests =="
-python -m pytest -x -q
+# -p no:randomly pins test order even if pytest-randomly is installed:
+# the suite must pass in its deterministic order with the fixed seed.
+python -m pytest -x -q -p no:randomly
+
+echo
+echo "== golden-digest regression =="
+python -m pytest tests/golden -q -p no:randomly
+
+echo
+echo "== parallel smoke (--jobs 2) =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+python -m repro.cli --preset tiny --jobs 2 simulate \
+    --out "$workdir/trace-sharded" --shards 2
+REPRO_CACHE_DIR="$workdir/cache" python -m repro.cli --preset tiny --jobs 2 \
+    experiment fig1 fig3
 
 echo
 echo "== serve-replay smoke =="
-workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
 python -m repro.cli --preset tiny serve-replay \
     --registry "$workdir/registry" --fast --batch-size 64
 
