@@ -14,6 +14,17 @@ Subcommands::
     repro serve-replay --registry r --chaos 0.25       # chaos replay
     repro resilience --intensities 0,0.25 --seed 7     # availability curve
     repro registry verify --registry runs/registry     # checksum audit
+    repro store simulate --out runs/store --segments 8 # segmented trace
+    repro store verify --store runs/store              # checksum audit
+    repro store recover --store runs/store             # heal bad segments
+    repro store inject --store runs/store --kind torn  # disk-fault drill
+    repro store digest --store runs/store              # streamed digest
+    repro --segmented experiment all                   # out-of-core sweep
+
+The top-level ``--strict`` flag escalates every degraded-data repair
+(corrupt cache entry, quarantined segment, sanitizer fix-up, ...) into a
+typed :class:`~repro.utils.errors.DegradedDataError` with exit status 1,
+for pipelines that must fail loudly rather than self-heal.
 
 All subcommands share the preset-keyed trace cache (see
 ``repro.experiments.runner.default_cache_dir``).  Library failures
@@ -26,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from repro.experiments.registry import run_experiments
@@ -36,7 +48,12 @@ from repro.experiments.resilience_experiment import (
 )
 from repro.experiments.presets import PRESETS, preset_config
 from repro.telemetry.simulator import simulate_trace
-from repro.utils.errors import ReproError, ValidationError
+from repro.utils.errors import (
+    DegradedDataError,
+    DegradedDataWarning,
+    ReproError,
+    ValidationError,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for sharded simulation and experiment "
         "fan-out (results are bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="escalate every degraded-data repair (corrupt cache entry, "
+        "quarantined segment, ...) into a typed error with exit 1 "
+        "instead of warning and self-healing",
+    )
+    parser.add_argument(
+        "--segmented",
+        action="store_true",
+        help="produce/consume the trace through the segmented on-disk "
+        "store (out of core; results are bit-identical)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -200,6 +230,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--registry", required=True, help="model registry root directory"
     )
     rg.add_argument("--name", default="twostage", help="registered model name")
+
+    st = sub.add_parser(
+        "store", help="segmented trace store (out-of-core, crash-safe)"
+    )
+    sta = st.add_subparsers(dest="store_command", required=True)
+    s_sim = sta.add_parser(
+        "simulate", help="simulate the preset's trace into a segmented store"
+    )
+    s_sim.add_argument("--out", required=True, help="store directory")
+    s_sim.add_argument(
+        "--segments",
+        type=int,
+        default=8,
+        metavar="N",
+        help="segment count (clamped to the machine's cabinet rows)",
+    )
+    s_sim.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from its journal (bit-identical result)",
+    )
+    s_sim.add_argument(
+        "--crash-after-segments",
+        type=int,
+        default=None,
+        metavar="K",
+        help="simulate a crash after K segment commits (resume test hook)",
+    )
+    for name, help_text in (
+        ("verify", "checksum-verify every segment (exit 1 on damage)"),
+        ("recover", "re-simulate and rewrite damaged segments in place"),
+        ("digest", "print the streamed content digest of the store"),
+        ("features", "build the feature matrix out of core from the store"),
+    ):
+        action = sta.add_parser(name, help=help_text)
+        action.add_argument("--store", required=True, help="store directory")
+    s_inj = sta.add_parser(
+        "inject", help="inject a seeded disk fault into a committed store"
+    )
+    s_inj.add_argument("--store", required=True, help="store directory")
+    s_inj.add_argument(
+        "--kind",
+        required=True,
+        choices=["torn", "bitflip", "missing", "stale_manifest"],
+        help="failure mode to inject",
+    )
+    s_inj.add_argument("--seed", type=int, default=0, help="fault seed")
+    s_inj.add_argument(
+        "--segment", type=int, default=None, help="victim segment (default: seeded)"
+    )
+    s_inj.add_argument(
+        "--fraction",
+        type=float,
+        default=None,
+        help="truncation fraction for --kind torn (default: seeded)",
+    )
     return parser
 
 
@@ -220,11 +306,84 @@ def _parse_intensities(
     return values
 
 
+def _dispatch_store(args: argparse.Namespace, jobs: int) -> int:
+    """Run one ``repro store`` action; may raise :class:`ReproError`."""
+    from repro.features.builder import build_features_from_store
+    from repro.store import (
+        DiskFaultSpec,
+        SegmentedTraceStore,
+        inject_disk_fault,
+        simulate_trace_to_store,
+        store_trace_digest,
+    )
+
+    strict = bool(args.strict)
+    if args.store_command == "simulate":
+        started = time.perf_counter()
+        store = simulate_trace_to_store(
+            preset_config(args.preset),
+            args.out,
+            segments=args.segments,
+            jobs=jobs,
+            resume=args.resume,
+            crash_after_segments=args.crash_after_segments,
+        )
+        print(
+            f"simulated {store.num_samples} samples into "
+            f"{store.num_segments} segment(s) in "
+            f"{time.perf_counter() - started:.0f}s -> {store.root}"
+        )
+        return 0
+
+    store = SegmentedTraceStore(args.store)
+    if args.store_command == "verify":
+        statuses = store.verify()
+        for status in statuses:
+            print(status)
+        broken = sum(status.status != "ok" for status in statuses)
+        print(f"{len(statuses)} segment(s), {len(statuses) - broken} ok, {broken} broken")
+        return 1 if broken else 0
+    if args.store_command == "recover":
+        for status in store.recover(strict=strict):
+            print(status)
+        return 0
+    if args.store_command == "inject":
+        event = inject_disk_fault(
+            store,
+            DiskFaultSpec(
+                args.kind,
+                seed=args.seed,
+                segment=args.segment,
+                fraction=args.fraction,
+            ),
+        )
+        print(event)
+        return 0
+    if args.store_command == "digest":
+        print(store_trace_digest(store, strict=strict))
+        return 0
+    if args.store_command == "features":
+        features = build_features_from_store(store, strict=strict)
+        positives = int(features.y.sum())
+        print(
+            f"{features.num_samples} rows x {features.X.shape[1]} features "
+            f"({positives} positive) from {store.num_segments} segment(s)"
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the action set
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected subcommand; may raise :class:`ReproError`."""
     jobs = max(1, int(getattr(args, "jobs", 1)))
+    if args.command == "store":
+        return _dispatch_store(args, jobs)
     context = ExperimentContext(
-        args.preset, use_disk_cache=not args.no_cache, jobs=jobs
+        args.preset,
+        use_disk_cache=not args.no_cache,
+        jobs=jobs,
+        strict=args.strict,
+        segmented=args.segmented,
     )
 
     if args.command == "simulate":
@@ -369,6 +528,15 @@ def main(argv: list[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
+        if args.strict:
+            # Escalate every degraded-data repair into a typed error:
+            # under --strict the pipeline must fail loudly, never heal.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DegradedDataWarning)
+                try:
+                    return _dispatch(args)
+                except DegradedDataWarning as exc:
+                    raise DegradedDataError(str(exc)) from exc
         return _dispatch(args)
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

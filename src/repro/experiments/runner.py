@@ -22,7 +22,11 @@ from pathlib import Path
 
 from repro.core.pipeline import PredictionPipeline, SplitResult
 from repro.experiments.presets import preset_config, split_plan
-from repro.features.builder import FeatureMatrix, build_features
+from repro.features.builder import (
+    FeatureMatrix,
+    build_features,
+    build_features_from_store,
+)
 from repro.features.splits import DatasetSplit, make_paper_splits
 from repro.parallel.cache import ContentCache
 from repro.parallel.simulate import simulate_trace_sharded
@@ -54,9 +58,16 @@ class ExperimentContext:
         cache_dir: Path | str | None = None,
         use_disk_cache: bool = True,
         jobs: int = 1,
+        strict: bool = False,
+        segmented: bool = False,
     ) -> None:
         self.preset = preset
         self.jobs = max(1, int(jobs))
+        #: Escalate degraded-data repairs into typed errors (``--strict``).
+        self.strict = bool(strict)
+        #: Produce/consume the trace through the segmented on-disk store
+        #: (out of core) instead of one monolithic archive.
+        self.segmented = bool(segmented)
         self._cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self._cache = ContentCache(self._cache_dir)
         self._use_disk_cache = use_disk_cache
@@ -64,6 +75,7 @@ class ExperimentContext:
         self._features: FeatureMatrix | None = None
         self._pipeline: PredictionPipeline | None = None
         self._results: dict[tuple, SplitResult] = {}
+        self._store = None
 
     # ------------------------------------------------------------------
     @property
@@ -80,6 +92,9 @@ class ExperimentContext:
         and the trace is re-simulated (and the cache rewritten) instead.
         """
         if self._trace is None:
+            if self.segmented:
+                self._trace = self.store.load_trace(strict=self.strict)
+                return self._trace
             config = preset_config(self.preset)
             if self._use_disk_cache:
                 self._trace = self._cache.load_trace(config)
@@ -95,6 +110,36 @@ class ExperimentContext:
         return self._trace
 
     @property
+    def store(self):
+        """The segmented trace store (``segmented=True`` contexts only).
+
+        A committed store under the cache directory is verified and — in
+        non-strict mode — healed; an uncommitted or absent one is
+        (re)built by the crash-safe pipeline, resuming any journaled
+        segments.  The store content is bit-identical to :attr:`trace`
+        from a serial run, so consumers may mix the two freely.
+        """
+        from repro.store import SegmentedTraceStore, simulate_trace_to_store
+        from repro.utils.errors import ValidationError
+
+        if not self.segmented:
+            raise ValidationError(
+                "this context is not segmented; pass segmented=True"
+            )
+        if self._store is None:
+            config = preset_config(self.preset)
+            root = self._cache.store_path(config)
+            store = SegmentedTraceStore(root)
+            if store.is_committed:
+                store.recover(strict=self.strict)
+            else:
+                store = simulate_trace_to_store(
+                    config, root, jobs=self.jobs, resume=root.exists()
+                )
+            self._store = store
+        return self._store
+
+    @property
     def features(self) -> FeatureMatrix:
         """The feature matrix for the trace (content-cached on disk)."""
         if self._features is None:
@@ -104,7 +149,15 @@ class ExperimentContext:
                     config, **_FEATURE_PARAMS
                 )
             if self._features is None:
-                self._features = build_features(self.trace)
+                if self.segmented:
+                    # Out of core: never materializes the full trace.
+                    self._features = build_features_from_store(
+                        self.store,
+                        top_k_apps=_FEATURE_PARAMS["top_k_apps"],
+                        strict=self.strict,
+                    )
+                else:
+                    self._features = build_features(self.trace)
                 if self._use_disk_cache:
                     self._cache.store_features(
                         config, self._features, **_FEATURE_PARAMS

@@ -27,7 +27,7 @@ import numpy as np
 from repro.features.builder import FeatureMatrix
 from repro.features.schema import FeatureSchema
 from repro.telemetry.config import TraceConfig
-from repro.telemetry.trace import Trace, _config_to_dict
+from repro.telemetry.trace import Trace, config_to_dict
 from repro.utils.errors import DegradedDataWarning, ReproError, TraceIOError
 from repro.utils.io import atomic_write, atomic_write_text, sha256_bytes, sha256_file
 
@@ -48,7 +48,7 @@ def config_digest(config: TraceConfig, *, extra: dict | None = None) -> str:
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
-        "config": _config_to_dict(config),
+        "config": config_to_dict(config),
         "extra": extra or {},
     }
     return sha256_bytes(json.dumps(payload, sort_keys=True).encode())[:20]
@@ -99,6 +99,18 @@ class ContentCache:
         return path
 
     # ------------------------------------------------------------------
+    # Segmented stores
+    # ------------------------------------------------------------------
+    def store_path(self, config: TraceConfig) -> Path:
+        """Directory for ``config``'s segmented trace store.
+
+        Keyed like :meth:`trace_path` so a monolithic entry and a
+        segmented store for the same configuration sit side by side and
+        invalidate together on schema bumps.
+        """
+        return self._root / f"store-{config_digest(config)}"
+
+    # ------------------------------------------------------------------
     # Feature matrices
     # ------------------------------------------------------------------
     def features_path(self, config: TraceConfig, **params) -> Path:
@@ -128,8 +140,14 @@ class ContentCache:
         except ValueError as exc:
             raise TraceIOError(manifest_path, f"bad manifest JSON: {exc}") from exc
         expected = manifest.get("checksum")
-        if expected and sha256_file(npz_path) != expected:
-            raise TraceIOError(npz_path, "feature archive failed its checksum")
+        if expected:
+            actual = sha256_file(npz_path)
+            if actual != expected:
+                raise TraceIOError(
+                    npz_path,
+                    f"feature archive checksum mismatch: "
+                    f"expected {expected}, actual {actual}",
+                )
         schema = FeatureSchema()
         for name in manifest["schema"]["names"]:
             schema.add(name, *manifest["schema"]["tags"][name])

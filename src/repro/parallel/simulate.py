@@ -23,7 +23,7 @@ from repro.telemetry.trace import Trace
 from repro.topology.sharding import ShardSpan, plan_shards
 from repro.utils.errors import ValidationError
 
-__all__ = ["simulate_trace_sharded", "simulate_span"]
+__all__ = ["simulate_trace_sharded", "simulate_span", "iter_shard_results"]
 
 
 def simulate_span(args: tuple[TraceConfig, ShardSpan]) -> ShardResult:
@@ -36,6 +36,34 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     """Fork where available (cheap, shares the config by COW), else spawn."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def iter_shard_results(
+    config: TraceConfig,
+    spans: list[ShardSpan],
+    *,
+    jobs: int = 1,
+):
+    """Yield ``(span, ShardResult)`` pairs, span-order, one at a time.
+
+    The streaming core shared by :func:`simulate_trace_sharded` (which
+    collects and merges) and the segmented store pipeline (which writes
+    each result to disk and drops it).  With ``jobs > 1`` spans run on a
+    process pool but results are still yielded in span order, so a
+    consumer that commits work as it arrives does so deterministically.
+    """
+    jobs = max(1, int(jobs))
+    if len(spans) == 1 or jobs == 1:
+        for span in spans:
+            yield span, simulate_span((config, span))
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(spans)), mp_context=_pool_context()
+    ) as pool:
+        for span, result in zip(
+            spans, pool.map(simulate_span, [(config, s) for s in spans])
+        ):
+            yield span, result
 
 
 def simulate_trace_sharded(
@@ -59,11 +87,7 @@ def simulate_trace_sharded(
     if jobs is None:
         jobs = min(len(spans), multiprocessing.cpu_count())
     jobs = max(1, int(jobs))
-    if len(spans) == 1 or jobs == 1:
-        results = [simulate_span((config, span)) for span in spans]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(spans)), mp_context=_pool_context()
-        ) as pool:
-            results = list(pool.map(simulate_span, [(config, s) for s in spans]))
+    results = [
+        result for _, result in iter_shard_results(config, spans, jobs=jobs)
+    ]
     return merge_shard_results(config, results)

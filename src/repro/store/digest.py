@@ -1,0 +1,134 @@
+"""Streamed content digest of a segmented store.
+
+:func:`store_trace_digest` computes, one column at a time, exactly the
+digest that ``tests/golden/canonical.trace_digest`` computes over the
+fully merged in-memory trace — without ever materializing more than one
+sample column (plus the tiny run/node tables).  This is what lets the
+golden suite, ``tools/ci.sh``, and ``tools/check_determinism.py`` assert
+bit-identity for stores too large to load whole:
+
+    store_trace_digest(store) == trace_digest(store.load_trace())
+
+holds by construction, and a parity test enforces it.
+
+The streaming reconstruction mirrors
+:func:`~repro.telemetry.simulator.merge_shard_results` operation for
+operation — first-contributor-wins for per-run draws, ``sbe_total``
+summed segment-ascending, node aggregates concatenated then divided —
+so every float is produced by the same sequence of arithmetic as the
+merged trace, not merely a mathematically equal one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.store.segments import SegmentedTraceStore
+from repro.utils.errors import SegmentCorruptionError
+
+__all__ = ["store_trace_digest"]
+
+
+def _update_array(hasher, name: str, array: np.ndarray) -> None:
+    # Must match tests/golden/canonical._update_array byte for byte.
+    hasher.update(name.encode())
+    hasher.update(str(array.dtype).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+
+
+def _run_names(store: SegmentedTraceStore) -> list[str]:
+    path = store.segment_path(0)
+    with np.load(path) as data:
+        return [k.split("/", 1)[1] for k in data.files if k.startswith("runs/")]
+
+
+def _merged_runs(store: SegmentedTraceStore) -> dict[str, np.ndarray]:
+    """Rebuild the merged runs table from per-segment run rows.
+
+    Replicates the merge exactly: rows laid out in completion order, the
+    lowest-index segment's values winning (they are asserted equal at
+    merge time anyway), ``sbe_total`` accumulated segment-ascending so
+    float additions happen in the same order as the in-memory merge.
+    """
+    order = store.completion_order()
+    position = {run_id: pos for pos, run_id in enumerate(order)}
+    names = _run_names(store)
+    columns: dict[str, np.ndarray] = {}
+    seen = np.zeros(len(order), dtype=bool)
+    for index in range(store.num_segments):
+        with np.load(store.segment_path(index)) as data:
+            local = {name: data[f"runs/{name}"] for name in names}
+        idx = np.asarray(
+            [position[int(run_id)] for run_id in local["run_id"]], dtype=np.int64
+        )
+        fresh = ~seen[idx]
+        for name, arr in local.items():
+            col = columns.setdefault(name, np.zeros(len(order), dtype=arr.dtype))
+            col[idx[fresh]] = arr[fresh]
+            if name == "sbe_total":
+                col[idx[~fresh]] += arr[~fresh]
+        seen[idx] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise SegmentCorruptionError(
+            store.root,
+            f"run {order[missing]} appears in no segment; store is incomplete",
+        )
+    return columns
+
+
+def store_trace_digest(store: SegmentedTraceStore, *, strict: bool = False) -> str:
+    """Content hash of the store's trace, streamed segment-at-a-time.
+
+    Damaged segments heal (or raise, under ``strict``) before any bytes
+    are hashed, via :meth:`SegmentedTraceStore.recover`.
+    """
+    store.recover(strict=strict)
+    total, dests = store.row_layout()
+    hasher = hashlib.sha256()
+
+    for name in sorted(store.sample_column_names()):
+        column: np.ndarray | None = None
+        for index in range(store.num_segments):
+            part = store.read_segment_array(index, f"samples/{name}")
+            if column is None:
+                column = np.empty(total, dtype=part.dtype)
+            column[dests[index]] = part
+        _update_array(hasher, f"samples/{name}", column)
+
+    runs = _merged_runs(store)
+    for name in sorted(runs):
+        _update_array(hasher, f"runs/{name}", runs[name])
+
+    num_ticks = int(store.read_segment_array(0, "num_ticks"))
+    temp_sum = np.concatenate(
+        [store.read_segment_array(i, "temp_sum") for i in range(store.num_segments)]
+    )
+    power_sum = np.concatenate(
+        [store.read_segment_array(i, "power_sum") for i in range(store.num_segments)]
+    )
+    susceptibility = np.concatenate(
+        [
+            store.read_segment_array(i, "node_susceptibility")
+            for i in range(store.num_segments)
+        ]
+    )
+    _update_array(hasher, "node_mean_temp", temp_sum / max(1, num_ticks))
+    _update_array(hasher, "node_mean_power", power_sum / max(1, num_ticks))
+    _update_array(hasher, "node_susceptibility", susceptibility)
+    hasher.update(json.dumps(store.app_names()).encode())
+
+    recorded: dict[int, dict[str, np.ndarray]] = {}
+    for index in range(store.num_segments):
+        with np.load(store.segment_path(index)) as data:
+            for key in data.files:
+                if key.startswith("recorded/"):
+                    _, node_str, name = key.split("/", 2)
+                    recorded.setdefault(int(node_str), {})[name] = data[key]
+    for node in sorted(recorded):
+        for name in sorted(recorded[node]):
+            _update_array(hasher, f"recorded/{node}/{name}", recorded[node][name])
+    return hasher.hexdigest()

@@ -1,0 +1,194 @@
+"""Seeded disk-fault injection for the segmented trace store.
+
+Storage failures are rare in any one run and near-certain across a fleet,
+so the recovery path must be exercised deliberately.  This module damages
+a committed store (or a write in flight) in the specific ways real disks
+fail, each fully determined by ``(kind, seed)`` so every fault scenario
+is replayable in CI:
+
+``torn``
+    A segment file is truncated to a seeded fraction of its length —
+    what an interrupted write or lost tail of page cache leaves behind.
+``bitflip``
+    One seeded bit of a segment file is inverted — silent media
+    corruption that only a checksum can catch.
+``missing``
+    A segment file is deleted — an unlinked or never-flushed file.
+``stale_manifest``
+    The manifest's recorded checksum for one segment is rewritten to a
+    bogus value — the manifest and data disagree, as after a partial
+    restore or an out-of-order flush.
+
+Two further kinds damage a write *in flight* and are applied by the
+pipeline via :class:`WriteFaultPlan` rather than post hoc:
+
+``enospc``
+    The segment write fails with ``ENOSPC`` mid-stream; the atomic-write
+    protocol must leave no committed file behind.
+``torn_commit``
+    The segment commits (journal included), then its bytes are truncated
+    and the run dies — a rename that survived a crash whose data did not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.segments import SegmentedTraceStore
+from repro.utils.errors import ValidationError
+from repro.utils.io import atomic_write_json
+
+__all__ = [
+    "DISK_FAULT_KINDS",
+    "WRITE_FAULT_KINDS",
+    "DiskFaultEvent",
+    "DiskFaultSpec",
+    "WriteFaultPlan",
+    "inject_disk_fault",
+]
+
+#: Post-hoc fault kinds :func:`inject_disk_fault` can apply to a store.
+DISK_FAULT_KINDS = ("torn", "bitflip", "missing", "stale_manifest")
+
+#: Write-time fault kinds applied by the pipeline via :class:`WriteFaultPlan`.
+WRITE_FAULT_KINDS = ("enospc", "torn_commit")
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """One post-hoc fault, fully determined by ``(kind, seed)``.
+
+    ``segment`` pins the victim segment; left ``None``, the seeded RNG
+    picks one.  ``fraction`` pins the truncation point for ``torn``
+    (otherwise seeded uniform in [0.1, 0.9)).
+    """
+
+    kind: str
+    seed: int = 0
+    segment: int | None = None
+    fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValidationError(
+                f"unknown disk fault kind {self.kind!r}; "
+                f"expected one of {DISK_FAULT_KINDS}"
+            )
+        if self.fraction is not None and not 0.0 < self.fraction < 1.0:
+            raise ValidationError(
+                f"fraction must be in (0, 1), got {self.fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class WriteFaultPlan:
+    """One write-time fault the pipeline applies while producing a store.
+
+    ``enospc`` caps the victim segment's write at ``limit_bytes`` and
+    fails it with ``ENOSPC``; ``torn_commit`` lets the segment commit,
+    truncates the committed file to ``fraction`` of its length, and
+    crashes the run.
+    """
+
+    kind: str
+    segment: int = 0
+    limit_bytes: int = 4096
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in WRITE_FAULT_KINDS:
+            raise ValidationError(
+                f"unknown write fault kind {self.kind!r}; "
+                f"expected one of {WRITE_FAULT_KINDS}"
+            )
+        if not 0.0 < self.fraction < 1.0:
+            raise ValidationError(
+                f"fraction must be in (0, 1), got {self.fraction}"
+            )
+        if self.limit_bytes < 0:
+            raise ValidationError(
+                f"limit_bytes must be >= 0, got {self.limit_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class DiskFaultEvent:
+    """What :func:`inject_disk_fault` actually did, for logs and tests."""
+
+    kind: str
+    segment: int
+    path: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} fault on segment {self.segment}: {self.detail}"
+
+
+def truncate_file(path: Path, fraction: float) -> int:
+    """Truncate ``path`` to ``fraction`` of its size; returns new length.
+
+    Keeps at least one byte so the torn file exists but cannot parse.
+    """
+    size = path.stat().st_size
+    keep = max(1, int(size * fraction))
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def inject_disk_fault(
+    store: SegmentedTraceStore, spec: DiskFaultSpec
+) -> DiskFaultEvent:
+    """Damage a committed store per ``spec``; returns what was done.
+
+    Deterministic: the victim segment, truncation point, and flipped bit
+    are all drawn from ``default_rng(spec.seed)``, so a failing fault
+    scenario replays exactly from its ``(kind, seed)`` pair.
+    """
+    rng = np.random.default_rng(spec.seed)
+    num_segments = store.num_segments
+    if spec.segment is not None:
+        if not 0 <= spec.segment < num_segments:
+            raise ValidationError(
+                f"segment {spec.segment} out of range [0, {num_segments})"
+            )
+        segment = int(spec.segment)
+    else:
+        segment = int(rng.integers(0, num_segments))
+    path = store.segment_path(segment)
+
+    if spec.kind == "torn":
+        fraction = (
+            spec.fraction
+            if spec.fraction is not None
+            else float(rng.uniform(0.1, 0.9))
+        )
+        keep = truncate_file(path, fraction)
+        detail = f"truncated {path.name} to {keep} bytes ({fraction:.3f})"
+    elif spec.kind == "bitflip":
+        data = bytearray(path.read_bytes())
+        bit = int(rng.integers(0, len(data) * 8))
+        data[bit // 8] ^= 1 << (bit % 8)
+        path.write_bytes(bytes(data))
+        detail = f"flipped bit {bit} of {path.name}"
+    elif spec.kind == "missing":
+        path.unlink()
+        detail = f"deleted {path.name}"
+    else:  # stale_manifest
+        manifest = store.manifest()
+        entry = manifest["segments"][segment]
+        stale = "0" * len(entry["checksum"])
+        entry["checksum"] = stale
+        atomic_write_json(store.manifest_path, manifest)
+        path = store.manifest_path
+        detail = (
+            f"manifest now records checksum {stale[:12]}... "
+            f"for intact segment {segment}"
+        )
+
+    return DiskFaultEvent(
+        kind=spec.kind, segment=segment, path=str(path), detail=detail
+    )

@@ -1,0 +1,113 @@
+"""Journaled progress manifests for crash-safe batch pipelines.
+
+A segmented simulation (or any other segment-at-a-time pipeline) commits
+work one segment at a time.  The journal records each commit — atomically,
+via :func:`repro.utils.io.atomic_write_json` — so a killed run can resume
+from exactly the segments that were durably written, and nothing else.
+
+The journal is *scoped by a key* hashing everything that determines
+segment content (configuration, segment plan, store format).  Resuming
+against a journal written under a different key would silently mix
+incompatible segments, so it is a hard
+:class:`~repro.utils.errors.ValidationError`, mirroring the serving
+checkpoint's compatibility-key rule.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.utils.errors import ValidationError
+from repro.utils.io import atomic_write_json
+
+__all__ = ["ProgressJournal", "JOURNAL_FORMAT"]
+
+#: Bump when the journal's on-disk layout changes incompatibly.
+JOURNAL_FORMAT = 1
+
+
+class ProgressJournal:
+    """Atomic, key-scoped record of committed pipeline steps.
+
+    The journal file is rewritten in full after every commit; it is tiny
+    (one JSON object per committed segment), so the rewrite cost is
+    negligible next to a segment write.
+    """
+
+    def __init__(self, path: str | Path, *, key: str) -> None:
+        self.path = Path(path)
+        self.key = key
+        self._entries: dict[str, dict] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    def load(self, *, require_match: bool = True) -> bool:
+        """Read the journal from disk; returns ``True`` when one existed.
+
+        A journal written under a different key (different config,
+        segment plan, or store format) raises
+        :class:`ValidationError` when ``require_match`` is set — the
+        caller must not resume on top of it.  An unreadable or
+        wrong-format journal is treated as absent: the pipeline simply
+        starts over, re-verifying any segments it finds.
+        """
+        self._loaded = True
+        try:
+            raw = json.loads(self.path.read_text())
+            fmt = int(raw["format"])
+            key = str(raw["key"])
+            entries = dict(raw["entries"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self._entries = {}
+            return False
+        if fmt != JOURNAL_FORMAT:
+            self._entries = {}
+            return False
+        if key != self.key:
+            if require_match:
+                raise ValidationError(
+                    f"progress journal {self.path} was written by an "
+                    f"incompatible run (key {key[:12]}... != "
+                    f"{self.key[:12]}...); refusing to resume"
+                )
+            self._entries = {}
+            return False
+        self._entries = {str(k): dict(v) for k, v in entries.items()}
+        return True
+
+    # ------------------------------------------------------------------
+    def record(self, step: str, entry: dict) -> None:
+        """Durably record ``step`` as committed with metadata ``entry``."""
+        self._entries[str(step)] = dict(entry)
+        self._write()
+
+    def forget(self, step: str) -> None:
+        """Remove a step (e.g. a segment that failed re-verification)."""
+        if str(step) in self._entries:
+            del self._entries[str(step)]
+            self._write()
+
+    def entry(self, step: str) -> dict | None:
+        """The recorded metadata for ``step``, or ``None``."""
+        return self._entries.get(str(step))
+
+    def steps(self) -> list[str]:
+        """All committed step names, sorted."""
+        return sorted(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and delete the journal file."""
+        self._entries = {}
+        self.path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def _write(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "format": JOURNAL_FORMAT,
+                "key": self.key,
+                "entries": self._entries,
+            },
+        )

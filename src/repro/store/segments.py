@@ -1,0 +1,612 @@
+"""Segmented on-disk trace format with verify-on-read and self-healing.
+
+A store directory holds one checksummed npz archive per row-aligned
+:class:`~repro.topology.sharding.ShardSpan` — each the faithful
+serialization of the span's :class:`~repro.telemetry.simulator.ShardResult`
+— plus a ``MANIFEST.json`` written **last** (atomic temp-then-rename via
+:mod:`repro.utils.io`), which is the store's commit point: a reader never
+observes a store that claims to be complete but is not.
+
+Layout::
+
+    store/
+      seg-0000.npz        one ShardResult per row-aligned span
+      seg-0001.npz
+      journal.json        per-segment commit journal (crash-safe resume)
+      MANIFEST.json       format, config, per-segment checksums — written last
+      quarantine/         corrupt segments moved aside by recovery
+
+Because every random draw in the simulator is keyed by a stable entity
+(cabinet row, run id, (run, node) pair), a damaged segment can be healed
+by re-simulating *only its span* — the healed store is bit-identical to a
+clean one, which ``tools/check_determinism.py`` and the golden suite
+enforce.  Verification is per segment on read; a failure quarantines the
+segment under :class:`~repro.utils.errors.DegradedDataWarning` (or raises
+:class:`~repro.utils.errors.SegmentCorruptionError` in strict mode).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import warnings
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.config import TraceConfig
+from repro.telemetry.simulator import ShardResult, merge_shard_results
+from repro.telemetry.trace import Trace, config_from_dict, config_to_dict
+from repro.topology.sharding import ShardSpan
+from repro.utils.errors import (
+    DegradedDataWarning,
+    SegmentCorruptionError,
+    TraceIOError,
+)
+from repro.utils.io import atomic_write, atomic_write_json, sha256_bytes, sha256_file
+
+__all__ = [
+    "STORE_FORMAT",
+    "MANIFEST_NAME",
+    "JOURNAL_NAME",
+    "SegmentStatus",
+    "SegmentedTraceStore",
+    "segment_file_name",
+    "store_key",
+    "write_segment",
+]
+
+#: Bump when the segment or manifest layout changes incompatibly.
+STORE_FORMAT = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.json"
+QUARANTINE_DIR = "quarantine"
+
+
+def segment_file_name(index: int) -> str:
+    """Canonical file name of segment ``index``."""
+    return f"seg-{index:04d}.npz"
+
+
+def store_key(config: TraceConfig, num_segments: int) -> str:
+    """Compatibility key: hashes everything that fixes segment content.
+
+    Two runs share a key exactly when their segments are interchangeable
+    (same configuration, same segment plan, same store format), which is
+    the precondition for resuming a killed run on top of its journal.
+    """
+    payload = {
+        "format": STORE_FORMAT,
+        "config": config_to_dict(config),
+        "segments": int(num_segments),
+    }
+    return sha256_bytes(json.dumps(payload, sort_keys=True).encode())
+
+
+# ----------------------------------------------------------------------
+# ShardResult <-> npz serialization
+# ----------------------------------------------------------------------
+def _result_to_arrays(result: ShardResult) -> dict[str, np.ndarray]:
+    """Flatten a :class:`ShardResult` into named arrays for one npz."""
+    arrays: dict[str, np.ndarray] = {
+        "block_run_id": np.asarray(
+            [run_id for run_id, _ in result.blocks], dtype=np.int64
+        ),
+        "block_size": np.asarray(
+            [next(iter(block.values())).shape[0] for _, block in result.blocks],
+            dtype=np.int64,
+        ),
+        "completion_order": np.asarray(result.completion_order, dtype=np.int64),
+        "temp_sum": result.temp_sum,
+        "power_sum": result.power_sum,
+        "node_susceptibility": result.node_susceptibility,
+        "num_ticks": np.asarray(result.num_ticks, dtype=np.int64),
+    }
+    if result.blocks:
+        for name in result.blocks[0][1]:
+            arrays[f"samples/{name}"] = np.concatenate(
+                [block[name] for _, block in result.blocks]
+            )
+    if result.run_rows:
+        for name in result.run_rows[0]:
+            arrays[f"runs/{name}"] = np.asarray(
+                [row[name] for row in result.run_rows]
+            )
+    for node, series in result.recorded.items():
+        for name, col in series.items():
+            arrays[f"recorded/{node}/{name}"] = col
+    for stage, seconds in result.stage_seconds.items():
+        arrays[f"stage/{stage}"] = np.asarray(float(seconds))
+    return arrays
+
+
+def _arrays_to_result(
+    data, *, lo: int, hi: int, app_names: list[str]
+) -> ShardResult:
+    """Rebuild a :class:`ShardResult` from one segment's arrays.
+
+    ``data`` is any mapping with a ``files``-style key list (an open
+    ``np.load`` handle); arrays are read lazily, one zip member at a
+    time.
+    """
+    block_run_id = data["block_run_id"]
+    block_size = data["block_size"]
+    sample_names = [k.split("/", 1)[1] for k in data.files if k.startswith("samples/")]
+    run_names = [k.split("/", 1)[1] for k in data.files if k.startswith("runs/")]
+
+    offsets = np.concatenate([[0], np.cumsum(block_size)]).astype(np.int64)
+    columns = {name: data[f"samples/{name}"] for name in sample_names}
+    blocks: list[tuple[int, dict[str, np.ndarray]]] = []
+    for b, run_id in enumerate(block_run_id):
+        start, stop = int(offsets[b]), int(offsets[b + 1])
+        blocks.append(
+            (int(run_id), {name: columns[name][start:stop] for name in sample_names})
+        )
+
+    run_columns = {name: data[f"runs/{name}"] for name in run_names}
+    num_runs = next(iter(run_columns.values())).shape[0] if run_columns else 0
+    run_rows = [
+        {name: run_columns[name][i].item() for name in run_names}
+        for i in range(num_runs)
+    ]
+
+    recorded: dict[int, dict[str, np.ndarray]] = {}
+    for key in data.files:
+        if key.startswith("recorded/"):
+            _, node_str, name = key.split("/", 2)
+            recorded.setdefault(int(node_str), {})[name] = data[key]
+    stage_seconds = {
+        key.split("/", 1)[1]: float(data[key])
+        for key in data.files
+        if key.startswith("stage/")
+    }
+    return ShardResult(
+        lo=lo,
+        hi=hi,
+        completion_order=[int(r) for r in data["completion_order"]],
+        blocks=blocks,
+        run_rows=run_rows,
+        temp_sum=data["temp_sum"],
+        power_sum=data["power_sum"],
+        node_susceptibility=data["node_susceptibility"],
+        recorded=recorded,
+        app_names=list(app_names),
+        num_ticks=int(data["num_ticks"]),
+        stage_seconds=stage_seconds,
+    )
+
+
+class _LimitedWriter:
+    """File wrapper that fails with ENOSPC after a byte budget.
+
+    The disk-fault injector uses this to make a segment write die
+    mid-stream exactly like a full filesystem would; the atomic-write
+    protocol must then leave no trace of the attempt.
+    """
+
+    def __init__(self, fh, limit_bytes: int) -> None:
+        self._fh = fh
+        self._remaining = int(limit_bytes)
+
+    def write(self, data) -> int:
+        if len(data) > self._remaining:
+            self._fh.write(data[: self._remaining])
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        self._remaining -= len(data)
+        return self._fh.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+def write_segment(
+    path: str | Path,
+    result: ShardResult,
+    span: ShardSpan,
+    *,
+    limit_bytes: int | None = None,
+) -> dict:
+    """Atomically write one segment; returns its manifest entry.
+
+    The npz is staged in a sibling temp file and renamed into place, so
+    a crash or an injected ENOSPC (``limit_bytes``) never leaves a
+    half-written segment under the committed name.  The returned entry
+    records the span geometry, row/block counts, and the SHA-256
+    checksum of the committed bytes.
+    """
+    path = Path(path)
+    arrays = _result_to_arrays(result)
+    try:
+        with atomic_write(path) as tmp:
+            with open(tmp, "wb") as fh:
+                sink = fh if limit_bytes is None else _LimitedWriter(fh, limit_bytes)
+                np.savez_compressed(sink, **arrays)
+    except OSError as exc:
+        raise TraceIOError(path, f"segment write failed: {exc}") from exc
+    num_samples = int(
+        sum(next(iter(block.values())).shape[0] for _, block in result.blocks)
+    )
+    return {
+        **span.to_dict(),
+        "file": path.name,
+        "checksum": sha256_file(path),
+        "num_samples": num_samples,
+        "num_blocks": len(result.blocks),
+        "num_runs": len(result.run_rows),
+    }
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SegmentStatus:
+    """Verification outcome for one segment."""
+
+    index: int
+    status: str  # "ok" | "missing" | "corrupt" | "recovered"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"seg-{self.index:04d}  {self.status}"
+            + (f"  ({self.detail})" if self.detail else "")
+        )
+
+
+class SegmentedTraceStore:
+    """One committed segmented trace on disk."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._manifest: dict | None = None
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        """The commit-point manifest file."""
+        return self.root / MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        """The per-segment progress journal."""
+        return self.root / JOURNAL_NAME
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Directory corrupt segments are moved into by recovery."""
+        return self.root / QUARANTINE_DIR
+
+    def segment_path(self, index: int) -> Path:
+        return self.root / segment_file_name(index)
+
+    @property
+    def is_committed(self) -> bool:
+        """Whether the store's manifest has been written."""
+        return self.manifest_path.is_file()
+
+    # -- manifest -------------------------------------------------------
+    def manifest(self) -> dict:
+        """The parsed manifest (cached); raises :class:`TraceIOError`."""
+        if self._manifest is None:
+            try:
+                raw = json.loads(self.manifest_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise TraceIOError(
+                    self.manifest_path, f"unreadable store manifest: {exc}"
+                ) from exc
+            if not isinstance(raw, dict) or "segments" not in raw:
+                raise TraceIOError(
+                    self.manifest_path, "store manifest lacks a 'segments' entry"
+                )
+            if int(raw.get("format", -1)) != STORE_FORMAT:
+                raise TraceIOError(
+                    self.manifest_path,
+                    f"unsupported store format {raw.get('format')!r} "
+                    f"(this code reads format {STORE_FORMAT})",
+                )
+            self._manifest = raw
+        return self._manifest
+
+    def write_manifest(
+        self, config: TraceConfig, entries: list[dict], app_names: list[str]
+    ) -> None:
+        """Commit the store: write the manifest last, atomically."""
+        entries = sorted(entries, key=lambda e: int(e["index"]))
+        manifest = {
+            "format": STORE_FORMAT,
+            "key": store_key(config, len(entries)),
+            "config": config_to_dict(config),
+            "app_names": list(app_names),
+            "segments": entries,
+        }
+        atomic_write_json(self.manifest_path, manifest)
+        self._manifest = manifest
+
+    def config(self) -> TraceConfig:
+        """The trace configuration recorded in the manifest."""
+        return config_from_dict(self.manifest()["config"])
+
+    def app_names(self) -> list[str]:
+        """Application names recorded in the manifest."""
+        return list(self.manifest()["app_names"])
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.manifest()["segments"])
+
+    @property
+    def num_samples(self) -> int:
+        """Total sample rows across all segments (from the manifest)."""
+        return sum(int(e["num_samples"]) for e in self.manifest()["segments"])
+
+    def entries(self) -> list[dict]:
+        """Per-segment manifest entries, index-ascending."""
+        return list(self.manifest()["segments"])
+
+    def span(self, index: int) -> ShardSpan:
+        """The :class:`ShardSpan` geometry of segment ``index``."""
+        return ShardSpan.from_dict(self.manifest()["segments"][index])
+
+    # -- verification ---------------------------------------------------
+    def verify_segment(self, index: int) -> SegmentStatus:
+        """Checksum-verify one segment without reading its arrays."""
+        entry = self.manifest()["segments"][index]
+        path = self.segment_path(index)
+        if not path.is_file():
+            return SegmentStatus(index, "missing", f"{path.name} does not exist")
+        actual = sha256_file(path)
+        expected = entry["checksum"]
+        if actual != expected:
+            return SegmentStatus(
+                index,
+                "corrupt",
+                f"checksum mismatch: expected {expected}, actual {actual}",
+            )
+        return SegmentStatus(index, "ok")
+
+    def verify(self) -> list[SegmentStatus]:
+        """Checksum-verify every segment (no healing)."""
+        return [
+            self.verify_segment(i) for i in range(len(self.manifest()["segments"]))
+        ]
+
+    # -- reading --------------------------------------------------------
+    def load_shard_result(self, index: int, *, verify: bool = True) -> ShardResult:
+        """Deserialize one segment; raises :class:`SegmentCorruptionError`.
+
+        With ``verify`` (the default) the file checksum is checked
+        before any bytes are parsed, so torn writes and bit flips are
+        reported as corruption rather than surfacing as numpy errors.
+        """
+        entry = self.manifest()["segments"][index]
+        path = self.segment_path(index)
+        if verify:
+            status = self.verify_segment(index)
+            if status.status != "ok":
+                raise SegmentCorruptionError(path, status.detail, index=index)
+        try:
+            with np.load(path) as data:
+                return _arrays_to_result(
+                    data,
+                    lo=int(entry["lo"]),
+                    hi=int(entry["hi"]),
+                    app_names=self.app_names(),
+                )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise SegmentCorruptionError(
+                path, f"segment archive does not deserialize: {exc}", index=index
+            ) from exc
+
+    def read_segment_array(self, index: int, name: str) -> np.ndarray:
+        """Read one named array from a segment (lazy, one zip member).
+
+        No checksum pass — callers stream many single-array reads after
+        an up-front :meth:`recover`/:meth:`verify`; a torn member still
+        surfaces as :class:`SegmentCorruptionError` via the zip CRC.
+        """
+        path = self.segment_path(index)
+        try:
+            with np.load(path) as data:
+                return data[name]
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise SegmentCorruptionError(
+                path, f"cannot read array {name!r}: {exc}", index=index
+            ) from exc
+
+    def segment_samples(self, index: int) -> dict[str, np.ndarray]:
+        """One segment's sample columns (rows in segment-local order).
+
+        The out-of-core unit of the streaming feature builder: callers
+        pair it with :meth:`row_layout` to place the rows globally.
+        """
+        path = self.segment_path(index)
+        try:
+            with np.load(path) as data:
+                return {
+                    key.split("/", 1)[1]: data[key]
+                    for key in data.files
+                    if key.startswith("samples/")
+                }
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise SegmentCorruptionError(
+                path, f"cannot read sample columns: {exc}", index=index
+            ) from exc
+
+    def sample_column_names(self) -> list[str]:
+        """Names of the samples-table columns (from the first segment)."""
+        path = self.segment_path(0)
+        try:
+            with np.load(path) as data:
+                return [
+                    k.split("/", 1)[1]
+                    for k in data.files
+                    if k.startswith("samples/")
+                ]
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise SegmentCorruptionError(
+                path, f"cannot list sample columns: {exc}", index=0
+            ) from exc
+
+    # -- recovery -------------------------------------------------------
+    def _quarantine(self, index: int) -> Path | None:
+        """Move a damaged segment file aside; returns its new path."""
+        path = self.segment_path(index)
+        if not path.is_file():
+            return None
+        self.quarantine_path.mkdir(parents=True, exist_ok=True)
+        generation = sum(
+            1
+            for p in self.quarantine_path.iterdir()
+            if p.name.startswith(path.name)
+        )
+        target = self.quarantine_path / f"{path.name}.{generation}"
+        path.replace(target)
+        return target
+
+    def recover_segment(self, index: int, *, detail: str = "") -> SegmentStatus:
+        """Heal one segment by re-simulating its span.
+
+        The damaged file (if any) is quarantined, the span is re-run
+        through the entity-keyed simulator — producing bit-identical
+        content — and the manifest entry is rewritten with the new
+        checksum.  Emits :class:`DegradedDataWarning`; the caller opts
+        into strictness by checking :meth:`verify` first.
+        """
+        from repro.parallel.simulate import simulate_span
+
+        span = self.span(index)
+        quarantined = self._quarantine(index)
+        warnings.warn(
+            f"segment {index} of {self.root} is damaged ({detail or 'unknown'}); "
+            f"re-simulating span [{span.lo}, {span.hi})"
+            + (f", original quarantined at {quarantined}" if quarantined else ""),
+            DegradedDataWarning,
+            stacklevel=2,
+        )
+        result = simulate_span((self.config(), span))
+        entry = write_segment(self.segment_path(index), result, span)
+        entries = self.entries()
+        entries[index] = entry
+        self.write_manifest(self.config(), entries, self.app_names())
+        return SegmentStatus(index, "recovered", detail)
+
+    def recover(self, *, strict: bool = False) -> list[SegmentStatus]:
+        """Verify every segment and heal the damaged ones in place.
+
+        In strict mode the first damaged segment raises
+        :class:`SegmentCorruptionError` instead of healing.
+        """
+        statuses: list[SegmentStatus] = []
+        for status in self.verify():
+            if status.status == "ok":
+                statuses.append(status)
+                continue
+            if strict:
+                raise SegmentCorruptionError(
+                    self.segment_path(status.index),
+                    f"segment {status.index} is {status.status}: {status.detail}",
+                    index=status.index,
+                )
+            statuses.append(
+                self.recover_segment(status.index, detail=status.detail)
+            )
+        return statuses
+
+    # -- whole-trace access ---------------------------------------------
+    def load_trace(self, *, strict: bool = False) -> Trace:
+        """Reassemble the full in-memory :class:`Trace`.
+
+        Every segment is verified on read; damaged segments are healed
+        (re-simulated, quarantined, manifest rewritten) under
+        :class:`DegradedDataWarning` — or raise
+        :class:`SegmentCorruptionError` in strict mode.  The merged
+        result is bit-identical to ``TraceSimulator(config).run()``.
+        """
+        config = self.config()
+        results: list[ShardResult] = []
+        for index in range(self.num_segments):
+            try:
+                results.append(self.load_shard_result(index))
+            except SegmentCorruptionError as exc:
+                if strict:
+                    raise
+                self.recover_segment(index, detail=str(exc))
+                results.append(self.load_shard_result(index))
+        trace = merge_shard_results(config, results)
+        trace.meta["store"] = str(self.root)
+        return trace
+
+    def iter_shard_results(self, *, strict: bool = False):
+        """Yield ``(index, ShardResult)`` segment-at-a-time.
+
+        The out-of-core counterpart of :meth:`load_trace`: only one
+        segment is materialized at a time.  Damaged segments heal (or
+        raise, in strict mode) exactly as in :meth:`load_trace`.
+        """
+        for index in range(self.num_segments):
+            try:
+                result = self.load_shard_result(index)
+            except SegmentCorruptionError as exc:
+                if strict:
+                    raise
+                self.recover_segment(index, detail=str(exc))
+                result = self.load_shard_result(index)
+            yield index, result
+
+    # -- row layout -----------------------------------------------------
+    def completion_order(self) -> list[int]:
+        """The schedule's run-completion order (from the first segment)."""
+        return [int(r) for r in self.read_segment_array(0, "completion_order")]
+
+    def row_layout(self) -> tuple[int, list[np.ndarray]]:
+        """Global row destinations for every segment's sample rows.
+
+        Returns ``(total_rows, dests)`` where ``dests[s][i]`` is the row
+        index that segment ``s``'s ``i``-th sample occupies in the merged
+        (serial-order) trace.  Only the tiny block-index arrays are read,
+        never the sample columns, so streaming consumers (the segment
+        digest, the out-of-core feature builder) can scatter columns into
+        global order one segment at a time.
+        """
+        order = self.completion_order()
+        position = {run_id: pos for pos, run_id in enumerate(order)}
+        # (run position, segment index) -> block length; serial row order
+        # is runs in completion order, segments ascending within a run.
+        block_meta: list[list[tuple[int, int, int]]] = []
+        for index in range(self.num_segments):
+            run_ids = self.read_segment_array(index, "block_run_id")
+            sizes = self.read_segment_array(index, "block_size")
+            block_meta.append(
+                [
+                    (position[int(rid)], int(size), b)
+                    for b, (rid, size) in enumerate(zip(run_ids, sizes))
+                ]
+            )
+        flat = [
+            (pos, seg, b, size)
+            for seg, blocks in enumerate(block_meta)
+            for (pos, size, b) in blocks
+        ]
+        flat.sort(key=lambda t: (t[0], t[1]))
+        offset = 0
+        starts: dict[tuple[int, int], int] = {}
+        for pos, seg, b, size in flat:
+            starts[(seg, b)] = offset
+            offset += size
+        total = offset
+        dests: list[np.ndarray] = []
+        for seg, blocks in enumerate(block_meta):
+            parts = [
+                np.arange(starts[(seg, b)], starts[(seg, b)] + size, dtype=np.int64)
+                for (pos, size, b) in blocks
+            ]
+            dests.append(
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+        return total, dests

@@ -22,7 +22,13 @@ from repro.topology.machine import Machine, MachineConfig
 from repro.utils.errors import TraceIOError, ValidationError
 from repro.utils.io import atomic_write, atomic_write_text, sha256_file
 
-__all__ = ["Trace", "SAMPLE_TELEMETRY_COLUMNS", "PRE_WINDOWS_MINUTES"]
+__all__ = [
+    "Trace",
+    "SAMPLE_TELEMETRY_COLUMNS",
+    "PRE_WINDOWS_MINUTES",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 #: Pre-execution window lengths (minutes) for temporal features (paper §V-A).
 PRE_WINDOWS_MINUTES = (5, 15, 30, 60)
@@ -152,7 +158,7 @@ class Trace:
                 np.savez_compressed(fh, **arrays)
         meta = {
             "app_names": self.app_names,
-            "config": _config_to_dict(self.config),
+            "config": config_to_dict(self.config),
             "checksum": sha256_file(npz_path),
             "meta": self.meta,
         }
@@ -186,8 +192,8 @@ class Trace:
             if actual != expected:
                 raise TraceIOError(
                     npz_path,
-                    f"trace archive checksum mismatch "
-                    f"(expected {expected[:12]}..., got {actual[:12]}...)",
+                    f"trace archive checksum mismatch: "
+                    f"expected {expected}, actual {actual}",
                 )
         try:
             with np.load(npz_path) as data:
@@ -211,7 +217,7 @@ class Trace:
             ) from exc
         try:
             return cls(
-                config=_config_from_dict(meta["config"]),
+                config=config_from_dict(meta["config"]),
                 samples=samples,
                 runs=runs,
                 app_names=list(meta["app_names"]),
@@ -227,7 +233,13 @@ class Trace:
             ) from exc
 
 
-def _config_to_dict(config: TraceConfig) -> dict:
+def config_to_dict(config: TraceConfig) -> dict:
+    """JSON-serializable form of a :class:`TraceConfig`.
+
+    Shared by the trace sidecar, the content-addressed cache, and the
+    segmented store manifest, so every on-disk artifact describes its
+    configuration the same way.
+    """
     from dataclasses import asdict
 
     raw = asdict(config)
@@ -235,7 +247,7 @@ def _config_to_dict(config: TraceConfig) -> dict:
     return raw
 
 
-def _config_from_dict(raw: dict) -> TraceConfig:
+def config_from_dict(raw: dict) -> TraceConfig:
     from repro.telemetry.config import (
         ErrorModelConfig,
         PowerConfig,

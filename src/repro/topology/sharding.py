@@ -73,6 +73,29 @@ class ShardSpan:
         inside = global_ids[(global_ids >= self.lo) & (global_ids < self.hi)]
         return inside - self.lo
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, for store manifests and journals."""
+        return {
+            "index": self.index,
+            "num_shards": self.num_shards,
+            "lo": self.lo,
+            "hi": self.hi,
+            "row_lo": self.row_lo,
+            "row_hi": self.row_hi,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ShardSpan":
+        """Rebuild a span from :meth:`to_dict` output (extra keys ignored)."""
+        return cls(
+            index=int(raw["index"]),
+            num_shards=int(raw["num_shards"]),
+            lo=int(raw["lo"]),
+            hi=int(raw["hi"]),
+            row_lo=int(raw["row_lo"]),
+            row_hi=int(raw["row_hi"]),
+        )
+
 
 def full_span(config: MachineConfig) -> ShardSpan:
     """The degenerate one-shard plan covering the whole machine."""

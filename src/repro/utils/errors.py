@@ -39,6 +39,30 @@ class TraceIOError(ReproError, RuntimeError):
         super().__init__(f"{message} [{path}]")
 
 
+class SegmentCorruptionError(TraceIOError):
+    """A segmented-store segment is missing, torn, or fails its checksum.
+
+    Raised by :mod:`repro.store` in strict mode instead of quarantining
+    and re-simulating the damaged span.  Carries the segment ``index``
+    (``None`` when the store manifest itself is damaged) on top of the
+    offending path.
+    """
+
+    def __init__(self, path, message: str, *, index: int | None = None) -> None:
+        self.index = index
+        super().__init__(path, message)
+
+
+class DegradedDataError(ReproError, RuntimeError):
+    """Strict-mode escalation of :class:`DegradedDataWarning`.
+
+    Under ``--strict`` every degraded-data condition that would normally
+    be repaired or skipped with a warning (corrupt cache entry,
+    quarantined segment, skipped registry version, ...) becomes this
+    typed error and the CLI exits 1.
+    """
+
+
 class ModelRegistryError(ReproError, RuntimeError):
     """A model-registry artifact is missing, corrupt, or incompatible.
 
@@ -57,15 +81,18 @@ class SimulatedCrashError(ReproError, RuntimeError):
     """A deliberately induced crash (``--crash-after``) for resume tests.
 
     Raised by :func:`repro.serve.replay.serve_replay` when the caller
-    asked the replay to die after N events; the checkpoint/resume
-    tooling catches it to exercise the recovery path.  Carries the
-    number of events processed before the crash.
+    asked the replay to die after N events, and by
+    :func:`repro.store.pipeline.simulate_trace_to_store` after N segment
+    commits; the checkpoint/resume tooling catches it to exercise the
+    recovery path.  Carries the amount of work done before the crash and
+    the unit it is counted in.
     """
 
-    def __init__(self, events_done: int) -> None:
+    def __init__(self, events_done: int, unit: str = "events") -> None:
         self.events_done = events_done
+        self.unit = unit
         super().__init__(
-            f"simulated crash after {events_done} events (resume with --resume)"
+            f"simulated crash after {events_done} {unit} (resume with --resume)"
         )
 
 

@@ -112,3 +112,21 @@ class TestGoldenDigests:
                 f"{shards}-shard merge diverged from the serial trace for "
                 f"seed {seed}: the sharding layer broke bit-parity"
             )
+
+
+def test_segmented_store_roundtrip_matches_pinned_digest(tmp_path):
+    """A store written/read through :mod:`repro.store` hits the same
+    pinned ``simulate`` digest as the serial run — both via the merged
+    in-memory trace and via the streamed (out-of-core) digest."""
+    from repro.store import simulate_trace_to_store, store_trace_digest
+
+    seed = GOLDEN_SEEDS[0]
+    expected = compute_digests(seed)["simulate"]
+    store = simulate_trace_to_store(
+        canonical_config(seed), tmp_path / "store", segments=4
+    )
+    assert store_trace_digest(store) == expected, (
+        "streamed store digest diverged from the pinned serial digest: "
+        "the segmented store layer broke bit-parity"
+    )
+    assert trace_digest(store.load_trace()) == expected

@@ -1,0 +1,61 @@
+"""Fixtures for the segmented-store suite.
+
+One pristine store (and the matching serial trace digest) is built per
+session from a shortened canonical config; destructive tests damage a
+per-test *copy*, so recovery work re-simulates a single 1-day span
+rather than a whole trace.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.store import SegmentedTraceStore, simulate_trace_to_store
+from repro.telemetry.config import TraceConfig
+from repro.telemetry.simulator import TraceSimulator
+from repro.telemetry.trace import Trace
+
+from tests.golden.canonical import canonical_config, trace_digest
+
+#: Segments the pristine store is cut into (= the mini machine's rows).
+STORE_SEGMENTS = 4
+
+
+@pytest.fixture(scope="session")
+def store_config() -> TraceConfig:
+    """Canonical golden config shortened to 4 days (fast re-simulation)."""
+    return replace(canonical_config(2018), duration_days=4.0)
+
+
+@pytest.fixture(scope="session")
+def serial_trace(store_config: TraceConfig) -> Trace:
+    """The serial reference trace for :func:`store_config`."""
+    return TraceSimulator(store_config).run()
+
+
+@pytest.fixture(scope="session")
+def serial_digest(serial_trace: Trace) -> str:
+    """Content digest of the serial reference trace."""
+    return trace_digest(serial_trace)
+
+
+@pytest.fixture(scope="session")
+def pristine_store_dir(
+    store_config: TraceConfig, tmp_path_factory: pytest.TempPathFactory
+) -> Path:
+    """A committed, undamaged store; treat as read-only."""
+    root = tmp_path_factory.mktemp("store") / "pristine"
+    simulate_trace_to_store(store_config, root, segments=STORE_SEGMENTS)
+    return root
+
+
+@pytest.fixture()
+def store_copy(pristine_store_dir: Path, tmp_path: Path) -> SegmentedTraceStore:
+    """A disposable copy of the pristine store for destructive tests."""
+    root = tmp_path / "store"
+    shutil.copytree(pristine_store_dir, root)
+    return SegmentedTraceStore(root)

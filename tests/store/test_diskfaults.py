@@ -1,0 +1,112 @@
+"""Disk-fault injector: determinism, detection, and write-time faults."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.store import (
+    DISK_FAULT_KINDS,
+    DiskFaultSpec,
+    SegmentedTraceStore,
+    WriteFaultPlan,
+    inject_disk_fault,
+    simulate_trace_to_store,
+    store_trace_digest,
+)
+from repro.utils.errors import (
+    SimulatedCrashError,
+    TraceIOError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize("kind", DISK_FAULT_KINDS)
+class TestPostHocFaults:
+    def test_fault_is_detected_by_verify(self, kind, store_copy):
+        event = inject_disk_fault(store_copy, DiskFaultSpec(kind, seed=3))
+        statuses = SegmentedTraceStore(store_copy.root).verify()
+        broken = [s for s in statuses if s.status != "ok"]
+        assert len(broken) == 1
+        assert broken[0].index == event.segment
+
+    def test_fault_heals_to_serial_digest(self, kind, store_copy, serial_digest):
+        inject_disk_fault(store_copy, DiskFaultSpec(kind, seed=3))
+        with pytest.warns(UserWarning):
+            digest = store_trace_digest(SegmentedTraceStore(store_copy.root))
+        assert digest == serial_digest
+
+    def test_same_spec_is_deterministic(
+        self, kind, pristine_store_dir, tmp_path
+    ):
+        events = []
+        for name in ("a", "b"):
+            root = tmp_path / name
+            shutil.copytree(pristine_store_dir, root)
+            events.append(
+                inject_disk_fault(
+                    SegmentedTraceStore(root), DiskFaultSpec(kind, seed=11)
+                )
+            )
+        assert events[0].segment == events[1].segment
+        assert events[0].detail == events[1].detail
+
+
+class TestSpecValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValidationError, match="unknown disk fault kind"):
+            DiskFaultSpec("gremlins")
+
+    def test_write_kinds_are_not_post_hoc_kinds(self):
+        with pytest.raises(ValidationError):
+            DiskFaultSpec("enospc")
+        with pytest.raises(ValidationError, match="unknown write fault kind"):
+            WriteFaultPlan("torn")
+
+    def test_fraction_range(self):
+        with pytest.raises(ValidationError, match="fraction"):
+            DiskFaultSpec("torn", fraction=1.5)
+
+    def test_segment_out_of_range(self, store_copy):
+        with pytest.raises(ValidationError, match="out of range"):
+            inject_disk_fault(store_copy, DiskFaultSpec("torn", segment=99))
+
+
+class TestWriteTimeFaults:
+    def test_enospc_leaves_no_committed_segment(
+        self, store_config, serial_digest, tmp_path
+    ):
+        root = tmp_path / "enospc"
+        with pytest.raises(TraceIOError, match="No space left on device"):
+            simulate_trace_to_store(
+                store_config,
+                root,
+                segments=4,
+                write_fault=WriteFaultPlan("enospc", segment=1),
+            )
+        # Atomicity: neither the victim's committed name nor a temp file.
+        assert not (root / "seg-0001.npz").exists()
+        assert not list(root.glob("*.tmp*"))
+        store = simulate_trace_to_store(
+            store_config, root, segments=4, resume=True
+        )
+        assert store_trace_digest(store) == serial_digest
+
+    def test_torn_commit_is_caught_on_resume(
+        self, store_config, serial_digest, tmp_path
+    ):
+        root = tmp_path / "torn-commit"
+        with pytest.raises(SimulatedCrashError):
+            simulate_trace_to_store(
+                store_config,
+                root,
+                segments=4,
+                write_fault=WriteFaultPlan("torn_commit", segment=1),
+            )
+        # The journal believes segment 1 committed, but its bytes are
+        # short; resume must re-verify checksums and re-simulate it.
+        store = simulate_trace_to_store(
+            store_config, root, segments=4, resume=True
+        )
+        assert store_trace_digest(store) == serial_digest

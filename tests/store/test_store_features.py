@@ -1,0 +1,53 @@
+"""Out-of-core feature building must be bit-identical to the batch path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.builder import build_features, build_features_from_store
+from repro.store import DiskFaultSpec, inject_disk_fault
+from repro.utils.errors import DegradedDataWarning, SegmentCorruptionError
+
+from tests.golden.canonical import features_digest
+
+
+@pytest.fixture(scope="module")
+def batch_digest(serial_trace) -> str:
+    return features_digest(build_features(serial_trace))
+
+
+class TestStreamingParity:
+    def test_store_features_match_batch_digest(self, store_copy, batch_digest):
+        streamed = build_features_from_store(store_copy)
+        assert features_digest(streamed) == batch_digest
+
+    def test_schema_and_shapes_match_batch(self, store_copy, serial_trace):
+        batch = build_features(serial_trace)
+        streamed = build_features_from_store(store_copy)
+        assert streamed.schema.names == batch.schema.names
+        assert streamed.schema.tags == batch.schema.tags
+        assert streamed.X.shape == batch.X.shape
+        assert np.array_equal(streamed.y, batch.y)
+        for name in batch.meta:
+            assert streamed.meta[name].dtype == batch.meta[name].dtype
+
+    def test_alternate_top_k_matches_batch(self, store_copy, serial_trace):
+        batch = build_features(serial_trace, top_k_apps=5)
+        streamed = build_features_from_store(store_copy, top_k_apps=5)
+        assert features_digest(streamed) == features_digest(batch)
+
+
+class TestDegradedStores:
+    def test_damaged_store_heals_then_builds_identically(
+        self, store_copy, batch_digest
+    ):
+        inject_disk_fault(store_copy, DiskFaultSpec("torn", seed=9, segment=0))
+        with pytest.warns(DegradedDataWarning):
+            streamed = build_features_from_store(store_copy)
+        assert features_digest(streamed) == batch_digest
+
+    def test_strict_mode_raises_instead_of_healing(self, store_copy):
+        inject_disk_fault(store_copy, DiskFaultSpec("torn", seed=9, segment=0))
+        with pytest.raises(SegmentCorruptionError):
+            build_features_from_store(store_copy, strict=True)

@@ -1,0 +1,77 @@
+"""Property: corruption always heals bit-identically or fails typed.
+
+For *any* single-segment fault (kind × seed × victim), exactly two
+outcomes are allowed:
+
+- non-strict: the store heals and reproduces the serial digest bit for
+  bit, under a :class:`DegradedDataWarning`;
+- strict: a typed :class:`SegmentCorruptionError` is raised.
+
+There is no third outcome — never a silently wrong digest, never an
+untyped exception.  Hypothesis sweeps the fault space; the ``ci``
+profile (derandomized) keeps the sweep reproducible.
+"""
+
+from __future__ import annotations
+
+import shutil
+import warnings
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.store import (
+    DISK_FAULT_KINDS,
+    DiskFaultSpec,
+    SegmentedTraceStore,
+    inject_disk_fault,
+    store_trace_digest,
+)
+from repro.utils.errors import DegradedDataWarning, SegmentCorruptionError
+
+from tests.store.conftest import STORE_SEGMENTS
+
+
+@given(
+    kind=st.sampled_from(DISK_FAULT_KINDS),
+    seed=st.integers(min_value=0, max_value=999),
+    segment=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=STORE_SEGMENTS - 1)
+    ),
+    strict=st.booleans(),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_single_segment_corruption_heals_or_fails_typed(
+    kind,
+    seed,
+    segment,
+    strict,
+    pristine_store_dir,
+    serial_digest,
+    tmp_path_factory,
+):
+    root = tmp_path_factory.mktemp("prop") / "store"
+    try:
+        shutil.copytree(pristine_store_dir, root)
+        store = SegmentedTraceStore(root)
+        inject_disk_fault(store, DiskFaultSpec(kind, seed=seed, segment=segment))
+
+        if strict:
+            with pytest.raises(SegmentCorruptionError):
+                store_trace_digest(store, strict=True)
+            return
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedDataWarning)
+            digest = store_trace_digest(store)
+        assert digest == serial_digest, (
+            f"fault ({kind}, seed={seed}, segment={segment}) healed to a "
+            "different digest: recovery is not bit-identical"
+        )
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)

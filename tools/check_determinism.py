@@ -10,7 +10,12 @@ the trace arrays, the fault logs, and the replay reports.  The same replay is th
 repeated under a chaos plan (retries, fallbacks, dead-letter replay must
 all be seed-stable), and finally killed mid-stream and resumed from its
 checkpoint — the resumed digest must be bit-identical to the
-uninterrupted chaos run.  Any drift (a reordered RNG draw, an accidental
+uninterrupted chaos run.  A final leg exercises the durable segmented
+store: a 4-segment out-of-core write must stream back the serial bits,
+a simulation killed after one committed segment must resume from its
+journal to the same digest, and every disk-fault kind (torn write, bit
+flip, missing segment, stale manifest) must heal back to the serial
+bits on load.  Any drift (a reordered RNG draw, an accidental
 dependence on dict order or wall-clock) fails loudly here before it can
 silently invalidate cached traces or experiment results.
 
@@ -23,8 +28,10 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import shutil
 import sys
 import tempfile
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -34,9 +41,17 @@ from repro.faults import FaultSpec, inject_faults
 from repro.features.splits import make_paper_splits
 from repro.parallel.simulate import simulate_trace_sharded
 from repro.serve import ChaosPlan, serve_replay
+from repro.store import (
+    DISK_FAULT_KINDS,
+    DiskFaultSpec,
+    SegmentedTraceStore,
+    inject_disk_fault,
+    simulate_trace_to_store,
+    store_trace_digest,
+)
 from repro.telemetry.simulator import simulate_trace
 from repro.telemetry.trace import Trace
-from repro.utils.errors import SimulatedCrashError
+from repro.utils.errors import DegradedDataWarning, SimulatedCrashError
 
 
 def trace_digest(trace: Trace) -> str:
@@ -200,6 +215,59 @@ def main(argv: list[str] | None = None) -> int:
             f"{chaos_digests[0][:16]}"
         )
         failures += 1
+
+    print("writing the segmented trace store and breaking it ...", flush=True)
+    config = preset_config(args.preset)
+    with tempfile.TemporaryDirectory() as root:
+        root_path = Path(root)
+        store = simulate_trace_to_store(config, root_path / "store", segments=4)
+        streamed = store_trace_digest(store)
+        loaded = trace_digest(store.load_trace())
+        if loaded == digest_a:
+            print(f"  segmented store ok (bit-identical to serial, {streamed[:16]}...)")
+        else:
+            print(f"  SEGMENTED != SERIAL: {loaded[:16]} != {digest_a[:16]}")
+            failures += 1
+
+        # Kill the segmented simulation after one committed segment, then
+        # resume: the journal must carry it to the same bits.
+        try:
+            simulate_trace_to_store(
+                config, root_path / "crashy", segments=4, crash_after_segments=1
+            )
+        except SimulatedCrashError as exc:
+            print(f"  killed: {exc}")
+        resumed = simulate_trace_to_store(
+            config, root_path / "crashy", segments=4, resume=True
+        )
+        if store_trace_digest(resumed) == streamed:
+            print("  kill-and-resume ok (resumed store matches uninterrupted)")
+        else:
+            print(
+                f"  STORE KILL-AND-RESUME MISMATCH: "
+                f"{store_trace_digest(resumed)[:16]} != {streamed[:16]}"
+            )
+            failures += 1
+
+        # Every disk-fault kind must heal back to the serial bits on load.
+        for kind in DISK_FAULT_KINDS:
+            copy_root = root_path / f"fault-{kind}"
+            shutil.copytree(root_path / "store", copy_root)
+            damaged = SegmentedTraceStore(copy_root)
+            inject_disk_fault(
+                damaged, DiskFaultSpec(kind, seed=args.fault_seed)
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedDataWarning)
+                healed = store_trace_digest(damaged)
+            if healed == streamed:
+                print(f"  disk fault {kind!r} healed bit-identically")
+            else:
+                print(
+                    f"  DISK FAULT {kind!r} MISMATCH after recovery: "
+                    f"{healed[:16]} != {streamed[:16]}"
+                )
+                failures += 1
 
     print("determinism check:", "PASS" if failures == 0 else f"FAIL ({failures})")
     return 1 if failures else 0

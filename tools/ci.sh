@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Single CI entry point: determinism gate (incl. the sharded --jobs 2
-# leg) + tier-1 tests + golden-digest regression + parallel smoke +
-# serve smoke legs (clean, chaos, kill-and-resume).
+# and segmented-store legs) + tier-1 tests + golden-digest regression +
+# parallel smoke + serve smoke legs (clean, chaos, kill-and-resume) +
+# disk-fault smoke (inject -> recover -> digest parity).
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -61,6 +62,28 @@ python -m repro.cli --preset tiny serve-replay \
     --registry "$workdir/registry-resume" --fast --batch-size 64 \
     --chaos 0.25 --chaos-seed 7 \
     --checkpoint-dir "$workdir/ckpt" --resume
+
+echo
+echo "== disk-fault smoke =="
+# Segmented store: inject a bit flip, require verify to flag it, recover,
+# and require the healed digest to match the pristine one bit for bit.
+python -m repro.cli --preset tiny store simulate \
+    --out "$workdir/store" --segments 4
+d0="$(python -m repro.cli store digest --store "$workdir/store")"
+python -m repro.cli store inject --store "$workdir/store" \
+    --kind bitflip --seed 3
+if python -m repro.cli store verify --store "$workdir/store"; then
+    echo "expected verify to flag the injected disk fault" >&2
+    exit 1
+fi
+python -m repro.cli store recover --store "$workdir/store"
+python -m repro.cli store verify --store "$workdir/store"
+d1="$(python -m repro.cli store digest --store "$workdir/store")"
+if [ "$d0" != "$d1" ]; then
+    echo "disk-fault recovery changed the trace digest: $d0 != $d1" >&2
+    exit 1
+fi
+echo "disk-fault smoke ok (digest $d0 preserved through recovery)"
 
 echo
 echo "== registry audit =="
