@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Gateway load benchmark: events/sec and latency vs shard count.
+
+Drives the synthetic client fleet through the in-process gateway at
+each shard count (clean path, no chaos) and records sustained ingest
+throughput plus p50/p99 per-event scoring latency.  Seeds
+``BENCH_gateway.json`` — the serving-tier sizing numbers alongside the
+``BENCH_scale.json`` storage trajectory.
+
+Interpretation note: shards here are asyncio tasks in one Python
+process, so added shards buy *isolation* (independent queues, chaos
+domains, rolling-swap units) and smaller per-shard batches, not extra
+CPUs — events/sec is expected to be roughly flat or gently declining
+with shard count.  The number that must not regress is the 1-shard
+throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py \
+        [--preset tiny] [--shards 1,2,4] [--clients 3] \
+        [--out BENCH_gateway.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def bench_one(trace, splits, *, shards: int, clients: int, batch_size: int) -> dict:
+    from repro.gateway import GatewayConfig, build_gateway, run_fleet
+
+    async def drive() -> dict:
+        with tempfile.TemporaryDirectory() as root:
+            build_start = time.perf_counter()
+            gateway = build_gateway(
+                trace,
+                root,
+                splits=splits,
+                config=GatewayConfig(shards=shards, batch_size=batch_size),
+                fast=True,
+            )
+            build_seconds = time.perf_counter() - build_start
+            await gateway.start()
+            fleet = await run_fleet(gateway, trace, clients=clients)
+            await gateway.close()
+            latency = gateway.latency_percentiles()
+            assert gateway.stats.zero_drop, "gateway dropped events"
+            return {
+                "shards": shards,
+                "events": fleet.events_sent,
+                "events_per_sec": round(
+                    fleet.events_sent / fleet.wall_seconds, 1
+                ),
+                "p50_ms": round(latency["p50"] * 1e3, 4),
+                "p99_ms": round(latency["p99"] * 1e3, 4),
+                "alerts": len(gateway.scored_alerts),
+                "alarms": len(gateway.alarm_engine.alarms),
+                "ingest_seconds": round(fleet.wall_seconds, 3),
+                "build_seconds": round(build_seconds, 3),
+            }
+
+    return asyncio.run(drive())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="tiny")
+    parser.add_argument("--shards", default="1,2,4")
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_gateway.json"))
+    args = parser.parse_args()
+
+    from repro.experiments.presets import preset_config, split_plan
+    from repro.features.splits import make_paper_splits
+    from repro.telemetry.simulator import simulate_trace
+
+    trace = simulate_trace(preset_config(args.preset))
+    plan = split_plan(args.preset)
+    splits = make_paper_splits(
+        train_days=plan["train_days"],
+        test_days=plan["test_days"],
+        offsets_days=tuple(plan["offsets"]),
+        duration_days=trace.config.duration_days,
+    )
+    shard_counts = [int(part) for part in args.shards.split(",") if part.strip()]
+    points = []
+    for shards in shard_counts:
+        point = bench_one(
+            trace,
+            splits,
+            shards=shards,
+            clients=args.clients,
+            batch_size=args.batch_size,
+        )
+        points.append(point)
+        print(
+            f"shards={point['shards']}: {point['events_per_sec']:.0f} events/s, "
+            f"p50 {point['p50_ms']:.3f} ms, p99 {point['p99_ms']:.3f} ms "
+            f"({point['events']} events, {point['alarms']} alarms)"
+        )
+
+    report = {
+        "benchmark": "bench_gateway",
+        "preset": args.preset,
+        "clients": args.clients,
+        "batch_size": args.batch_size,
+        "points": points,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

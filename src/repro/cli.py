@@ -206,6 +206,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a crash after this many events (resume test hook)",
     )
 
+    gw = sub.add_parser(
+        "gateway",
+        help="fleet gateway load run (sharded scoring, alarms, zero-drop)",
+    )
+    gw.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated shard counts to sweep (default: 1,2,4)",
+    )
+    gw.add_argument(
+        "--clients", type=int, default=3, help="synthetic fleet clients"
+    )
+    gw.add_argument(
+        "--chaos",
+        type=float,
+        default=0.25,
+        metavar="INTENSITY",
+        help="chaos intensity for the degraded leg (0 disables it)",
+    )
+    gw.add_argument("--chaos-seed", type=int, default=7, help="chaos-plan seed")
+    gw.add_argument("--split", default="DS1")
+    gw.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
+    gw.add_argument(
+        "--batch-size", type=int, default=64, help="per-shard micro-batch size"
+    )
+
     rs = sub.add_parser(
         "resilience",
         help="serving availability vs chaos-intensity sweep",
@@ -471,8 +497,43 @@ def _dispatch(args: argparse.Namespace) -> int:
             checkpoint_every_events=args.checkpoint_every,
             resume=args.resume,
             crash_after_events=args.crash_after,
+            strict=args.strict,
         )
         print(report)
+        return 0
+
+    if args.command == "gateway":
+        from repro.experiments.gateway_experiment import (
+            DEFAULT_SHARD_COUNTS,
+            run_gateway,
+        )
+
+        if args.shards is None:
+            shard_counts = DEFAULT_SHARD_COUNTS
+        else:
+            try:
+                shard_counts = tuple(
+                    int(part) for part in args.shards.split(",") if part.strip()
+                )
+            except ValueError:
+                raise ValidationError(
+                    f"invalid --shards value: {args.shards!r}"
+                ) from None
+            if not shard_counts or any(n < 1 for n in shard_counts):
+                raise ValidationError(
+                    f"--shards must be positive integers, got {args.shards!r}"
+                )
+        result = run_gateway(
+            context,
+            shard_counts=shard_counts,
+            clients=args.clients,
+            chaos_intensity=args.chaos,
+            seed=args.chaos_seed,
+            model=args.model,
+            split=args.split,
+            batch_size=args.batch_size,
+        )
+        print(result)
         return 0
 
     if args.command == "resilience":

@@ -7,6 +7,7 @@ from typing import Callable
 from repro.experiments import characterization_experiments as chz
 from repro.experiments import prediction_experiments as pred
 from repro.experiments.faults_experiment import run_faults
+from repro.experiments.gateway_experiment import run_gateway
 from repro.experiments.imbalance_experiment import run_imbalance
 from repro.experiments.oracle_experiment import run_oracle
 from repro.experiments.resilience_experiment import run_resilience
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult
     "oracle": ("Oracle per-cabinet model selection", run_oracle),
     "faults": ("Telemetry fault-injection degradation curve", run_faults),
     "resilience": ("Serving availability vs chaos intensity", run_resilience),
+    "gateway": ("Fleet gateway throughput and zero-drop accounting", run_gateway),
 }
 
 

@@ -1,0 +1,179 @@
+"""Operator-facing alarm engine: dedup, acknowledgement, escalation.
+
+Raw scorer output is one :class:`~repro.serve.scorer.Alert` per scored
+(run, node) sample — far too chatty for an operator console.  GPUAlert
+(PAPERS.md) makes the operational argument this module implements: an
+at-risk node keeps scoring positive run after run, and paging on every
+positive trains operators to ignore the pager.  The alarm engine folds
+the positive stream into per-(node, kind) alarms:
+
+* **dedup** — a positive for a node with an open alarm inside the dedup
+  window folds into that alarm (count += 1) instead of opening another;
+  a positive at or past the window edge opens a fresh alarm;
+* **escalation** — once an open alarm has absorbed ``escalate_after``
+  positives it flips severity ``warning`` -> ``critical`` (repeated
+  positives are the paper's strongest signal that a node needs draining);
+* **acknowledgement** — an operator ack freezes the alarm; the next
+  positive for that node opens a *new* alarm rather than resurrecting
+  the acknowledged one, so an ack can never permanently mute a node.
+
+All state transitions key off event-time minutes from the alerts
+themselves, never wall clock, so alarm ids and severities are
+deterministic for a fixed stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.serve.scorer import Alert
+from repro.utils.errors import ValidationError
+
+__all__ = ["AlarmConfig", "Alarm", "AlarmEngine"]
+
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class AlarmConfig:
+    """Alarm folding knobs."""
+
+    #: Positives for an open (node, kind) inside this window fold in.
+    dedup_window_minutes: float = 1440.0
+    #: Open alarms escalate to critical at this many absorbed positives.
+    escalate_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.dedup_window_minutes <= 0:
+            raise ValidationError("dedup_window_minutes must be > 0")
+        if self.escalate_after < 2:
+            raise ValidationError("escalate_after must be >= 2")
+
+
+@dataclass
+class Alarm:
+    """One folded operator alarm for a (node, kind) pair."""
+
+    alarm_id: int
+    node_id: int
+    kind: str
+    severity: str
+    first_minute: float
+    last_minute: float
+    #: Positives absorbed (1 = the opening positive).
+    count: int = 1
+    #: Highest decision score seen across absorbed positives.
+    peak_score: float = 0.0
+    acknowledged: bool = False
+    #: Minute at which the alarm escalated to critical, if it did.
+    escalated_minute: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return not self.acknowledged
+
+    def to_dict(self) -> dict:
+        return {
+            "alarm_id": self.alarm_id,
+            "node_id": self.node_id,
+            "kind": self.kind,
+            "severity": self.severity,
+            "first_minute": self.first_minute,
+            "last_minute": self.last_minute,
+            "count": self.count,
+            "peak_score": self.peak_score,
+            "acknowledged": self.acknowledged,
+            "escalated_minute": self.escalated_minute,
+        }
+
+
+class AlarmEngine:
+    """Folds positive alerts into deduplicated, escalating alarms."""
+
+    def __init__(self, config: AlarmConfig | None = None) -> None:
+        self.config = config or AlarmConfig()
+        self.alarms: list[Alarm] = []
+        #: (node_id, kind) -> index into ``alarms`` of the newest alarm.
+        self._latest: dict[tuple[int, str], int] = {}
+        self.positives_seen = 0
+        self.deduplicated = 0
+        self.escalations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, alert: Alert, *, kind: str = "sbe_risk") -> Alarm | None:
+        """Fold one alert in; returns the alarm it opened or touched.
+
+        Negative alerts (``predicted == 0``) are trend data, not alarm
+        material — they return ``None`` and touch nothing.
+        """
+        if not alert.predicted:
+            return None
+        self.positives_seen += 1
+        minute = float(alert.scored_minute)
+        key = (int(alert.node_id), kind)
+        at = self._latest.get(key)
+        current = None if at is None else self.alarms[at]
+        if (
+            current is not None
+            and current.open
+            and minute - current.last_minute < self.config.dedup_window_minutes
+        ):
+            # Inside the dedup window: fold into the open alarm.
+            current.count += 1
+            current.last_minute = max(current.last_minute, minute)
+            current.peak_score = max(current.peak_score, float(alert.score))
+            self.deduplicated += 1
+            if (
+                current.severity == SEVERITY_WARNING
+                and current.count >= self.config.escalate_after
+            ):
+                current.severity = SEVERITY_CRITICAL
+                current.escalated_minute = minute
+                self.escalations += 1
+            return current
+        # Acked, expired, or first-ever: open a fresh alarm.
+        alarm = Alarm(
+            alarm_id=len(self.alarms) + 1,
+            node_id=int(alert.node_id),
+            kind=kind,
+            severity=SEVERITY_WARNING,
+            first_minute=minute,
+            last_minute=minute,
+            peak_score=float(alert.score),
+        )
+        self.alarms.append(alarm)
+        self._latest[key] = len(self.alarms) - 1
+        return alarm
+
+    def acknowledge(self, alarm_id: int) -> Alarm:
+        """Operator ack: freezes the alarm (idempotent acks are errors)."""
+        for alarm in self.alarms:
+            if alarm.alarm_id == int(alarm_id):
+                if alarm.acknowledged:
+                    raise ValidationError(
+                        f"alarm {alarm_id} is already acknowledged"
+                    )
+                alarm.acknowledged = True
+                return alarm
+        raise ValidationError(f"no such alarm: {alarm_id}")
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[Alarm]:
+        """Open alarms, most severe first, then most recent."""
+        return sorted(
+            (a for a in self.alarms if a.open),
+            key=lambda a: (a.severity != SEVERITY_CRITICAL, -a.last_minute),
+        )
+
+    def digest(self) -> str:
+        """Content hash over the full alarm log (determinism gate)."""
+        h = hashlib.sha256()
+        for a in self.alarms:
+            h.update(
+                f"{a.alarm_id},{a.node_id},{a.kind},{a.severity},"
+                f"{a.first_minute:.12g},{a.last_minute:.12g},{a.count},"
+                f"{a.peak_score:.12g},{int(a.acknowledged)};".encode()
+            )
+        return h.hexdigest()

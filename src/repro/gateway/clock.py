@@ -1,0 +1,44 @@
+"""Counted virtual clock: deterministic pacing without wall-clock sleeps.
+
+The synthetic client fleet and the gateway's watcher both need a notion
+of "time passing" — clients pace their event streams, the watcher polls
+the registry at an interval — but tests must never sleep.  The
+:class:`VirtualClock` is a logical clock: it only moves when someone
+*advances* it, and every advance is counted, so a fixed seed plus a
+fixed event stream yields exactly one clock trajectory.
+
+Event time (trace minutes) and virtual time are the same axis here:
+clients advance the clock to each event's minute before posting it, so
+"every N minutes" hooks (registry polls, alarm expiry sweeps) fire at
+deterministic points in the stream.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonic, manually advanced event-time clock.
+
+    ``now`` is the current virtual minute; :meth:`advance_to` moves it
+    forward (never backward — out-of-order advances clamp), and
+    ``ticks`` counts advances so periodic hooks can key off either axis.
+    """
+
+    def __init__(self, start_minute: float = 0.0) -> None:
+        self.now = float(start_minute)
+        self.ticks = 0
+
+    def advance_to(self, minute: float) -> float:
+        """Move the clock to ``minute`` (clamped to monotonicity)."""
+        self.now = max(self.now, float(minute))
+        self.ticks += 1
+        return self.now
+
+    def every(self, interval_minutes: float, *, last: float) -> bool:
+        """True when at least ``interval_minutes`` passed since ``last``."""
+        return self.now - float(last) >= float(interval_minutes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self.now:g}, ticks={self.ticks})"

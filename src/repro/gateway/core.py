@@ -1,0 +1,501 @@
+"""The fleet serving gateway: sharded async scoring with alarms.
+
+This is the operational front end ROADMAP item 2 asks for: instead of
+replaying one trace through one scorer (:func:`repro.serve.serve_replay`),
+the gateway accepts a fleet's event stream, routes it across N scorer
+shards by consistent-hashing the node id, folds the resulting alerts
+into operator alarms and per-node score trends, and keeps strict
+zero-drop accounting: every accepted event is either scored, dead-
+lettered, or rejected — never silently lost.
+
+Sharding model
+--------------
+Each shard is one :class:`~repro.serve.worker.ScorerWorker` — the exact
+loop body ``serve_replay`` runs — behind an ``asyncio.Queue``:
+
+* ``RunStarted`` / ``RunCompleted`` split **row-wise by node owner**:
+  each shard receives only the rows whose node it owns (rows keep their
+  original order, so per-row features are unchanged by the split);
+* ``SbeObserved`` / ``JobResolved`` **broadcast to every shard**: the
+  feature engine's SBE history is machine-global (neighbourhood error
+  pressure), so every shard must observe every error event to compute
+  the same per-row features the single-scorer replay computes.
+
+This makes per-row features bit-identical at any shard count, and with
+one shard the delivered stream is exactly the replay stream — the basis
+for the gateway-vs-replay digest parity gate.  Chaos plans shift their
+seed per shard (``seed + shard_id``) so shard 0 of a 1-shard gateway
+reproduces the replay's chaos draws bit-for-bit.
+
+Accounting
+----------
+``events_in`` counts accepted ingests.  Each event has exactly one
+*primary* delivery (the shard owning its first node); broadcast replicas
+update history only.  After :meth:`Gateway.close`::
+
+    events_in == events_scored + events_dead_lettered + events_rejected
+
+holds or :meth:`GatewayStats.zero_drop` is ``False`` — the load
+experiment and the CI smoke assert it under chaos.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import defaultdict, deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.baselines import BasicB
+from repro.core.pipeline import PredictionPipeline
+from repro.core.twostage import TwoStagePredictor
+from repro.features.builder import build_features, compute_top_apps
+from repro.features.splits import DatasetSplit
+from repro.gateway.alarms import AlarmConfig, AlarmEngine
+from repro.gateway.clock import VirtualClock
+from repro.gateway.router import ConsistentHashRing
+from repro.gateway.watcher import RegistryWatcher
+from repro.serve.engine import StreamingFeatureEngine
+from repro.serve.events import JobResolved, RunCompleted, RunStarted, SbeObserved
+from repro.serve.registry import ModelRegistry
+from repro.serve.resilience import (
+    AllNegativeFallback,
+    ChaosInjector,
+    ChaosPlan,
+    SupervisedScorer,
+)
+from repro.serve.scorer import Alert, ScorerConfig
+from repro.serve.worker import ScorerWorker, scored_alert_digest
+from repro.telemetry.trace import Trace
+from repro.utils.errors import ValidationError
+
+__all__ = ["GatewayConfig", "GatewayStats", "Gateway", "build_gateway"]
+
+MINUTES_PER_DAY = 1440.0
+
+#: Queue sentinel telling a shard loop to exit.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway shape and service knobs."""
+
+    shards: int = 1
+    ring_replicas: int = 64
+    #: Micro-batch size per shard scorer.
+    batch_size: int = 256
+    flush_deadline_minutes: float = 30.0
+    #: Per-shard ingest queue bound (backpressure past this depth).
+    max_queue_depth: int = 4096
+    #: Scored points retained per node for the /trend endpoint.
+    trend_length: int = 64
+    alarms: AlarmConfig = field(default_factory=AlarmConfig)
+    #: Registry poll cadence on the virtual clock.
+    watch_interval_minutes: float = 1440.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValidationError("a gateway needs at least one shard")
+        if self.max_queue_depth < 1:
+            raise ValidationError("max_queue_depth must be >= 1")
+
+
+@dataclass
+class GatewayStats:
+    """Zero-drop event accounting plus delivery telemetry."""
+
+    #: Events accepted for ingestion (well-formed POSTs + direct ingests).
+    events_in: int = 0
+    #: Events fully applied at their primary shard.
+    events_scored: int = 0
+    #: Events the primary shard's engine refused (quarantined to DLQ).
+    events_dead_lettered: int = 0
+    #: Events turned away at the door (malformed payload / closed gateway).
+    events_rejected: int = 0
+    #: Shard deliveries, counting broadcast replicas.
+    deliveries: int = 0
+
+    @property
+    def zero_drop(self) -> bool:
+        """The gateway's accounting invariant: nothing silently lost."""
+        return self.events_in == (
+            self.events_scored + self.events_dead_lettered + self.events_rejected
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "events_in": self.events_in,
+            "events_scored": self.events_scored,
+            "events_dead_lettered": self.events_dead_lettered,
+            "events_rejected": self.events_rejected,
+            "deliveries": self.deliveries,
+            "zero_drop": self.zero_drop,
+        }
+
+
+class Gateway:
+    """Routes fleet events across scorer shards; folds alerts to alarms.
+
+    Lifecycle: construct (usually via :func:`build_gateway`), ``await
+    start()``, ``await ingest(event)`` any number of times, ``await
+    close()``.  All coroutines run on one event loop; shard workers are
+    plain synchronous code inside shard tasks, so the whole gateway is
+    single-threaded and deterministic for a fixed ingest order.
+    """
+
+    def __init__(
+        self,
+        workers: list[ScorerWorker],
+        *,
+        config: GatewayConfig | None = None,
+        clock: VirtualClock | None = None,
+        watcher: RegistryWatcher | None = None,
+    ) -> None:
+        if not workers:
+            raise ValidationError("a gateway needs at least one shard worker")
+        self.config = config or GatewayConfig(shards=len(workers))
+        if self.config.shards != len(workers):
+            raise ValidationError(
+                f"config says {self.config.shards} shard(s) but "
+                f"{len(workers)} worker(s) given"
+            )
+        self.workers = workers
+        self.clock = clock or VirtualClock()
+        self.watcher = watcher
+        self.ring = ConsistentHashRing(
+            range(len(workers)), replicas=self.config.ring_replicas
+        )
+        self.stats = GatewayStats()
+        self.alarm_engine = AlarmEngine(self.config.alarms)
+        #: node_id -> recent (end_minute, score, predicted, model_version).
+        self.trends: dict[int, deque] = defaultdict(
+            lambda: deque(maxlen=self.config.trend_length)
+        )
+        self.scored_alerts: list[Alert] = []
+        #: Wall seconds per primary handle_event (latency percentiles).
+        self.handle_seconds: list[float] = []
+        self._queues: list[asyncio.Queue] = []
+        self._tasks: list[asyncio.Task] = []
+        self._started = False
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        if self._started:
+            raise ValidationError("gateway already started")
+        self._started = True
+        self._queues = [
+            asyncio.Queue(maxsize=self.config.max_queue_depth)
+            for _ in self.workers
+        ]
+        self._tasks = [
+            asyncio.create_task(self._shard_loop(shard_id))
+            for shard_id in range(len(self.workers))
+        ]
+
+    async def drain(self) -> None:
+        """Wait until every shard queue is empty and fully processed."""
+        for queue in self._queues:
+            await queue.join()
+
+    async def close(self) -> None:
+        """Drain, stop shard tasks, flush scorers, finalize accounting."""
+        if not self._started or self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        for queue in self._queues:
+            queue.put_nowait(_STOP)
+        await asyncio.gather(*self._tasks)
+        # End-of-stream flush in shard order: drains micro-batch queues
+        # and replays dead-lettered batches, exactly like replay's finish.
+        for worker in self.workers:
+            self._absorb(worker.finish())
+
+    # ------------------------------------------------------------- ingest
+    async def ingest(self, event) -> None:
+        """Accept one event; blocks (backpressure) when queues are full."""
+        if not self._started or self._closed:
+            self.stats.events_in += 1
+            self.stats.events_rejected += 1
+            raise ValidationError("gateway is not accepting events")
+        self.clock.advance_to(event.minute)
+        if self.watcher is not None:
+            self.watcher.check(self.clock.now)
+        self.stats.events_in += 1
+        for shard_id, sub_event, primary in self._route(event):
+            await self._queues[shard_id].put((sub_event, primary))
+            self.stats.deliveries += 1
+
+    def reject(self, reason: str) -> str:
+        """Count one door rejection (malformed payload); returns reason."""
+        self.stats.events_in += 1
+        self.stats.events_rejected += 1
+        return reason
+
+    # ------------------------------------------------------------ routing
+    def _route(self, event):
+        """Yield (shard_id, sub_event, is_primary) deliveries for an event.
+
+        Run events split row-wise by node owner; SBE/label events
+        broadcast (machine-global feature history).  With one shard the
+        original event object passes through untouched.
+        """
+        n = len(self.workers)
+        if isinstance(event, (SbeObserved, JobResolved)):
+            if isinstance(event, SbeObserved):
+                primary = self.ring.route(event.node_id)
+            else:
+                primary = (
+                    self.ring.route(int(event.node_ids[0]))
+                    if len(event.node_ids)
+                    else 0
+                )
+            for shard_id in range(n):
+                yield shard_id, event, shard_id == primary
+            return
+        if isinstance(event, RunStarted):
+            owners = np.asarray(
+                [self.ring.route(int(node)) for node in event.node_ids], dtype=int
+            )
+            for shard_id in _owner_order(owners):
+                mask = owners == shard_id
+                if mask.all():
+                    sub = event
+                else:
+                    sub = RunStarted(
+                        minute=event.minute,
+                        run_idx=event.run_idx,
+                        node_ids=event.node_ids[mask],
+                        app_ids=event.app_ids[mask],
+                        start_minutes=event.start_minutes[mask],
+                    )
+                yield shard_id, sub, shard_id == owners[0]
+            return
+        if isinstance(event, RunCompleted):
+            nodes = np.asarray(event.rows["node_id"], dtype=int)
+            owners = np.asarray(
+                [self.ring.route(int(node)) for node in nodes], dtype=int
+            )
+            for shard_id in _owner_order(owners):
+                mask = owners == shard_id
+                if mask.all():
+                    sub = event
+                else:
+                    sub = RunCompleted(
+                        minute=event.minute,
+                        run_idx=event.run_idx,
+                        rows={k: v[mask] for k, v in event.rows.items()},
+                    )
+                yield shard_id, sub, shard_id == owners[0]
+            return
+        raise ValidationError(
+            f"cannot route event of type {type(event).__name__}"
+        )
+
+    # -------------------------------------------------------- shard loop
+    async def _shard_loop(self, shard_id: int) -> None:
+        queue = self._queues[shard_id]
+        worker = self.workers[shard_id]
+
+        def between(minute: float) -> None:
+            if self.watcher is not None:
+                self.watcher.maybe_swap(shard_id, worker.scorer)
+
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                queue.task_done()
+                return
+            event, primary = item
+            started = time.perf_counter()
+            quarantined_before = worker.events_quarantined
+            alerts = worker.handle_event(event, between=between)
+            if primary:
+                self.handle_seconds.append(time.perf_counter() - started)
+                if worker.events_quarantined > quarantined_before:
+                    self.stats.events_dead_lettered += 1
+                else:
+                    self.stats.events_scored += 1
+            self._absorb(alerts)
+            queue.task_done()
+
+    def _absorb(self, alerts: list[Alert]) -> None:
+        for alert in alerts:
+            self.scored_alerts.append(alert)
+            self.trends[int(alert.node_id)].append(
+                (
+                    float(alert.end_minute),
+                    float(alert.score),
+                    int(alert.predicted),
+                    int(alert.model_version),
+                )
+            )
+            self.alarm_engine.observe(alert)
+
+    # ------------------------------------------------------------ queries
+    def scored_alert_digest(self) -> str:
+        """Canonical digest of every scored alert (parity with replay)."""
+        return scored_alert_digest(self.scored_alerts)
+
+    def node_trend(self, node_id: int) -> list[dict]:
+        return [
+            {
+                "end_minute": minute,
+                "score": score,
+                "predicted": predicted,
+                "model_version": version,
+            }
+            for minute, score, predicted, version in self.trends.get(
+                int(node_id), ()
+            )
+        ]
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p99 wall seconds per primary event, 0.0 before any event."""
+        if not self.handle_seconds:
+            return {"p50": 0.0, "p99": 0.0}
+        samples = np.asarray(self.handle_seconds, dtype=float)
+        return {
+            "p50": float(np.percentile(samples, 50)),
+            "p99": float(np.percentile(samples, 99)),
+        }
+
+    def snapshot(self) -> dict:
+        """Service state for the /stats endpoint and the experiment row."""
+        unresolved = sum(
+            w.scorer.resilience.unresolved_rows for w in self.workers
+        )
+        return {
+            "shards": len(self.workers),
+            "clock_minute": self.clock.now,
+            "stats": self.stats.to_dict(),
+            "alarms": {
+                "total": len(self.alarm_engine.alarms),
+                "active": len(self.alarm_engine.active()),
+                "escalations": self.alarm_engine.escalations,
+                "deduplicated": self.alarm_engine.deduplicated,
+            },
+            "alerts_scored": len(self.scored_alerts),
+            "unresolved_rows": unresolved,
+            "latency": self.latency_percentiles(),
+            "model_version": (
+                None if self.watcher is None else self.watcher.current_version
+            ),
+        }
+
+
+def _owner_order(owners: np.ndarray):
+    """Distinct owners in first-appearance order (deterministic fan-out)."""
+    seen: list[int] = []
+    for owner in owners:
+        owner = int(owner)
+        if owner not in seen:
+            seen.append(owner)
+    return seen
+
+
+# ---------------------------------------------------------------- builder
+def build_gateway(
+    trace: Trace,
+    registry_root: str | Path,
+    *,
+    splits: list[DatasetSplit],
+    split: str = "DS1",
+    model: str = "gbdt",
+    config: GatewayConfig | None = None,
+    registry_name: str = "gateway",
+    top_k_apps: int = 16,
+    random_state: int | None = 0,
+    fast: bool = False,
+    chaos: ChaosPlan | None = None,
+    clock: VirtualClock | None = None,
+) -> Gateway:
+    """Train, publish, and wire a gateway exactly like ``serve_replay``.
+
+    The model pipeline is byte-for-byte the replay preamble: batch
+    features -> split -> :class:`TwoStagePredictor` fit on the training
+    window -> registry save -> checksum-verified load -> per-shard
+    :class:`SupervisedScorer` with the Basic-B / all-negative fallback
+    chain.  That shared preamble (plus the routing rules above) is what
+    makes the single-shard gateway digest bit-identical to replay.
+    """
+    config = config or GatewayConfig()
+    features = build_features(trace, top_k_apps=top_k_apps)
+    pipeline = PredictionPipeline(features, splits)
+    split_obj = pipeline.split(split)
+    train, _ = pipeline.train_test(split)
+    predictor = TwoStagePredictor(model, random_state=random_state, fast=fast)
+    predictor.fit(train)
+
+    registry = ModelRegistry(registry_root)
+    entry = registry.save_model(
+        predictor,
+        name=registry_name,
+        metadata={
+            "split": split,
+            "model": model,
+            "shards": config.shards,
+            "random_state": random_state,
+            "fast": fast,
+            "top_k_apps": top_k_apps,
+        },
+    )
+    serving, entry = registry.load_model(
+        registry_name, entry.version, expect_feature_names=predictor.feature_names
+    )
+
+    top_apps = compute_top_apps(
+        np.asarray(trace.samples["app_id"], dtype=int), top_k_apps
+    )
+    span = (0.0, trace.config.duration_days * MINUTES_PER_DAY)
+    basic_b = BasicB().fit(train)
+    workers: list[ScorerWorker] = []
+    for shard_id in range(config.shards):
+        injector = (
+            None
+            if chaos is None
+            # Shift the seed per shard so shards draw independent chaos;
+            # shard 0 keeps the plan's own seed, so a 1-shard gateway
+            # reproduces the replay's chaos draws bit-for-bit.
+            else ChaosInjector(
+                replace(chaos, seed=chaos.seed + shard_id), span=span
+            )
+        )
+        engine = StreamingFeatureEngine(trace.machine, top_apps)
+        scorer = SupervisedScorer(
+            serving,
+            engine.schema,
+            ScorerConfig(
+                max_batch_size=config.batch_size,
+                flush_deadline_minutes=config.flush_deadline_minutes,
+            ),
+            model_version=entry.version,
+            chaos=injector,
+            fallbacks=[
+                ("basic_b", basic_b),
+                ("all_negative", AllNegativeFallback()),
+            ],
+        )
+        workers.append(
+            ScorerWorker(
+                engine,
+                scorer,
+                window=(split_obj.train_end, split_obj.test_end),
+                injector=injector,
+            )
+        )
+
+    watcher = RegistryWatcher(
+        registry,
+        registry_name,
+        num_shards=config.shards,
+        current_version=entry.version,
+        expect_feature_names=predictor.feature_names,
+        poll_interval_minutes=config.watch_interval_minutes,
+    )
+    return Gateway(workers, config=config, clock=clock, watcher=watcher)

@@ -1,0 +1,217 @@
+"""Minimal stdlib-asyncio HTTP front end for the gateway.
+
+No web framework ships in the container, and the gateway's API surface
+is four JSON routes — a hand-rolled HTTP/1.1 server over
+``asyncio.start_server`` keeps the dependency budget at zero:
+
+* ``POST /events``            — ingest one event or a JSON list of them
+* ``GET  /nodes/{id}/trend``  — recent scored points for one node
+* ``GET  /alarms``            — alarm log (``?active=1`` for open only)
+* ``POST /alarms/{id}/ack``   — operator acknowledgement
+* ``GET  /stats``             — zero-drop accounting + latency snapshot
+
+Each connection serves one request (``Connection: close``): the
+synthetic fleet posts thousands of small events per run, and one-shot
+connections keep the parser trivially correct, which matters more here
+than keep-alive throughput.  Malformed event payloads are *rejected at
+the door* — counted in ``events_rejected`` and answered with 400 — so
+the zero-drop ledger covers bad input too.
+
+:func:`http_request` is the matching one-shot client used by the
+synthetic fleet and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+from repro.gateway.codec import event_from_dict
+from repro.gateway.core import Gateway
+from repro.utils.errors import ValidationError
+
+__all__ = ["GatewayHTTPServer", "http_request"]
+
+_TREND_RE = re.compile(r"^/nodes/(\d+)/trend$")
+_ACK_RE = re.compile(r"^/alarms/(\d+)/ack$")
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class GatewayHTTPServer:
+    """Serves one :class:`Gateway` over loopback HTTP."""
+
+    def __init__(
+        self, gateway: Gateway, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        self.requests_served += 1
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def _respond(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {request_line!r}"}
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if content_length > _MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}
+        raw = await reader.readexactly(content_length) if content_length else b""
+        return await self._dispatch(method, path, raw)
+
+    async def _dispatch(self, method: str, path: str, raw: bytes):
+        gateway = self.gateway
+        path, _, query = path.partition("?")
+
+        if method == "POST" and path == "/events":
+            try:
+                decoded = json.loads(raw.decode() or "null")
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"error": gateway.reject(f"bad JSON: {exc}")}
+            batch = decoded if isinstance(decoded, list) else [decoded]
+            accepted, rejected, errors = 0, 0, []
+            for payload in batch:
+                try:
+                    event = event_from_dict(payload)
+                except ValidationError as exc:
+                    rejected += 1
+                    errors.append(gateway.reject(str(exc)))
+                    continue
+                await gateway.ingest(event)
+                accepted += 1
+            result = {"accepted": accepted, "rejected": rejected}
+            if errors:
+                result["errors"] = errors[:8]
+            return (200 if rejected == 0 else 400), result
+
+        if method == "GET":
+            match = _TREND_RE.match(path)
+            if match:
+                node_id = int(match.group(1))
+                return 200, {
+                    "node_id": node_id,
+                    "trend": gateway.node_trend(node_id),
+                }
+            if path == "/alarms":
+                active_only = "active=1" in query
+                alarms = (
+                    gateway.alarm_engine.active()
+                    if active_only
+                    else gateway.alarm_engine.alarms
+                )
+                return 200, {"alarms": [a.to_dict() for a in alarms]}
+            if path == "/stats":
+                return 200, gateway.snapshot()
+
+        if method == "POST":
+            match = _ACK_RE.match(path)
+            if match:
+                try:
+                    alarm = gateway.alarm_engine.acknowledge(int(match.group(1)))
+                except ValidationError as exc:
+                    return 409, {"error": str(exc)}
+                return 200, alarm.to_dict()
+
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+async def http_request(
+    host: str, port: int, method: str, path: str, payload=None
+) -> tuple[int, dict]:
+    """One-shot JSON HTTP client (the fleet's posting primitive)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    status_line = (await reader.readline()).decode("latin-1").strip()
+    status = int(status_line.split()[1])
+    content_length = None
+    while True:
+        line = (await reader.readline()).decode("latin-1").strip()
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    raw = (
+        await reader.read()
+        if content_length is None
+        else await reader.readexactly(content_length)
+    )
+    writer.close()
+    await writer.wait_closed()
+    return status, json.loads(raw.decode() or "null")

@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -69,8 +70,11 @@ from repro.serve.resilience import (
     SupervisedScorer,
 )
 from repro.serve.scorer import Alert, ScorerConfig, ServeCounters
+from repro.serve.worker import ScorerWorker, scored_alert_digest, update_alert_digest
 from repro.telemetry.trace import Trace
 from repro.utils.errors import (
+    DegradedDataError,
+    DegradedDataWarning,
     ModelRegistryError,
     SimulatedCrashError,
     TelemetryFaultError,
@@ -143,6 +147,8 @@ class ReplayReport:
         """
         h = hashlib.sha256()
         h.update(f"{self.split}|{self.model}|{self.num_events}|".encode())
+        # (The alert section below is the shared scored-alert encoding;
+        # see :func:`repro.serve.worker.scored_alert_digest`.)
         h.update(f"{self.rows_streamed}|{self.rows_test}|{self.retrains}|".encode())
         for report in (self.batch_report, self.online_report):
             for cls in sorted(report):
@@ -150,14 +156,7 @@ class ReplayReport:
                     h.update(f"{cls}.{metric}={report[cls][metric]:.12g};".encode())
         h.update(f"agreement={self.agreement:.12g};".encode())
         h.update(f"max_abs_score_diff={self.max_abs_score_diff:.12g};".encode())
-        for alert in sorted(
-            self.alerts, key=lambda a: (a.run_idx, a.node_id, a.end_minute)
-        ):
-            h.update(
-                f"{alert.run_idx},{alert.node_id},{alert.job_id},{alert.app_id},"
-                f"{alert.end_minute:.12g},{alert.scored_minute:.12g},"
-                f"{alert.score:.12g},{alert.predicted};".encode()
-            )
+        update_alert_digest(h, self.alerts)
         if self.chaos_digest is not None:
             r = self.resilience
             h.update(f"chaos={self.chaos_digest};".encode())
@@ -180,6 +179,14 @@ class ReplayReport:
             ):
                 h.update(f"src:{alert.run_idx},{alert.node_id},{alert.source};".encode())
         return h.hexdigest()
+
+    def scored_alert_digest(self) -> str:
+        """Digest of the scored alerts alone (the gateway parity gate).
+
+        A single-shard, single-client gateway run over the same trace,
+        split, and seed must reproduce this value bit for bit.
+        """
+        return scored_alert_digest(self.alerts)
 
     def __str__(self) -> str:
         c = self.counters
@@ -277,6 +284,7 @@ def serve_replay(
     checkpoint_every_events: int = 2000,
     resume: bool = False,
     crash_after_events: int | None = None,
+    strict: bool = False,
 ) -> ReplayReport:
     """Replay ``trace`` through registry + streaming engine + scorer.
 
@@ -293,6 +301,14 @@ def serve_replay(
     ``crash_after_events`` raises
     :class:`~repro.utils.errors.SimulatedCrashError` after that many
     events — the test hook for the kill-and-resume path.
+
+    ``strict=True`` escalates every degraded-data self-heal into a
+    typed :class:`~repro.utils.errors.DegradedDataError`: a sanitizer
+    repair (which normally proceeds under a
+    :class:`~repro.utils.errors.DegradedDataWarning`) and a
+    whole-trace quarantine (which normally returns a well-formed empty
+    report) both become hard errors, matching the store subcommands'
+    ``--strict`` contract.
     """
     started = time.perf_counter()
     notes: list[str] = []
@@ -300,8 +316,20 @@ def serve_replay(
         from repro.faults import sanitize_trace
 
         try:
-            trace, sanitize_report = sanitize_trace(trace)
+            if strict:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error", DegradedDataWarning)
+                    try:
+                        trace, sanitize_report = sanitize_trace(trace)
+                    except DegradedDataWarning as exc:
+                        raise DegradedDataError(str(exc)) from exc
+            else:
+                trace, sanitize_report = sanitize_trace(trace)
         except TelemetryFaultError as exc:
+            if strict:
+                raise DegradedDataError(
+                    f"sanitizer quarantined the whole trace: {exc}"
+                ) from exc
             # Everything was quarantined.  An empty stream is an answer
             # (nothing scorable), not a crash.
             return _empty_report(
@@ -374,19 +402,14 @@ def serve_replay(
         if checkpoints is None:
             raise ValidationError("--resume requires a checkpoint directory")
         resumed_from, state = checkpoints.load_latest(expected_key=config_key)
-        engine = state["engine"]
-        scorer = state["scorer"]
-        labels = state["labels"]
-        history_rows = state["history_rows"]
+        worker: ScorerWorker = state["worker"]
         alerts = state["alerts"]
-        num_events = state["num_events"]
         retrains = state["retrains"]
         retrain_attempts = state["retrain_attempts"]
         next_retrain = state["next_retrain"]
         versions = state["versions"]
-        last_minute = state["last_minute"]
         notes = state["notes"] + notes
-        serving = scorer.predictor
+        serving = worker.scorer.predictor
         notes.append(f"resumed from checkpoint at event {resumed_from}")
     else:
         # -------------------------------------------------------- registry
@@ -432,13 +455,15 @@ def serve_replay(
                 ("all_negative", AllNegativeFallback()),
             ],
         )
-        labels: dict[tuple[int, int], int] = {}
-        history_rows: list[StreamedRow] = []
+        worker = ScorerWorker(
+            engine,
+            scorer,
+            window=(split_obj.train_end, split_obj.test_end),
+            injector=injector,
+        )
         alerts: list[Alert] = []
-        num_events = 0
         retrains = 0
         retrain_attempts = 0
-        last_minute = 0.0
         next_retrain = (
             None
             if retrain_every_days is None
@@ -452,21 +477,24 @@ def serve_replay(
             next_retrain += retrain_every_days * MINUTES_PER_DAY
             resolved = [
                 row
-                for row in history_rows
-                if row.end_minute <= at and (row.job_id, row.node_id) in labels
+                for row in worker.history_rows
+                if row.end_minute <= at
+                and (row.job_id, row.node_id) in worker.labels
             ]
             if not resolved:
                 notes.append(f"retrain at minute {at:g} skipped: no resolved rows")
                 continue
             counts = np.asarray(
-                [labels[(row.job_id, row.node_id)] for row in resolved],
+                [worker.labels[(row.job_id, row.node_id)] for row in resolved],
                 dtype=np.int64,
             )
             candidate = TwoStagePredictor(
                 model, random_state=random_state, fast=fast
             )
             try:
-                candidate.fit(rows_to_matrix(resolved, engine.schema, sbe_counts=counts))
+                candidate.fit(
+                    rows_to_matrix(resolved, worker.engine.schema, sbe_counts=counts)
+                )
             except ValidationError as exc:
                 notes.append(f"retrain at minute {at:g} skipped: {exc}")
                 continue
@@ -490,7 +518,7 @@ def serve_replay(
                     if injector is None
                     else injector.registry_load_stall_seconds(attempt)
                 )
-                scorer.resilience.registry_load_stall_seconds += stall
+                worker.scorer.resilience.registry_load_stall_seconds += stall
                 registry.load_model(
                     registry_name,
                     new_entry.version,
@@ -499,7 +527,7 @@ def serve_replay(
             except ModelRegistryError as exc:
                 # The previous model stays active; a bad artifact must
                 # never take the serving path down mid-replay.
-                scorer.resilience.swap_failures += 1
+                worker.scorer.resilience.swap_failures += 1
                 notes.append(
                     f"hot swap to v{new_entry.version:04d} failed "
                     f"(previous model kept): {exc}"
@@ -508,7 +536,7 @@ def serve_replay(
             # Swap in the in-memory candidate (the load above is
             # verification only): bit-identical to the pre-supervision
             # behavior, which never round-tripped the swap through disk.
-            scorer.swap_model(candidate, new_entry.version)
+            worker.scorer.swap_model(candidate, new_entry.version)
             serving = candidate
             versions.append(new_entry.version)
             retrains += 1
@@ -516,66 +544,27 @@ def serve_replay(
     for index, event in enumerate(iter_trace_events(trace)):
         if resumed_from is not None and index < resumed_from:
             continue
-        if injector is not None:
-            for bad in injector.burst(index, event.minute):
-                scorer.resilience.injected_events += 1
-                try:
-                    engine.process(bad)
-                except ValidationError as exc:
-                    scorer.dlq.quarantine_event(
-                        reason=bad.reason, minute=bad.minute, detail=str(exc)
-                    )
-                    scorer.resilience.dead_letter_events += 1
-        num_events += 1
-        last_minute = event.minute
-        alerts.extend(scorer.poll(event.minute))
-        maybe_retrain(event.minute)
-        if isinstance(event, JobResolved):
-            for node, count in zip(event.node_ids, event.counts):
-                labels[(event.job_id, int(node))] = int(count)
-        try:
-            rows = engine.process(event)
-        except ValidationError as exc:
-            scorer.dlq.quarantine_event(
-                reason="malformed_event", minute=event.minute, detail=str(exc)
-            )
-            scorer.resilience.dead_letter_events += 1
-            rows = []
-        if rows:
-            history_rows.extend(rows)
-            in_test = [
-                row
-                for row in rows
-                if split_obj.train_end <= row.start_minute < split_obj.test_end
-            ]
-            if in_test:
-                alerts.extend(scorer.submit(in_test, event.minute))
+        alerts.extend(worker.handle_event(event, between=maybe_retrain))
         if (
             checkpoints is not None
-            and num_events % int(checkpoint_every_events) == 0
+            and worker.num_events % int(checkpoint_every_events) == 0
         ):
             checkpoints.save(
-                num_events,
+                worker.num_events,
                 {
-                    "engine": engine,
-                    "scorer": scorer,
-                    "labels": labels,
-                    "history_rows": history_rows,
+                    "worker": worker,
                     "alerts": alerts,
-                    "num_events": num_events,
                     "retrains": retrains,
                     "retrain_attempts": retrain_attempts,
                     "next_retrain": next_retrain,
                     "versions": versions,
-                    "last_minute": last_minute,
                     "notes": list(notes),
                 },
                 key=config_key,
             )
-        if crash_after_events is not None and num_events >= crash_after_events:
-            raise SimulatedCrashError(num_events)
-    alerts.extend(scorer.flush())
-    alerts.extend(scorer.finalize(last_minute))
+        if crash_after_events is not None and worker.num_events >= crash_after_events:
+            raise SimulatedCrashError(worker.num_events)
+    alerts.extend(worker.finish())
 
     # --------------------------------------------------------- alignment
     # Alert order depends on flush timing, so align to the batch test rows
@@ -601,10 +590,10 @@ def serve_replay(
         model=model,
         registry_name=registry_name,
         registry_versions=versions,
-        num_events=num_events,
-        rows_streamed=engine.rows_emitted,
+        num_events=worker.num_events,
+        rows_streamed=worker.engine.rows_emitted,
         rows_test=len(test_keys),
-        counters=scorer.counters,
+        counters=worker.scorer.counters,
         alerts=alerts,
         batch_report=batch_report,
         online_report=classification_report(test.y, online_pred),
@@ -613,9 +602,9 @@ def serve_replay(
         wall_seconds=time.perf_counter() - started,
         retrains=retrains,
         notes=notes,
-        resilience=scorer.resilience,
+        resilience=worker.scorer.resilience,
         chaos_digest=None if chaos is None else chaos.digest(),
-        dead_letters=[letter.stripped() for letter in scorer.dlq.letters],
+        dead_letters=[letter.stripped() for letter in worker.scorer.dlq.letters],
         resumed_from=resumed_from,
     )
 

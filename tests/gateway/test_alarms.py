@@ -1,0 +1,130 @@
+"""Alarm engine semantics: dedup windows, acknowledgement, escalation."""
+
+import pytest
+
+from repro.gateway.alarms import AlarmConfig, AlarmEngine
+from repro.serve.scorer import Alert
+from repro.utils.errors import ValidationError
+
+
+def alert(
+    node_id: int, minute: float, *, predicted: int = 1, score: float = 1.0
+) -> Alert:
+    return Alert(
+        run_idx=0,
+        job_id=0,
+        node_id=node_id,
+        app_id=0,
+        end_minute=minute,
+        scored_minute=minute,
+        score=score,
+        predicted=predicted,
+        model_version=1,
+    )
+
+
+@pytest.fixture
+def engine() -> AlarmEngine:
+    return AlarmEngine(AlarmConfig(dedup_window_minutes=100.0, escalate_after=3))
+
+
+class TestDedupWindow:
+    def test_positive_inside_window_folds_into_open_alarm(self, engine):
+        first = engine.observe(alert(5, 0.0))
+        second = engine.observe(alert(5, 99.9))
+        assert second is first
+        assert first.count == 2
+        assert len(engine.alarms) == 1
+        assert engine.deduplicated == 1
+
+    def test_positive_exactly_at_window_edge_opens_a_new_alarm(self, engine):
+        first = engine.observe(alert(5, 0.0))
+        at_edge = engine.observe(alert(5, 100.0))
+        assert at_edge is not first
+        assert [a.alarm_id for a in engine.alarms] == [1, 2]
+
+    def test_window_slides_with_the_latest_fold(self, engine):
+        engine.observe(alert(5, 0.0))
+        engine.observe(alert(5, 99.0))  # folds; window now ends at 199
+        folded = engine.observe(alert(5, 150.0))
+        assert folded.alarm_id == 1 and folded.count == 3
+
+    def test_different_nodes_never_share_an_alarm(self, engine):
+        a = engine.observe(alert(1, 0.0))
+        b = engine.observe(alert(2, 0.0))
+        assert a.alarm_id != b.alarm_id
+
+    def test_negative_alerts_are_ignored(self, engine):
+        assert engine.observe(alert(5, 0.0, predicted=0)) is None
+        assert engine.alarms == []
+
+
+class TestAcknowledgement:
+    def test_ack_clears_and_next_positive_opens_fresh(self, engine):
+        first = engine.observe(alert(5, 0.0))
+        engine.acknowledge(first.alarm_id)
+        assert first.acknowledged and not first.open
+        again = engine.observe(alert(5, 10.0))  # well inside the window
+        assert again.alarm_id != first.alarm_id
+        assert again.count == 1
+        assert engine.active() == [again]
+
+    def test_double_ack_is_an_error(self, engine):
+        first = engine.observe(alert(5, 0.0))
+        engine.acknowledge(first.alarm_id)
+        with pytest.raises(ValidationError):
+            engine.acknowledge(first.alarm_id)
+
+    def test_unknown_alarm_id_is_an_error(self, engine):
+        with pytest.raises(ValidationError):
+            engine.acknowledge(42)
+
+
+class TestEscalation:
+    def test_escalates_to_critical_after_k_positives(self, engine):
+        engine.observe(alert(5, 0.0))
+        assert engine.alarms[0].severity == "warning"
+        engine.observe(alert(5, 10.0))
+        assert engine.alarms[0].severity == "warning"
+        third = engine.observe(alert(5, 20.0))
+        assert third.severity == "critical"
+        assert third.escalated_minute == 20.0
+        assert engine.escalations == 1
+
+    def test_escalation_does_not_repeat_on_further_positives(self, engine):
+        for minute in (0.0, 10.0, 20.0, 30.0):
+            engine.observe(alert(5, minute))
+        assert engine.escalations == 1
+        assert engine.alarms[0].count == 4
+
+    def test_critical_alarms_sort_first_in_active_view(self, engine):
+        for minute in (0.0, 10.0, 20.0):
+            engine.observe(alert(5, minute))  # critical
+        engine.observe(alert(9, 500.0))  # fresh warning, more recent
+        assert [a.node_id for a in engine.active()] == [5, 9]
+
+    def test_peak_score_tracks_the_maximum(self, engine):
+        engine.observe(alert(5, 0.0, score=0.4))
+        folded = engine.observe(alert(5, 10.0, score=2.5))
+        engine.observe(alert(5, 20.0, score=1.0))
+        assert folded.peak_score == 2.5
+
+
+class TestDeterminism:
+    def test_digest_is_stable_for_a_fixed_stream(self):
+        def run() -> str:
+            engine = AlarmEngine(
+                AlarmConfig(dedup_window_minutes=50.0, escalate_after=2)
+            )
+            for node in (1, 2, 1, 3, 1, 2):
+                engine.observe(alert(node, float(node) * 7))
+            engine.acknowledge(1)
+            return engine.digest()
+
+        assert run() == run()
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            AlarmConfig(dedup_window_minutes=0.0)
+        with pytest.raises(ValidationError):
+            AlarmConfig(escalate_after=1)

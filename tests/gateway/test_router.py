@@ -1,0 +1,78 @@
+"""Consistent-hash ring: determinism, balance, and resize stability."""
+
+import pytest
+
+from repro.gateway.router import ConsistentHashRing
+from repro.utils.errors import ValidationError
+
+NODES = range(1000)
+
+
+class TestRouting:
+    def test_route_is_deterministic_across_instances(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        assert a.assignment(NODES) == b.assignment(NODES)
+
+    def test_every_shard_gets_a_reasonable_share(self):
+        ring = ConsistentHashRing(range(4))
+        assignment = ring.assignment(NODES)
+        for shard in range(4):
+            share = sum(1 for owner in assignment.values() if owner == shard)
+            # Perfect balance is 250; virtual replicas keep skew bounded.
+            assert 100 <= share <= 450
+
+    def test_route_returns_known_shards_only(self):
+        ring = ConsistentHashRing([3, 7, 11])
+        assert set(ring.assignment(NODES).values()) <= {3, 7, 11}
+
+
+class TestResizeStability:
+    def test_adding_a_shard_moves_about_one_over_n_keys(self):
+        ring = ConsistentHashRing(range(4))
+        before = ring.assignment(NODES)
+        ring.add_shard(4)
+        after = ring.assignment(NODES)
+        moved = [n for n in NODES if before[n] != after[n]]
+        # Expectation is 1/5 of keys; allow generous hash-noise slack but
+        # stay far below the ~4/5 a modulo router would move.
+        assert 0.05 * len(before) <= len(moved) <= 0.40 * len(before)
+        # Every moved key must have moved TO the new shard, never
+        # between surviving shards.
+        assert all(after[n] == 4 for n in moved)
+
+    def test_removing_a_shard_only_moves_its_own_keys(self):
+        ring = ConsistentHashRing(range(5))
+        before = ring.assignment(NODES)
+        ring.remove_shard(2)
+        after = ring.assignment(NODES)
+        for node in NODES:
+            if before[node] != 2:
+                assert after[node] == before[node]
+            else:
+                assert after[node] != 2
+
+    def test_add_then_remove_restores_original_assignment(self):
+        ring = ConsistentHashRing(range(4))
+        before = ring.assignment(NODES)
+        ring.add_shard(9)
+        ring.remove_shard(9)
+        assert ring.assignment(NODES) == before
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValidationError):
+            ConsistentHashRing([])
+
+    def test_duplicate_shard_rejected(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ValidationError):
+            ring.add_shard(1)
+
+    def test_cannot_remove_unknown_or_last_shard(self):
+        ring = ConsistentHashRing([0])
+        with pytest.raises(ValidationError):
+            ring.remove_shard(5)
+        with pytest.raises(ValidationError):
+            ring.remove_shard(0)

@@ -138,3 +138,123 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-replay"])
+
+
+class TestStrictMode:
+    """`--strict` turns degraded-data self-heals into typed errors."""
+
+    @pytest.fixture(scope="class")
+    def faulty_trace(self, tiny_trace):
+        from repro.faults import FaultSpec, inject_faults
+
+        faulty, log = inject_faults(
+            tiny_trace, FaultSpec(intensity=0.25, seed=7)
+        )
+        assert len(log) > 0
+        return faulty
+
+    def test_strict_escalates_sanitizer_repairs(
+        self, faulty_trace, tiny_context, tmp_path
+    ):
+        from repro.utils.errors import DegradedDataError
+
+        with pytest.raises(DegradedDataError, match="repaired"):
+            serve_replay(
+                faulty_trace,
+                tmp_path / "registry",
+                splits=tiny_context.preset_splits(),
+                batch_size=64,
+                fast=True,
+                sanitize=True,
+                strict=True,
+            )
+
+    def test_non_strict_heals_and_notes_the_repair(
+        self, faulty_trace, tiny_context, tmp_path
+    ):
+        import warnings
+
+        from repro.utils.errors import DegradedDataWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedDataWarning)
+            report = serve_replay(
+                faulty_trace,
+                tmp_path / "registry",
+                splits=tiny_context.preset_splits(),
+                batch_size=64,
+                fast=True,
+                sanitize=True,
+            )
+        assert any("sanitized input trace" in note for note in report.notes)
+        assert report.num_events > 0
+
+    def test_strict_escalates_whole_trace_quarantine(
+        self, tiny_trace, tiny_context, tmp_path, monkeypatch
+    ):
+        from repro.utils.errors import DegradedDataError, TelemetryFaultError
+
+        def quarantine_everything(trace):
+            raise TelemetryFaultError("all rows quarantined")
+
+        monkeypatch.setattr(
+            "repro.faults.sanitize_trace", quarantine_everything
+        )
+        with pytest.raises(DegradedDataError, match="quarantined the whole"):
+            serve_replay(
+                tiny_trace,
+                tmp_path / "registry",
+                splits=tiny_context.preset_splits(),
+                batch_size=64,
+                fast=True,
+                sanitize=True,
+                strict=True,
+            )
+        # Without strict the same quarantine heals to a well-formed
+        # empty report instead of crashing.
+        report = serve_replay(
+            tiny_trace,
+            tmp_path / "registry2",
+            splits=tiny_context.preset_splits(),
+            batch_size=64,
+            fast=True,
+            sanitize=True,
+        )
+        assert report.num_events == 0
+        assert any("quarantined the whole trace" in n for n in report.notes)
+
+    def test_cli_wires_top_level_strict_into_serve_replay(
+        self, monkeypatch, tmp_path
+    ):
+        import repro.serve
+        from repro.cli import main
+        from repro.serve.replay import _empty_report
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        seen = {}
+
+        def fake_serve_replay(trace, registry_root, **kwargs):
+            seen.update(kwargs)
+            return _empty_report(
+                split=kwargs["split"],
+                model=kwargs["model"],
+                registry_name="twostage",
+                chaos=None,
+                wall_seconds=0.0,
+                notes=[],
+            )
+
+        monkeypatch.setattr(repro.serve, "serve_replay", fake_serve_replay)
+        assert (
+            main(["--preset", "tiny", "--strict", "serve-replay",
+                  "--registry", "/tmp/unused", "--fast"])
+            == 0
+        )
+        assert seen["strict"] is True
+        seen.clear()
+        assert (
+            main(["--preset", "tiny", "serve-replay",
+                  "--registry", "/tmp/unused", "--fast"])
+            == 0
+        )
+        assert seen["strict"] is False

@@ -39,6 +39,21 @@ class TestParser:
         assert args.intensities is None
         assert args.model == "gbdt"
 
+    def test_gateway_args(self):
+        args = build_parser().parse_args(
+            ["--preset", "tiny", "gateway", "--shards", "1,2", "--clients", "5"]
+        )
+        assert args.command == "gateway"
+        assert args.shards == "1,2"
+        assert args.clients == 5
+        assert args.chaos == 0.25
+
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway"])
+        assert args.shards is None
+        assert args.clients == 3
+        assert args.batch_size == 64
+
     def test_serve_replay_chaos_and_checkpoint_args(self):
         args = build_parser().parse_args(
             [

@@ -27,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import hashlib
 import shutil
 import sys
@@ -39,6 +40,7 @@ import numpy as np
 from repro.experiments.presets import PRESETS, preset_config, split_plan
 from repro.faults import FaultSpec, inject_faults
 from repro.features.splits import make_paper_splits
+from repro.gateway import GatewayConfig, build_gateway, run_fleet
 from repro.parallel.simulate import simulate_trace_sharded
 from repro.serve import ChaosPlan, serve_replay
 from repro.store import (
@@ -137,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         duration_days=trace_a.config.duration_days,
     )
     replay_digests = []
+    clean_report = None
     for _ in range(2):
         # A fresh registry root each time: version numbering must not
         # leak into the replay digest.
@@ -145,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_a, root, splits=splits, batch_size=64, fast=True
             )
             replay_digests.append(report.digest())
+            clean_report = report
     if replay_digests[0] == replay_digests[1]:
         print(f"  serve-replay ok ({replay_digests[0][:16]}...)")
     else:
@@ -152,6 +156,43 @@ def main(argv: list[str] | None = None) -> int:
             f"  SERVE-REPLAY MISMATCH: {replay_digests[0][:16]} != "
             f"{replay_digests[1][:16]}"
         )
+        failures += 1
+
+    print("gateway vs replay parity (1 shard, 1 client) ...", flush=True)
+
+    async def run_gateway_once():
+        with tempfile.TemporaryDirectory() as root:
+            gateway = build_gateway(
+                trace_a,
+                root,
+                splits=splits,
+                config=GatewayConfig(shards=1, batch_size=64),
+                fast=True,
+            )
+            await gateway.start()
+            await run_fleet(gateway, trace_a, clients=1)
+            await gateway.close()
+            return gateway
+
+    gateway = asyncio.run(run_gateway_once())
+    if gateway.scored_alert_digest() == clean_report.scored_alert_digest():
+        print(
+            f"  gateway parity ok (scored-alert digest "
+            f"{gateway.scored_alert_digest()[:16]}... matches serve-replay)"
+        )
+    else:
+        print(
+            f"  GATEWAY PARITY MISMATCH: {gateway.scored_alert_digest()[:16]} "
+            f"!= {clean_report.scored_alert_digest()[:16]}"
+        )
+        failures += 1
+    if gateway.stats.zero_drop:
+        print(
+            f"  gateway accounting ok ({gateway.stats.events_in} events in "
+            "== scored + dead_lettered + rejected)"
+        )
+    else:
+        print(f"  GATEWAY DROPPED EVENTS: {gateway.stats.to_dict()}")
         failures += 1
 
     print("replaying under chaos twice ...", flush=True)

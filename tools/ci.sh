@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Single CI entry point: determinism gate (incl. the sharded --jobs 2
-# and segmented-store legs) + tier-1 tests + golden-digest regression +
-# parallel smoke + serve smoke legs (clean, chaos, kill-and-resume) +
-# disk-fault smoke (inject -> recover -> digest parity).
+# Single CI entry point: determinism gate (incl. the sharded --jobs 2,
+# segmented-store, and gateway-parity legs) + tier-1 tests +
+# golden-digest regression + parallel smoke + serve smoke legs (clean,
+# chaos, kill-and-resume) + gateway smoke (HTTP fleet, alarms,
+# zero-drop ledger) + disk-fault smoke (inject -> recover -> digest
+# parity).
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -62,6 +64,69 @@ python -m repro.cli --preset tiny serve-replay \
     --registry "$workdir/registry-resume" --fast --batch-size 64 \
     --chaos 0.25 --chaos-seed 7 \
     --checkpoint-dir "$workdir/ckpt" --resume
+
+echo
+echo "== gateway smoke =="
+# In-process gateway behind its HTTP front end: three synthetic clients
+# post the full fleet stream, alarms must fire, the zero-drop ledger
+# must balance, and shutdown must drain cleanly.
+python - <<'PY'
+import asyncio
+import tempfile
+
+from repro.experiments.presets import preset_config, split_plan
+from repro.features.splits import make_paper_splits
+from repro.gateway import (
+    GatewayConfig,
+    GatewayHTTPServer,
+    build_gateway,
+    run_fleet,
+)
+from repro.telemetry.simulator import simulate_trace
+
+trace = simulate_trace(preset_config("tiny"))
+plan = split_plan("tiny")
+splits = make_paper_splits(
+    train_days=plan["train_days"],
+    test_days=plan["test_days"],
+    offsets_days=tuple(plan["offsets"]),
+    duration_days=trace.config.duration_days,
+)
+
+
+async def go():
+    with tempfile.TemporaryDirectory() as root:
+        gateway = build_gateway(
+            trace,
+            root,
+            splits=splits,
+            config=GatewayConfig(shards=2, batch_size=64),
+            fast=True,
+        )
+        await gateway.start()
+        server = GatewayHTTPServer(gateway)
+        await server.start()
+        fleet = await run_fleet(gateway, trace, clients=3, server=server)
+        await gateway.close()
+        await server.close()
+        assert fleet.via_http, "fleet did not go over HTTP"
+        assert fleet.events_sent == gateway.stats.events_in, (
+            fleet.events_sent,
+            gateway.stats.events_in,
+        )
+        assert gateway.alarm_engine.alarms, "no alarms raised"
+        assert gateway.stats.zero_drop, gateway.stats.to_dict()
+        print(
+            f"gateway smoke ok ({fleet.events_sent} events over HTTP from "
+            f"{fleet.clients} clients, {len(gateway.alarm_engine.alarms)} "
+            f"alarms, ledger balanced)"
+        )
+
+
+asyncio.run(go())
+PY
+REPRO_CACHE_DIR="$workdir/cache" python -m repro.cli --preset tiny \
+    gateway --shards 1,2
 
 echo
 echo "== disk-fault smoke =="
