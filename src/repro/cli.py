@@ -20,6 +20,9 @@ Subcommands::
     repro store inject --store runs/store --kind torn  # disk-fault drill
     repro store digest --store runs/store              # streamed digest
     repro --segmented experiment all                   # out-of-core sweep
+    repro --obs on --obs-snapshot obs.json simulate --out trace
+    repro obs report obs.json                          # render a snapshot
+    repro obs diff before.json after.json              # compare two
 
 The top-level ``--strict`` flag escalates every degraded-data repair
 (corrupt cache entry, quarantined segment, sanitizer fix-up, ...) into a
@@ -47,6 +50,15 @@ from repro.experiments.resilience_experiment import (
     run_resilience,
 )
 from repro.experiments.presets import PRESETS, preset_config
+from repro.obs import (
+    configure as obs_configure,
+    diff_snapshots,
+    get_registry,
+    load_snapshot,
+    render_diff,
+    render_report,
+    write_snapshot,
+)
 from repro.telemetry.simulator import simulate_trace
 from repro.utils.errors import (
     DegradedDataError,
@@ -95,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="produce/consume the trace through the segmented on-disk "
         "store (out of core; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--obs",
+        default=None,
+        choices=["on", "off", "sample"],
+        help="observability recording mode for this run (default: the "
+        "REPRO_OBS environment variable, then 'on'); instrumentation "
+        "is digest-neutral in every mode",
+    )
+    parser.add_argument(
+        "--obs-snapshot",
+        default=None,
+        metavar="PATH",
+        help="after the command finishes, write the obs metrics snapshot "
+        "(JSON, with its deterministic digest) to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -312,6 +339,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="truncation fraction for --kind torn (default: seeded)",
     )
+
+    ob = sub.add_parser(
+        "obs", help="inspect observability snapshots (--obs-snapshot output)"
+    )
+    oba = ob.add_subparsers(dest="obs_command", required=True)
+    o_rep = oba.add_parser(
+        "report", help="render one snapshot as a human-readable table"
+    )
+    o_rep.add_argument("snapshot", help="snapshot JSON path")
+    o_rep.add_argument(
+        "--events",
+        type=int,
+        default=20,
+        metavar="N",
+        help="max structured events to print (default: 20)",
+    )
+    o_diff = oba.add_parser(
+        "diff",
+        help="compare two snapshots series-by-series "
+        "(exit 0 if identical, 1 if they differ)",
+    )
+    o_diff.add_argument("before", help="baseline snapshot JSON path")
+    o_diff.add_argument("after", help="comparison snapshot JSON path")
     return parser
 
 
@@ -399,9 +449,25 @@ def _dispatch_store(args: argparse.Namespace, jobs: int) -> int:
     return 2  # pragma: no cover - argparse enforces the action set
 
 
+def _dispatch_obs(args: argparse.Namespace) -> int:
+    """Run one ``repro obs`` action; may raise :class:`ReproError`."""
+    if args.obs_command == "report":
+        snapshot = load_snapshot(args.snapshot)
+        print(render_report(snapshot, events_limit=args.events))
+        return 0
+    if args.obs_command == "diff":
+        before = load_snapshot(args.before)
+        after = load_snapshot(args.after)
+        print(render_diff(before, after))
+        return 1 if diff_snapshots(before, after) else 0
+    return 2  # pragma: no cover - argparse enforces the action set
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected subcommand; may raise :class:`ReproError`."""
     jobs = max(1, int(getattr(args, "jobs", 1)))
+    if args.command == "obs":
+        return _dispatch_obs(args)
     if args.command == "store":
         return _dispatch_store(args, jobs)
     context = ExperimentContext(
@@ -588,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
     programming errors still propagate with a traceback.
     """
     args = build_parser().parse_args(argv)
+    if args.obs is not None:
+        obs_configure(args.obs)
     try:
         if args.strict:
             # Escalate every degraded-data repair into a typed error:
@@ -595,10 +663,26 @@ def main(argv: list[str] | None = None) -> int:
             with warnings.catch_warnings():
                 warnings.simplefilter("error", DegradedDataWarning)
                 try:
-                    return _dispatch(args)
+                    code = _dispatch(args)
                 except DegradedDataWarning as exc:
                     raise DegradedDataError(str(exc)) from exc
-        return _dispatch(args)
+        else:
+            code = _dispatch(args)
+        if args.obs_snapshot is not None:
+            write_snapshot(
+                args.obs_snapshot,
+                get_registry(),
+                run={
+                    "command": args.command,
+                    "preset": args.preset,
+                    "jobs": args.jobs,
+                    # Worker count is execution config, not run content:
+                    # --jobs 1 and --jobs 2 must produce the same digest.
+                    "wall_fields": ["jobs"],
+                },
+            )
+            print(f"obs snapshot -> {args.obs_snapshot}", file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1

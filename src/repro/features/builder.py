@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import SpanTracer, get_registry
 from repro.features.history import HistoryIndex, dedupe_job_events
 from repro.features.schema import (
     FeatureSchema,
@@ -358,7 +359,37 @@ def build_features(
         from repro.faults.sanitizer import sanitize_trace
 
         trace, _ = sanitize_trace(trace)
-    return SampleTableBuilder(trace, top_k_apps=top_k_apps).build()
+    spans = SpanTracer()
+    with spans.span("features_build"):
+        matrix = SampleTableBuilder(trace, top_k_apps=top_k_apps).build()
+    _record_feature_metrics("batch", matrix, spans)
+    return matrix
+
+
+def _record_feature_metrics(
+    builder: str, matrix: FeatureMatrix, spans: SpanTracer
+) -> None:
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_features_rows_total", "Feature rows built, per builder kind."
+    ).inc(matrix.num_samples, builder=builder)
+    registry.counter(
+        "repro_features_builds_total", "Feature builds completed."
+    ).inc(builder=builder)
+    registry.counter(
+        "repro_features_seconds_total",
+        "Wall time spent building features.",
+        wall=True,
+    ).inc(spans.get("features_build"), builder=builder)
+    seconds = spans.get("features_build")
+    if seconds > 0:
+        registry.gauge(
+            "repro_features_rows_per_sec",
+            "Feature rows per wall second (last build).",
+            wall=True,
+        ).set(matrix.num_samples / seconds, builder=builder)
 
 
 def build_features_from_store(
@@ -386,6 +417,8 @@ def build_features_from_store(
     from repro.topology.machine import Machine
 
     store.recover(strict=strict)
+    spans = SpanTracer()
+    spans.start("features_build")
     total, dests = store.row_layout()
     if total == 0:
         raise ValidationError("store has no samples")
@@ -474,4 +507,7 @@ def build_features_from_store(
     X[:, len(schema) - 1] = np.asarray(
         _alloc_history(meta["run_idx"], hist_today), dtype=float
     )
-    return FeatureMatrix(X=X, y=y, schema=schema, meta=meta)
+    matrix = FeatureMatrix(X=X, y=y, schema=schema, meta=meta)
+    spans.stop()
+    _record_feature_metrics("store", matrix, spans)
+    return matrix

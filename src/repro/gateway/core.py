@@ -55,6 +55,7 @@ from repro.core.twostage import TwoStagePredictor
 from repro.features.builder import build_features, compute_top_apps
 from repro.features.splits import DatasetSplit
 from repro.gateway.alarms import AlarmConfig, AlarmEngine
+from repro.obs import MetricsRegistry, get_registry
 from repro.gateway.clock import VirtualClock
 from repro.gateway.router import ConsistentHashRing
 from repro.gateway.watcher import RegistryWatcher
@@ -176,8 +177,31 @@ class Gateway:
             lambda: deque(maxlen=self.config.trend_length)
         )
         self.scored_alerts: list[Alert] = []
-        #: Wall seconds per primary handle_event (latency percentiles).
-        self.handle_seconds: list[float] = []
+        # The process obs registry — or a private always-on one when obs
+        # is globally disabled, so /stats latency never silently zeroes.
+        process_registry = get_registry()
+        self.registry = (
+            process_registry if process_registry.enabled else MetricsRegistry()
+        )
+        #: The one shared wall-latency histogram: GET /stats, the
+        #: `gateway` experiment table, and bench_gateway.py all compute
+        #: p50/p99 from this instrument, so they cannot disagree.
+        self.handle_latency = self.registry.histogram(
+            "repro_gateway_handle_seconds",
+            "Wall seconds handling one primary event.",
+            wall=True,
+        )
+        self._queue_depth = self.registry.gauge(
+            "repro_gateway_queue_depth",
+            "Events waiting in each shard queue.",
+            wall=True,
+        )
+        self._events_counter = self.registry.counter(
+            "repro_gateway_events_total", "Events by terminal outcome."
+        )
+        self._alarms_counter = self.registry.counter(
+            "repro_gateway_alarms_total", "Alarms raised by the alarm engine."
+        )
         self._queues: list[asyncio.Queue] = []
         self._tasks: list[asyncio.Task] = []
         self._started = False
@@ -222,6 +246,7 @@ class Gateway:
         if not self._started or self._closed:
             self.stats.events_in += 1
             self.stats.events_rejected += 1
+            self._events_counter.inc(outcome="rejected")
             raise ValidationError("gateway is not accepting events")
         self.clock.advance_to(event.minute)
         if self.watcher is not None:
@@ -312,15 +337,18 @@ class Gateway:
                 queue.task_done()
                 return
             event, primary = item
+            self._queue_depth.set(queue.qsize(), shard=shard_id)
             started = time.perf_counter()
             quarantined_before = worker.events_quarantined
             alerts = worker.handle_event(event, between=between)
             if primary:
-                self.handle_seconds.append(time.perf_counter() - started)
+                self.handle_latency.observe(time.perf_counter() - started)
                 if worker.events_quarantined > quarantined_before:
                     self.stats.events_dead_lettered += 1
+                    self._events_counter.inc(outcome="dead_lettered")
                 else:
                     self.stats.events_scored += 1
+                    self._events_counter.inc(outcome="scored")
             self._absorb(alerts)
             queue.task_done()
 
@@ -335,7 +363,11 @@ class Gateway:
                     int(alert.model_version),
                 )
             )
+            alarms_before = len(self.alarm_engine.alarms)
             self.alarm_engine.observe(alert)
+            raised = len(self.alarm_engine.alarms) - alarms_before
+            if raised:
+                self._alarms_counter.inc(raised)
 
     # ------------------------------------------------------------ queries
     def scored_alert_digest(self) -> str:
@@ -356,13 +388,15 @@ class Gateway:
         ]
 
     def latency_percentiles(self) -> dict[str, float]:
-        """p50/p99 wall seconds per primary event, 0.0 before any event."""
-        if not self.handle_seconds:
-            return {"p50": 0.0, "p99": 0.0}
-        samples = np.asarray(self.handle_seconds, dtype=float)
+        """p50/p99 wall seconds per primary event, 0.0 before any event.
+
+        Estimated from the shared ``repro_gateway_handle_seconds``
+        histogram (Prometheus-style linear interpolation inside fixed
+        buckets) — the same series every scrape of ``/metrics`` exports.
+        """
         return {
-            "p50": float(np.percentile(samples, 50)),
-            "p99": float(np.percentile(samples, 99)),
+            "p50": self.handle_latency.quantile(0.5),
+            "p99": self.handle_latency.quantile(0.99),
         }
 
     def snapshot(self) -> dict:

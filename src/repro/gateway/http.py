@@ -9,6 +9,7 @@ is four JSON routes — a hand-rolled HTTP/1.1 server over
 * ``GET  /alarms``            — alarm log (``?active=1`` for open only)
 * ``POST /alarms/{id}/ack``   — operator acknowledgement
 * ``GET  /stats``             — zero-drop accounting + latency snapshot
+* ``GET  /metrics``           — Prometheus text exposition (format 0.0.4)
 
 Each connection serves one request (``Connection: close``): the
 synthetic fleet posts thousands of small events per run, and one-shot
@@ -29,9 +30,17 @@ import re
 
 from repro.gateway.codec import event_from_dict
 from repro.gateway.core import Gateway
+from repro.obs import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs import render_prometheus
 from repro.utils.errors import ValidationError
 
 __all__ = ["GatewayHTTPServer", "http_request"]
+
+
+class _TextResponse(str):
+    """A plain-text payload (everything else on this server is JSON)."""
+
+    content_type = _METRICS_CONTENT_TYPE
 
 _TREND_RE = re.compile(r"^/nodes/(\d+)/trend$")
 _ACK_RE = re.compile(r"^/alarms/(\d+)/ack$")
@@ -75,11 +84,16 @@ class GatewayHTTPServer:
             status, payload = await self._respond(reader)
         except Exception as exc:  # noqa: BLE001 - must answer, not crash
             status, payload = 500, {"error": f"internal error: {exc}"}
-        body = json.dumps(payload).encode()
+        if isinstance(payload, _TextResponse):
+            body = str(payload).encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         writer.write(
             (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode()
@@ -157,6 +171,13 @@ class GatewayHTTPServer:
                 return 200, {"alarms": [a.to_dict() for a in alarms]}
             if path == "/stats":
                 return 200, gateway.snapshot()
+            if path == "/metrics":
+                gateway.registry.counter(
+                    "repro_gateway_scrapes_total",
+                    "GET /metrics scrapes served.",
+                    wall=True,
+                ).inc()
+                return 200, _TextResponse(render_prometheus(gateway.registry))
 
         if method == "POST":
             match = _ACK_RE.match(path)
@@ -183,7 +204,12 @@ _REASONS = {
 async def http_request(
     host: str, port: int, method: str, path: str, payload=None
 ) -> tuple[int, dict]:
-    """One-shot JSON HTTP client (the fleet's posting primitive)."""
+    """One-shot HTTP client (the fleet's posting primitive).
+
+    JSON responses decode to Python objects; any other content type
+    (e.g. the Prometheus text of ``GET /metrics``) returns the raw
+    body as a string.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     body = b"" if payload is None else json.dumps(payload).encode()
     writer.write(
@@ -200,13 +226,17 @@ async def http_request(
     status_line = (await reader.readline()).decode("latin-1").strip()
     status = int(status_line.split()[1])
     content_length = None
+    content_type = "application/json"
     while True:
         line = (await reader.readline()).decode("latin-1").strip()
         if not line:
             break
         name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
+        header = name.strip().lower()
+        if header == "content-length":
             content_length = int(value.strip())
+        elif header == "content-type":
+            content_type = value.strip()
     raw = (
         await reader.read()
         if content_length is None
@@ -214,4 +244,6 @@ async def http_request(
     )
     writer.close()
     await writer.wait_closed()
-    return status, json.loads(raw.decode() or "null")
+    if "application/json" in content_type:
+        return status, json.loads(raw.decode() or "null")
+    return status, raw.decode("utf-8")

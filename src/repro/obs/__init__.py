@@ -1,0 +1,61 @@
+"""repro.obs — deterministic observability: metrics, spans, snapshots.
+
+The one-stop measurement substrate for the whole pipeline.  Counters,
+gauges, and fixed-bucket histograms live in a process-wide
+:class:`MetricsRegistry`; wall-clock readings are tagged ``wall=True``
+and excluded from snapshot digests, so same-seed runs produce identical
+``snapshot_digest()`` values on any machine.  Instrumentation is
+digest-neutral by construction (it never feeds back into pipeline
+state) and the CI gate re-checks that claim every run.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_MINUTE_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_WALL_BUCKETS,
+    Counter,
+    EventRecord,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure,
+    digest_view,
+    get_registry,
+    set_registry,
+    snapshot_digest,
+    use_registry,
+)
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.report import (
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    render_report,
+    write_snapshot,
+)
+from repro.obs.spans import SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventRecord",
+    "MetricsRegistry",
+    "SpanTracer",
+    "DEFAULT_WALL_BUCKETS",
+    "DEFAULT_MINUTE_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "configure",
+    "digest_view",
+    "snapshot_digest",
+    "write_snapshot",
+    "load_snapshot",
+    "render_report",
+    "render_diff",
+    "diff_snapshots",
+]

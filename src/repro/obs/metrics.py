@@ -1,0 +1,540 @@
+"""Deterministic process-wide metrics registry.
+
+Three instrument kinds — counters, gauges, and histograms with *fixed*
+bucket boundaries — plus a bounded structured event log.  Two invariants
+make the registry safe to wire through a digest-gated codebase:
+
+1. **Digest neutrality.**  Instruments only ever *read* values the
+   pipeline already computed; nothing in this module feeds back into
+   simulation, feature, or scoring state.  The CI gate in ``tools/ci.sh``
+   additionally re-derives the golden content digests with obs on, off,
+   and sampled and asserts they are bit-identical.
+
+2. **Snapshot determinism.**  Metrics derived from deterministic
+   quantities (row counts, event-time latencies on the virtual clock,
+   breaker transitions) are recorded with ``wall=False`` and participate
+   in :meth:`MetricsRegistry.snapshot_digest`; anything measured off the
+   monotonic wall clock is declared ``wall=True`` and is excluded, so the
+   same seed yields the same snapshot digest on any machine.
+
+Metric names follow ``repro_<subsystem>_<quantity>[_<unit>][_total]``
+(Prometheus conventions); label values are always stringified and label
+sets are kept tiny and low-cardinality (shard ids, stage names, outcome
+enums).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventRecord",
+    "MetricsRegistry",
+    "DEFAULT_WALL_BUCKETS",
+    "DEFAULT_MINUTE_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "configure",
+]
+
+#: Wall-clock latency buckets in seconds (10 µs .. 10 s, roughly 1-2.5-5).
+DEFAULT_WALL_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Event-time latency buckets in virtual minutes (one tick .. a week).
+DEFAULT_MINUTE_BUCKETS: tuple[float, ...] = (
+    5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 240.0, 480.0,
+    1440.0, 2880.0, 10080.0,
+)
+
+#: Power-of-two size buckets (batch sizes, queue depths).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 2048.0, 4096.0,
+)
+
+_MODES = ("on", "off", "sample")
+
+#: How many histogram observations the ``sample`` mode skips between
+#: recorded ones.  Counters and gauges are always recorded — they are a
+#: single dict update — so sampling only thins the per-observation work.
+SAMPLE_EVERY = 8
+
+#: Bounded event-log capacity; older events are dropped (and counted).
+DEFAULT_EVENT_CAPACITY = 4096
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured log event.
+
+    ``minute`` is virtual/event time when the emitter has one (making the
+    event deterministic); ``None`` otherwise.  ``seq`` is the process-wide
+    emission index, so event order is part of the snapshot digest.
+    """
+
+    seq: int
+    name: str
+    minute: float | None
+    fields: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "minute": self.minute,
+            "fields": dict(sorted(self.fields.items())),
+        }
+
+
+class _Instrument:
+    """Shared plumbing: name, help text, labelled sample storage."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, help: str, wall: bool
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.wall = wall
+        self._samples: dict[tuple[tuple[str, str], ...], float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def value(self, **labels: Any) -> float:
+        """Current value for one label set (0.0 if never touched)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[tuple[tuple[str, str], ...], float]]:
+        yield from sorted(self._samples.items())
+
+    def _sample_dicts(self) -> list[dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in self.samples()
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "wall": self.wall,
+            "samples": self._sample_dicts(),
+        }
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(_Instrument):
+    """Last-writer-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+
+@dataclass
+class _HistogramSeries:
+    """Per-label-set histogram state."""
+
+    bucket_counts: list[int]
+    total: float = 0.0
+    count: int = 0
+    seen: int = 0  # observations offered, including sampled-away ones
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram.
+
+    Bucket boundaries are upper-inclusive edges (Prometheus ``le``
+    semantics) and are fixed at registration time, so two runs that
+    observe the same values produce byte-identical snapshots.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        wall: bool,
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(registry, name, help, wall)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValidationError(
+                f"histogram {self.name!r} needs strictly increasing buckets"
+            )
+        self.buckets = tuple(float(edge) for edge in buckets)
+        self._series: dict[tuple[tuple[str, str], ...], _HistogramSeries] = {}
+
+    def _get_series(self, key: tuple[tuple[str, str], ...]) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(bucket_counts=[0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        series = self._get_series(_label_key(labels))
+        series.seen += 1
+        if self._registry.mode == "sample" and (series.seen - 1) % SAMPLE_EVERY:
+            return
+        index = len(self.buckets)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.total += float(value)
+        series.count += 1
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Prometheus-style estimate: linear interpolation in the bucket
+        holding the q-th observation.  Returns 0.0 for an empty series."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile {q} outside [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        target = q * series.count
+        cumulative = 0
+        lower = 0.0
+        for i, edge in enumerate(self.buckets):
+            in_bucket = series.bucket_counts[i]
+            if cumulative + in_bucket >= target and in_bucket > 0:
+                fraction = (target - cumulative) / in_bucket
+                return lower + (edge - lower) * fraction
+            cumulative += in_bucket
+            lower = edge
+        # Overflow bucket: no finite upper edge, report the last edge.
+        return self.buckets[-1]
+
+    def samples(self) -> Iterator[tuple[tuple[tuple[str, str], ...], float]]:
+        for key, series in sorted(self._series.items()):
+            yield key, float(series.count)
+
+    def series_dicts(self) -> list[dict[str, Any]]:
+        out = []
+        for key, series in sorted(self._series.items()):
+            out.append(
+                {
+                    "labels": dict(key),
+                    "bucket_counts": list(series.bucket_counts),
+                    "sum": series.total,
+                    "count": series.count,
+                }
+            )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "wall": self.wall,
+            "buckets": list(self.buckets),
+            "series": self.series_dicts(),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide home for instruments and structured events.
+
+    ``mode`` is one of ``on`` (record everything), ``off`` (every
+    instrument call is a cheap no-op) and ``sample`` (histograms record
+    every :data:`SAMPLE_EVERY`-th observation; counters/gauges/events are
+    always recorded).  Instrument registration is get-or-create: asking
+    for an existing name with a matching kind returns the same object,
+    a mismatched kind raises.
+    """
+
+    SNAPSHOT_FORMAT = 1
+
+    def __init__(
+        self,
+        mode: str = "on",
+        *,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValidationError(
+                f"unknown obs mode {mode!r}; pick one of {_MODES}"
+            )
+        self.mode = mode
+        self._instruments: dict[str, _Instrument] = {}
+        self._events: deque[EventRecord] = deque(maxlen=event_capacity)
+        self._event_seq = 0
+        self._events_dropped = 0
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in _MODES:
+            raise ValidationError(
+                f"unknown obs mode {mode!r}; pick one of {_MODES}"
+            )
+        self.mode = mode
+
+    # -- registration --------------------------------------------------
+
+    def _register(self, cls, name: str, help: str, wall: bool, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValidationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if isinstance(existing, Histogram) and "buckets" in kwargs:
+                    if existing.buckets != tuple(
+                        float(b) for b in kwargs["buckets"]
+                    ):
+                        raise ValidationError(
+                            f"histogram {name!r} re-registered with "
+                            "different buckets"
+                        )
+                return existing
+            instrument = cls(self, name, help, wall, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", *, wall: bool = False) -> Counter:
+        return self._register(Counter, name, help, wall)
+
+    def gauge(self, name: str, help: str = "", *, wall: bool = False) -> Gauge:
+        return self._register(Gauge, name, help, wall)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: tuple[float, ...] = DEFAULT_WALL_BUCKETS,
+        wall: bool = False,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, wall, buckets=buckets)
+
+    def instruments(self) -> list[_Instrument]:
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # -- events --------------------------------------------------------
+
+    def event(
+        self, name: str, *, minute: float | None = None, **fields: Any
+    ) -> None:
+        """Record one structured event (deterministic if the caller only
+        passes deterministic fields; keep wall readings out of these)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self._events_dropped += 1
+            self._events.append(
+                EventRecord(self._event_seq, name, minute, fields)
+            )
+            self._event_seq += 1
+
+    @property
+    def events(self) -> list[EventRecord]:
+        return list(self._events)
+
+    @property
+    def events_dropped(self) -> int:
+        return self._events_dropped
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self, run: dict[str, Any] | None = None) -> dict[str, Any]:
+        """JSON-able snapshot of every instrument and event.
+
+        ``run`` carries caller-supplied run identity (command, preset,
+        seed ...).  Keys listed in ``run["wall_fields"]`` (plus the
+        built-in ``mode``) are excluded from the snapshot digest.
+        """
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "mode": self.mode,
+            "run": dict(run or {}),
+            "metrics": [inst.to_dict() for inst in self.instruments()],
+            "events": [record.to_dict() for record in self._events],
+            "events_dropped": self._events_dropped,
+        }
+
+    def snapshot_digest(self, run: dict[str, Any] | None = None) -> str:
+        return snapshot_digest(self.snapshot(run))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+            self._events.clear()
+            self._event_seq = 0
+            self._events_dropped = 0
+
+
+def digest_view(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """The deterministic subset of a snapshot that the digest covers.
+
+    Drops every ``wall=True`` metric, the recording ``mode`` (sampled
+    runs legitimately thin histograms), and any run field named by
+    ``run["wall_fields"]``.
+    """
+    run = dict(snapshot.get("run", {}))
+    for field_name in list(run.pop("wall_fields", [])) + ["wall_fields"]:
+        run.pop(field_name, None)
+    return {
+        "format": snapshot.get("format"),
+        "run": run,
+        "metrics": [
+            metric
+            for metric in snapshot.get("metrics", [])
+            if not metric.get("wall", False)
+        ],
+        "events": snapshot.get("events", []),
+        "events_dropped": snapshot.get("events_dropped", 0),
+    }
+
+
+def snapshot_digest(snapshot: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of the deterministic subset."""
+    canonical = json.dumps(
+        digest_view(snapshot), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- the process-default registry --------------------------------------
+
+_default_registry: MetricsRegistry | None = None
+_registry_lock = threading.Lock()
+
+
+def _mode_from_env() -> str:
+    raw = os.environ.get("REPRO_OBS", "on").strip().lower()
+    aliases = {"1": "on", "true": "on", "0": "off", "false": "off", "": "on"}
+    mode = aliases.get(raw, raw)
+    if mode not in _MODES:
+        raise ValidationError(
+            f"REPRO_OBS={raw!r} is not one of {_MODES} (or 0/1)"
+        )
+    return mode
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry (created on first use; mode comes
+    from ``REPRO_OBS`` — ``on``/``off``/``sample``, default ``on``)."""
+    global _default_registry
+    with _registry_lock:
+        if _default_registry is None:
+            _default_registry = MetricsRegistry(mode=_mode_from_env())
+        return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry | None:
+    """Swap the process-default registry, returning the previous one."""
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+def configure(mode: str) -> MetricsRegistry:
+    """Set the recording mode of the process-default registry."""
+    registry = get_registry()
+    registry.set_mode(mode)
+    return registry
+
+
+class use_registry:
+    """Context manager: temporarily install ``registry`` as the default.
+
+    The workhorse of snapshot-determinism tests — each run gets a fresh
+    registry so digests never see residue from earlier runs::
+
+        with use_registry(MetricsRegistry()) as reg:
+            simulate_trace(config)
+            digest = reg.snapshot_digest()
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        global _default_registry
+        with _registry_lock:
+            _default_registry = self._previous

@@ -1,0 +1,90 @@
+"""Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+
+Renders ``# HELP`` / ``# TYPE`` headers, escaped label values, and for
+histograms the cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  Output order is deterministic: metrics by name, series by
+sorted label set — so two scrapes of identical registries are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str] | tuple, extra: str = "") -> str:
+    pairs = dict(labels)
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(pairs.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the registry as Prometheus text."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for series in instrument.series_dicts():
+                labels = series["labels"]
+                cumulative = 0
+                for edge, bucket_count in zip(
+                    instrument.buckets, series["bucket_counts"]
+                ):
+                    cumulative += bucket_count
+                    le = 'le="{}"'.format(_format_value(edge))
+                    rendered = _format_labels(labels, le)
+                    lines.append(f"{name}_bucket{rendered} {cumulative}")
+                cumulative += series["bucket_counts"][-1]
+                rendered = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{rendered} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)}"
+                    f" {_format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {series['count']}"
+                )
+        else:
+            rendered_any = False
+            for key, value in instrument.samples():
+                lines.append(
+                    f"{name}{_format_labels(key)} {_format_value(value)}"
+                )
+                rendered_any = True
+            if not rendered_any:
+                lines.append(f"{name} 0")
+    return "\n".join(lines) + "\n"

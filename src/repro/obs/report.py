@@ -1,0 +1,226 @@
+"""Snapshot persistence and the ``obs report`` / ``obs diff`` renderers.
+
+Snapshots are plain JSON (one :meth:`MetricsRegistry.snapshot` dict plus
+a stored digest) so they can be archived next to ``BENCH_*.json`` files
+and diffed across commits.  The digest covers only the deterministic
+subset — see :func:`repro.obs.metrics.digest_view`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, snapshot_digest
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "write_snapshot",
+    "load_snapshot",
+    "render_report",
+    "diff_snapshots",
+    "render_diff",
+]
+
+
+def write_snapshot(
+    path: str | Path,
+    registry: MetricsRegistry,
+    run: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write ``registry``'s snapshot (with its digest) to ``path``."""
+    snapshot = registry.snapshot(run)
+    snapshot["digest"] = snapshot_digest(snapshot)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return snapshot
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    target = Path(path)
+    try:
+        snapshot = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise ValidationError(f"no obs snapshot at {target}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"obs snapshot {target} is not JSON: {exc}") from None
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        raise ValidationError(f"obs snapshot {target} has no 'metrics' key")
+    stored = snapshot.get("digest")
+    recomputed = snapshot_digest(snapshot)
+    if stored is not None and stored != recomputed:
+        raise ValidationError(
+            f"obs snapshot {target} digest mismatch: stored {stored[:16]} "
+            f"!= recomputed {recomputed[:16]}"
+        )
+    return snapshot
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _metric_rows(snapshot: dict[str, Any]) -> list[tuple[str, str, str, str]]:
+    """(name, kind, labels, value) rows for every series in a snapshot."""
+    rows: list[tuple[str, str, str, str]] = []
+    for metric in snapshot.get("metrics", []):
+        kind = metric["kind"]
+        wall_mark = " (wall)" if metric.get("wall") else ""
+        if kind == "histogram":
+            for series in metric.get("series", []):
+                value = (
+                    f"count={series['count']} sum={series['sum']:.6g}"
+                )
+                rows.append(
+                    (
+                        metric["name"],
+                        kind + wall_mark,
+                        _label_str(series.get("labels", {})),
+                        value,
+                    )
+                )
+        else:
+            for sample in metric.get("samples", []):
+                rows.append(
+                    (
+                        metric["name"],
+                        kind + wall_mark,
+                        _label_str(sample.get("labels", {})),
+                        f"{sample['value']:.6g}",
+                    )
+                )
+    return rows
+
+
+def _format_table(
+    headers: tuple[str, ...], rows: list[tuple[str, ...]]
+) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def render_report(
+    snapshot: dict[str, Any], *, events_limit: int = 20
+) -> str:
+    """Human-readable report of one snapshot."""
+    lines: list[str] = []
+    run = snapshot.get("run", {})
+    digest = snapshot.get("digest") or snapshot_digest(snapshot)
+    lines.append(f"obs snapshot (format {snapshot.get('format')})")
+    lines.append(f"  digest: {digest}")
+    lines.append(f"  mode:   {snapshot.get('mode', 'on')}")
+    for key, value in sorted(run.items()):
+        if key == "wall_fields":
+            continue
+        lines.append(f"  {key}: {value}")
+    rows = _metric_rows(snapshot)
+    lines.append("")
+    if rows:
+        lines.extend(
+            _format_table(("metric", "kind", "labels", "value"), rows)
+        )
+    else:
+        lines.append("(no metrics recorded)")
+    events = snapshot.get("events", [])
+    dropped = snapshot.get("events_dropped", 0)
+    lines.append("")
+    lines.append(
+        f"events: {len(events)} recorded"
+        + (f", {dropped} dropped (capacity)" if dropped else "")
+    )
+    for record in events[:events_limit]:
+        minute = record.get("minute")
+        when = f"minute {minute:g}" if minute is not None else "-"
+        fields = " ".join(
+            f"{k}={v}" for k, v in sorted(record.get("fields", {}).items())
+        )
+        lines.append(f"  [{record['seq']}] {record['name']} ({when}) {fields}".rstrip())
+    if len(events) > events_limit:
+        lines.append(f"  ... {len(events) - events_limit} more")
+    return "\n".join(lines) + "\n"
+
+
+def diff_snapshots(
+    before: dict[str, Any], after: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Series-level differences between two snapshots.
+
+    Returns a list of ``{metric, labels, kind, before, after}`` entries
+    for every series whose value changed, appeared, or disappeared.
+    Histogram series compare on (count, sum).
+    """
+
+    def series_map(snapshot):
+        out: dict[tuple[str, str], tuple[str, Any]] = {}
+        for metric in snapshot.get("metrics", []):
+            if metric["kind"] == "histogram":
+                for series in metric.get("series", []):
+                    key = (metric["name"], _label_str(series.get("labels", {})))
+                    out[key] = (
+                        metric["kind"],
+                        (series["count"], series["sum"]),
+                    )
+            else:
+                for sample in metric.get("samples", []):
+                    key = (metric["name"], _label_str(sample.get("labels", {})))
+                    out[key] = (metric["kind"], sample["value"])
+        return out
+
+    before_map = series_map(before)
+    after_map = series_map(after)
+    diffs: list[dict[str, Any]] = []
+    for key in sorted(set(before_map) | set(after_map)):
+        b = before_map.get(key)
+        a = after_map.get(key)
+        if b == a:
+            continue
+        diffs.append(
+            {
+                "metric": key[0],
+                "labels": key[1],
+                "kind": (a or b)[0],
+                "before": b[1] if b else None,
+                "after": a[1] if a else None,
+            }
+        )
+    return diffs
+
+
+def render_diff(before: dict[str, Any], after: dict[str, Any]) -> str:
+    """Human-readable diff between two snapshots."""
+    digest_before = before.get("digest") or snapshot_digest(before)
+    digest_after = after.get("digest") or snapshot_digest(after)
+    lines = [
+        f"before: {digest_before}",
+        f"after:  {digest_after}",
+    ]
+    diffs = diff_snapshots(before, after)
+    if not diffs:
+        lines.append("no series-level differences")
+        return "\n".join(lines) + "\n"
+    rows = []
+    for entry in diffs:
+        rows.append(
+            (
+                entry["metric"],
+                entry["labels"],
+                "absent" if entry["before"] is None else f"{entry['before']}",
+                "absent" if entry["after"] is None else f"{entry['after']}",
+            )
+        )
+    lines.append("")
+    lines.extend(_format_table(("metric", "labels", "before", "after"), rows))
+    lines.append("")
+    lines.append(f"{len(diffs)} series differ")
+    return "\n".join(lines) + "\n"

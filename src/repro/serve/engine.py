@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.builder import FeatureMatrix
+from repro.obs import get_registry
 from repro.features.history import IncrementalHistoryIndex
 from repro.features.schema import (
     FeatureSchema,
@@ -294,6 +295,11 @@ class StreamingFeatureEngine:
             for i in range(node_id.size)
         ]
         self.rows_emitted += len(rows)
+        # Looked up lazily: the engine is pickled into replay checkpoints
+        # and must not hold a registry (and its lock) in its state.
+        get_registry().counter(
+            "repro_features_rows_total", "Feature rows built, per builder kind."
+        ).inc(len(rows), builder="streaming")
         return rows
 
 

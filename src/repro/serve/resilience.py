@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.twostage import TwoStagePredictor
 from repro.features.builder import FeatureMatrix
+from repro.obs import get_registry
 from repro.features.schema import FeatureSchema
 from repro.serve.scorer import Alert, MicroBatchScorer, ScorerConfig
 from repro.serve.engine import rows_to_matrix
@@ -274,6 +275,23 @@ class ChaosInjector:
 # ----------------------------------------------------------------------
 # Circuit breaker
 # ----------------------------------------------------------------------
+def _record_breaker_transition(old: str, new: str) -> None:
+    """Publish one breaker state change (counter + structured event).
+
+    Module-level on purpose: breakers are dataclasses that pickle into
+    replay checkpoints, so they must not hold registry references.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_serve_breaker_transitions_total",
+        "Circuit-breaker state transitions.",
+    ).inc(1.0, **{"from": old, "to": new})
+    registry.event("breaker_transition", **{"from": old, "to": new})
+
+
+
 @dataclass
 class CircuitBreaker:
     """Consecutive-failure breaker with half-open probing.
@@ -306,6 +324,7 @@ class CircuitBreaker:
 
     def trip(self) -> None:
         """Open the breaker and start the cooldown."""
+        _record_breaker_transition(self.state, "open")
         self.state = "open"
         self.cooldown_left = self.cooldown_batches
         self.trips += 1
@@ -315,15 +334,18 @@ class CircuitBreaker:
         if self.state == "open":
             self.cooldown_left -= 1
             if self.cooldown_left <= 0:
+                _record_breaker_transition("open", "half_open")
                 self.state = "half_open"
 
     def close(self) -> None:
         """A half-open probe succeeded; resume normal operation."""
+        _record_breaker_transition(self.state, "closed")
         self.state = "closed"
         self.consecutive_failures = 0
 
     def reopen(self) -> None:
         """A half-open probe failed; back to open for another cooldown."""
+        _record_breaker_transition(self.state, "open")
         self.state = "open"
         self.cooldown_left = self.cooldown_batches
 
@@ -377,6 +399,7 @@ class DeadLetterQueue:
             entries=list(entries),
         )
         self.letters.append(letter)
+        self._record(letter)
         return letter
 
     def quarantine_event(
@@ -387,7 +410,18 @@ class DeadLetterQueue:
             kind="event", reason=reason, minute=float(minute), rows=0, detail=detail
         )
         self.letters.append(letter)
+        self._record(letter)
         return letter
+
+    def _record(self, letter: DeadLetter) -> None:
+        registry = get_registry()
+        registry.counter(
+            "repro_serve_dead_letters_total",
+            "Quarantined batches/events, by kind and reason.",
+        ).inc(kind=letter.kind, reason=letter.reason)
+        registry.gauge(
+            "repro_serve_dlq_depth", "Unreplayed batches in the dead-letter queue."
+        ).set(len(self.pending_batches()))
 
     def pending_batches(self) -> list[DeadLetter]:
         """Quarantined batches not yet replayed, oldest first."""
@@ -646,6 +680,9 @@ class SupervisedScorer(MicroBatchScorer):
                 return scores, predicted, self.model_version, "primary"
             if attempt + 1 < max_attempts:
                 res.retries += 1
+                get_registry().counter(
+                    "repro_serve_retries_total", "Primary scoring retries."
+                ).inc()
                 jitter = (
                     self.chaos.backoff_jitter(seq) if self.chaos is not None else 0.0
                 )
@@ -693,9 +730,25 @@ class SupervisedScorer(MicroBatchScorer):
             letter.resolution = source
             res.replayed_batches += 1
             res.replayed_rows += len(entries)
+            registry = get_registry()
+            registry.counter(
+                "repro_serve_replayed_rows_total",
+                "Rows re-scored from the dead-letter queue, by resolution.",
+            ).inc(len(entries), resolution=source)
+            registry.event(
+                "dead_letter_replayed",
+                minute=scored_minute,
+                rows=len(entries),
+                resolution=source,
+            )
             alerts.extend(
                 self._emit(entries, scores, predicted, scored_minute, version, source)
             )
+        if res.replayed_batches:
+            get_registry().gauge(
+                "repro_serve_dlq_depth",
+                "Unreplayed batches in the dead-letter queue.",
+            ).set(len(self.dlq.pending_batches()))
         return alerts
 
     def finalize(self, now_minute: float) -> list[Alert]:

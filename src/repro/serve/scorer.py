@@ -26,11 +26,19 @@ from dataclasses import dataclass, field
 
 from repro.core.twostage import TwoStagePredictor
 from repro.features.schema import FeatureSchema
+from repro.obs import DEFAULT_MINUTE_BUCKETS, DEFAULT_SIZE_BUCKETS, get_registry
 from repro.serve.engine import StreamedRow, rows_to_matrix
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive
 
 __all__ = ["ScorerConfig", "Alert", "ServeCounters", "MicroBatchScorer"]
+
+
+def _flush_counter():
+    """The shared flush counter (looked up lazily; scorers pickle)."""
+    return get_registry().counter(
+        "repro_serve_flushes_total", "Micro-batch flushes, by trigger kind."
+    )
 
 
 @dataclass(frozen=True)
@@ -153,6 +161,7 @@ class MicroBatchScorer:
             )
             if len(self._queue) >= self.config.max_batch_size:
                 self.counters.size_flushes += 1
+                _flush_counter().inc(kind="size")
                 alerts.extend(self._flush_batch(float(enqueue_minute)))
         return alerts
 
@@ -162,6 +171,7 @@ class MicroBatchScorer:
         deadline = self.config.flush_deadline_minutes
         while self._queue and self._queue[0][0] + deadline <= now_minute:
             self.counters.deadline_flushes += 1
+            _flush_counter().inc(kind="deadline")
             alerts.extend(self._flush_batch(now_minute))
         return alerts
 
@@ -173,6 +183,7 @@ class MicroBatchScorer:
                 now_minute if now_minute is not None else self._queue[-1][0]
             )
             self.counters.final_flushes += 1
+            _flush_counter().inc(kind="final")
             alerts.extend(self._flush_batch(float(final_minute)))
         return alerts
 
@@ -204,7 +215,13 @@ class MicroBatchScorer:
         matrix = rows_to_matrix(rows, self._schema)
         started = time.perf_counter()
         scores = self._predictor.decision_scores(matrix)
-        self.counters.scoring_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.counters.scoring_seconds += elapsed
+        get_registry().counter(
+            "repro_serve_scoring_seconds_total",
+            "Wall time spent inside model prediction.",
+            wall=True,
+        ).inc(elapsed)
         threshold = self._predictor.model.threshold
         predicted = (scores >= threshold).astype(int)
         return scores, predicted, self.model_version, "primary"
@@ -219,9 +236,18 @@ class MicroBatchScorer:
         source: str,
     ) -> list[Alert]:
         """Turn one scored batch into alerts and update the counters."""
+        # Registry handles are looked up per batch, not stored: scorers
+        # are pickled into replay checkpoints.
+        registry = get_registry()
+        queue_minutes = registry.histogram(
+            "repro_serve_queue_minutes",
+            "Event-time latency from row emission to scoring (minutes).",
+            buckets=DEFAULT_MINUTE_BUCKETS,
+        )
         alerts = []
         for (enqueue_minute, row), score, label in zip(entries, scores, predicted):
             self.counters.total_queue_minutes += scored_minute - enqueue_minute
+            queue_minutes.observe(scored_minute - enqueue_minute)
             alerts.append(
                 Alert(
                     run_idx=row.run_idx,
@@ -240,4 +266,15 @@ class MicroBatchScorer:
         self.counters.batches += 1
         self.counters.batch_sizes.append(len(entries))
         self.counters.positive_alerts += int(predicted.sum())
+        registry.counter(
+            "repro_serve_rows_scored_total", "Rows scored, by model source."
+        ).inc(len(entries), source=source)
+        registry.counter(
+            "repro_serve_alerts_total", "Positive alerts emitted."
+        ).inc(int(predicted.sum()))
+        registry.histogram(
+            "repro_serve_batch_rows",
+            "Rows per scored micro-batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).observe(len(entries))
         return alerts

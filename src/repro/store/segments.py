@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.telemetry.config import TraceConfig
 from repro.telemetry.simulator import ShardResult, merge_shard_results
 from repro.telemetry.trace import Trace, config_from_dict, config_to_dict
@@ -229,6 +230,13 @@ def write_segment(
     num_samples = int(
         sum(next(iter(block.values())).shape[0] for _, block in result.blocks)
     )
+    registry = get_registry()
+    registry.counter(
+        "repro_store_segments_written_total", "Segments committed to disk."
+    ).inc()
+    registry.counter(
+        "repro_store_segment_rows_total", "Sample rows committed to segments."
+    ).inc(num_samples)
     return {
         **span.to_dict(),
         "file": path.name,
@@ -357,16 +365,23 @@ class SegmentedTraceStore:
         entry = self.manifest()["segments"][index]
         path = self.segment_path(index)
         if not path.is_file():
-            return SegmentStatus(index, "missing", f"{path.name} does not exist")
-        actual = sha256_file(path)
-        expected = entry["checksum"]
-        if actual != expected:
-            return SegmentStatus(
-                index,
-                "corrupt",
-                f"checksum mismatch: expected {expected}, actual {actual}",
-            )
-        return SegmentStatus(index, "ok")
+            status = SegmentStatus(index, "missing", f"{path.name} does not exist")
+        else:
+            actual = sha256_file(path)
+            expected = entry["checksum"]
+            if actual != expected:
+                status = SegmentStatus(
+                    index,
+                    "corrupt",
+                    f"checksum mismatch: expected {expected}, actual {actual}",
+                )
+            else:
+                status = SegmentStatus(index, "ok")
+        get_registry().counter(
+            "repro_store_segments_verified_total",
+            "Segment checksum verifications, by outcome.",
+        ).inc(status=status.status)
+        return status
 
     def verify(self) -> list[SegmentStatus]:
         """Checksum-verify every segment (no healing)."""
@@ -465,6 +480,10 @@ class SegmentedTraceStore:
         )
         target = self.quarantine_path / f"{path.name}.{generation}"
         path.replace(target)
+        get_registry().counter(
+            "repro_store_segments_quarantined_total",
+            "Damaged segment files moved aside before healing.",
+        ).inc()
         return target
 
     def recover_segment(self, index: int, *, detail: str = "") -> SegmentStatus:
@@ -492,6 +511,12 @@ class SegmentedTraceStore:
         entries = self.entries()
         entries[index] = entry
         self.write_manifest(self.config(), entries, self.app_names())
+        registry = get_registry()
+        registry.counter(
+            "repro_store_segments_healed_total",
+            "Segments re-simulated back to pristine bits.",
+        ).inc()
+        registry.event("segment_healed", segment=index)
         return SegmentStatus(index, "recovered", detail)
 
     def recover(self, *, strict: bool = False) -> list[SegmentStatus]:

@@ -34,12 +34,12 @@ same merge, so there is a single ordering code path to keep in sync.
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import SpanTracer, get_registry
 from repro.telemetry.applications import ApplicationCatalog
 from repro.telemetry.config import TraceConfig
 from repro.telemetry.errors import SbeErrorModel
@@ -198,9 +198,11 @@ class TraceSimulator:
         n = span.num_nodes
         dt = cfg.tick_minutes
         num_ticks = cfg.num_ticks
-        sim_seconds = 0.0
-        sample_seconds = 0.0
-        stage_start = time.perf_counter()
+        # Wall-clock stage spans.  The tracer is local to the shard (it
+        # may be running inside a process-pool worker); its totals ride
+        # back on the ShardResult and are published at merge time.
+        spans = SpanTracer()
+        spans.start("simulate")
         schedule = self._scheduler.build_schedule()
 
         starts_at: dict[int, list[ScheduledRun]] = defaultdict(list)
@@ -327,8 +329,7 @@ class TraceSimulator:
             cpu_temp = self._thermal.cpu_temp
 
             # --- 4. sampling -------------------------------------------
-            sample_start = time.perf_counter()
-            sim_seconds += sample_start - stage_start
+            spans.switch("sample")
             if nodes_per_slot > 1:
                 slot_sum_t = gpu_temp.reshape(-1, nodes_per_slot).sum(axis=1)
                 slot_sum_p = watts.reshape(-1, nodes_per_slot).sum(axis=1)
@@ -362,12 +363,11 @@ class TraceSimulator:
                 cage_lo = (node // per_cage) * per_cage - lo
                 cage_slice = slice(cage_lo, cage_lo + per_cage)
                 series["cage_avg_temp"].append(float(gpu_temp[cage_slice].mean()))
-            stage_start = time.perf_counter()
-            sample_seconds += stage_start - sample_start
+            spans.switch("simulate")
 
         if jobs:
             raise SimulationError(f"{len(jobs)} jobs never completed")
-        sim_seconds += time.perf_counter() - stage_start
+        spans.stop()
 
         return ShardResult(
             lo=lo,
@@ -384,7 +384,10 @@ class TraceSimulator:
             },
             app_names=list(self._catalog.names),
             num_ticks=num_ticks,
-            stage_seconds={"simulate": sim_seconds, "sample": sample_seconds},
+            stage_seconds={
+                "simulate": spans.get("simulate"),
+                "sample": spans.get("sample"),
+            },
         )
 
     # ------------------------------------------------------------------
@@ -482,7 +485,68 @@ class TraceSimulator:
 
 
 # ----------------------------------------------------------------------
-def merge_shard_results(config: TraceConfig, results: list[ShardResult]) -> Trace:
+def _shard_sample_rows(result: ShardResult) -> int:
+    """Sample rows this shard produced (sum of its block lengths)."""
+    return sum(
+        len(next(iter(block.values()))) for _, block in result.blocks if block
+    )
+
+
+def _record_sim_metrics(
+    registry,
+    results: list[ShardResult],
+    trace: Trace,
+    stage_seconds: dict[str, float],
+) -> None:
+    """Publish simulator metrics after a merge.
+
+    Runs in the parent process only — shard workers may live in a
+    process pool whose registries vanish — so ``--jobs N`` records
+    exactly what ``--jobs 1`` records.  Row/run counts are
+    deterministic; stage wall times and rows/sec are ``wall=True`` and
+    therefore excluded from snapshot digests.
+    """
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_sim_rows_total", "Sample rows produced by the simulator."
+    ).inc(trace.num_samples)
+    registry.counter(
+        "repro_sim_runs_total", "Scheduled runs completed."
+    ).inc(trace.num_runs)
+    registry.counter(
+        "repro_sim_merges_total", "Shard merges performed."
+    ).inc()
+    shard_rows = registry.counter(
+        "repro_sim_shard_rows_total", "Sample rows produced per node span."
+    )
+    shard_rate = registry.gauge(
+        "repro_sim_shard_rows_per_sec",
+        "Sample rows per wall second, per node span (last merge).",
+        wall=True,
+    )
+    for result in results:
+        span_label = f"{result.lo}:{result.hi}"
+        rows = _shard_sample_rows(result)
+        shard_rows.inc(rows, shard=span_label)
+        seconds = sum(result.stage_seconds.values())
+        if seconds > 0:
+            shard_rate.set(rows / seconds, shard=span_label)
+    stage_counter = registry.counter(
+        "repro_sim_stage_seconds_total",
+        "Wall time spent per simulator stage.",
+        wall=True,
+    )
+    for stage, seconds in stage_seconds.items():
+        stage_counter.inc(seconds, stage=stage)
+
+
+def merge_shard_results(
+    config: TraceConfig,
+    results: list[ShardResult],
+    *,
+    registry=None,
+) -> Trace:
     """Deterministically merge shard outputs into one trace.
 
     Shards are sorted by node range (they must tile the machine without
@@ -491,7 +555,8 @@ def merge_shard_results(config: TraceConfig, results: list[ShardResult]) -> Trac
     laid out in the schedule's completion order, which every shard
     derived independently and must agree on.
     """
-    collate_start = time.perf_counter()
+    spans = SpanTracer()
+    spans.start("collate")
     if not results:
         raise SimulationError("no shard results to merge")
     results = sorted(results, key=lambda r: r.lo)
@@ -576,9 +641,16 @@ def merge_shard_results(config: TraceConfig, results: list[ShardResult]) -> Trac
         ),
         recorded_series=recorded,
     )
-    stage_seconds["collate"] = time.perf_counter() - collate_start
+    spans.stop()
+    stage_seconds["collate"] = spans.get("collate")
     trace.meta["stage_seconds"] = stage_seconds
     trace.meta["shards"] = len(results)
+    _record_sim_metrics(
+        registry if registry is not None else get_registry(),
+        results,
+        trace,
+        stage_seconds,
+    )
     return trace
 
 

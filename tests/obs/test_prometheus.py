@@ -1,0 +1,59 @@
+"""Prometheus text exposition: format lines, escaping, determinism."""
+
+from repro.obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
+
+
+def test_content_type_is_exposition_format_0_0_4():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_counter_renders_help_type_and_samples():
+    registry = MetricsRegistry()
+    registry.counter("repro_rows_total", "Rows processed.").inc(
+        3.0, shard="0:4"
+    )
+    text = render_prometheus(registry)
+    assert "# HELP repro_rows_total Rows processed.\n" in text
+    assert "# TYPE repro_rows_total counter\n" in text
+    assert 'repro_rows_total{shard="0:4"} 3\n' in text
+    assert text.endswith("\n")
+
+
+def test_untouched_instrument_renders_zero():
+    registry = MetricsRegistry()
+    registry.counter("repro_rows_total")
+    assert "repro_rows_total 0\n" in render_prometheus(registry)
+
+
+def test_label_value_escaping():
+    registry = MetricsRegistry()
+    registry.counter("repro_odd_total").inc(
+        1.0, path='a\\b"c\nd'
+    )
+    text = render_prometheus(registry)
+    assert 'path="a\\\\b\\"c\\nd"' in text
+
+
+def test_histogram_renders_cumulative_buckets_sum_count():
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_batch_rows", buckets=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        hist.observe(value)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_batch_rows histogram\n" in text
+    assert 'repro_batch_rows_bucket{le="1"} 1\n' in text
+    assert 'repro_batch_rows_bucket{le="10"} 2\n' in text
+    assert 'repro_batch_rows_bucket{le="+Inf"} 3\n' in text
+    assert "repro_batch_rows_sum 55.5\n" in text
+    assert "repro_batch_rows_count 3\n" in text
+
+
+def test_two_scrapes_of_identical_registries_are_byte_identical():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total").inc(2.0, z="1", a="2")
+        registry.gauge("repro_a_depth").set(4.0)
+        registry.histogram("repro_c", buckets=(1.0,)).observe(0.5)
+        return render_prometheus(registry)
+
+    assert build() == build()

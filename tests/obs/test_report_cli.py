@@ -1,0 +1,129 @@
+"""Snapshot persistence + the ``repro obs report`` / ``obs diff`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    render_report,
+    use_registry,
+    write_snapshot,
+)
+from repro.utils.errors import ValidationError
+
+
+def _registry(rows=10.0):
+    registry = MetricsRegistry()
+    registry.counter("repro_rows_total", "Rows.").inc(rows, shard="0:4")
+    registry.histogram("repro_batch_rows", buckets=(16.0, 64.0)).observe(20.0)
+    registry.event("tick", minute=5.0, rows=int(rows))
+    return registry
+
+
+class TestSnapshotFiles:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "snap.json"
+        written = write_snapshot(path, _registry(), run={"preset": "tiny"})
+        loaded = load_snapshot(path)
+        assert loaded == written
+        assert loaded["run"] == {"preset": "tiny"}
+
+    def test_load_rejects_tampered_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_snapshot(path, _registry())
+        snapshot = json.loads(path.read_text())
+        snapshot["metrics"][1]["samples"][0]["value"] = 999.0
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(ValidationError, match="digest mismatch"):
+            load_snapshot(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no obs snapshot"):
+            load_snapshot(tmp_path / "absent.json")
+
+
+class TestRenderers:
+    def test_report_lists_every_series_and_event(self):
+        snapshot = _registry().snapshot()
+        report = render_report(snapshot)
+        assert "repro_rows_total" in report
+        assert "shard=0:4" in report
+        assert "count=1" in report  # histogram series line
+        assert "tick" in report and "minute 5" in report
+
+    def test_diff_flags_changed_and_missing_series(self):
+        before = _registry(rows=10.0).snapshot()
+        after_registry = _registry(rows=12.0)
+        after_registry.counter("repro_new_total").inc()
+        after = after_registry.snapshot()
+        diffs = diff_snapshots(before, after)
+        by_metric = {entry["metric"]: entry for entry in diffs}
+        assert by_metric["repro_rows_total"]["before"] == 10.0
+        assert by_metric["repro_rows_total"]["after"] == 12.0
+        assert by_metric["repro_new_total"]["before"] is None
+        assert "series differ" in render_diff(before, after)
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        snapshot = _registry().snapshot()
+        assert diff_snapshots(snapshot, snapshot) == []
+        assert "no series-level differences" in render_diff(
+            snapshot, snapshot
+        )
+
+
+class TestObsCli:
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        path = tmp_path / "snap.json"
+        with use_registry(MetricsRegistry()):
+            code = main(
+                [
+                    "--preset",
+                    "tiny",
+                    "--no-cache",
+                    "--obs",
+                    "on",
+                    "--obs-snapshot",
+                    str(path),
+                    "simulate",
+                    "--out",
+                    str(tmp_path / "trace"),
+                ]
+            )
+        assert code == 0
+        return path
+
+    def test_snapshot_flag_writes_a_loadable_snapshot(self, snapshot_path):
+        snapshot = load_snapshot(snapshot_path)
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert "repro_sim_rows_total" in names
+        assert snapshot["run"]["command"] == "simulate"
+
+    def test_report_subcommand(self, snapshot_path, capsys):
+        assert main(["obs", "report", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_sim_rows_total" in out
+        assert "digest:" in out
+
+    def test_diff_subcommand_exit_codes(self, snapshot_path, capsys):
+        same = main(
+            ["obs", "diff", str(snapshot_path), str(snapshot_path)]
+        )
+        assert same == 0
+        assert "no series-level differences" in capsys.readouterr().out
+
+        other = snapshot_path.parent / "other.json"
+        with use_registry(_registry()):
+            write_snapshot(other, _registry())
+        different = main(["obs", "diff", str(snapshot_path), str(other)])
+        assert different == 1
+        assert "series differ" in capsys.readouterr().out
+
+    def test_report_on_missing_snapshot_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 1
+        assert "repro: error:" in capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""Same seed -> same obs snapshot digest, serial or sharded.
+
+These are integration tests for invariant 2 of ``repro.obs.metrics``:
+every metric derived from deterministic pipeline state is wall-excluded
+or seed-stable, so a fresh registry observing the same run twice (or the
+same run at different ``--jobs``) produces the same snapshot digest.
+"""
+
+import pytest
+
+from repro.experiments.presets import preset_config
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel.simulate import simulate_trace_sharded
+from repro.serve import serve_replay
+from repro.telemetry.simulator import simulate_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return preset_config("tiny")
+
+
+def _simulate_digest(config, *, shards=None, jobs=1):
+    with use_registry(MetricsRegistry()) as registry:
+        if shards is None:
+            simulate_trace(config)
+        else:
+            simulate_trace_sharded(config, shards=shards, jobs=jobs)
+        return registry.snapshot_digest()
+
+
+class TestSimulateSnapshots:
+    def test_same_seed_same_digest(self, tiny_config):
+        assert _simulate_digest(tiny_config) == _simulate_digest(tiny_config)
+
+    def test_jobs_parity(self, tiny_config):
+        serial = _simulate_digest(tiny_config, shards=2, jobs=1)
+        parallel = _simulate_digest(tiny_config, shards=2, jobs=2)
+        assert serial == parallel
+
+    def test_digest_tracks_run_content(self, tiny_config):
+        one_shard = _simulate_digest(tiny_config, shards=1, jobs=1)
+        two_shards = _simulate_digest(tiny_config, shards=2, jobs=1)
+        assert one_shard != two_shards  # shard layout is run content
+
+
+class TestServeReplaySnapshots:
+    def test_same_seed_same_digest(self, tiny_trace, tiny_context, tmp_path):
+        splits = tiny_context.preset_splits()
+        digests = []
+        for leg in range(2):
+            with use_registry(MetricsRegistry()) as registry:
+                serve_replay(
+                    tiny_trace,
+                    tmp_path / f"registry-{leg}",
+                    splits=splits,
+                    fast=True,
+                    batch_size=64,
+                )
+                digests.append(registry.snapshot_digest())
+        assert digests[0] == digests[1]

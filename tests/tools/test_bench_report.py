@@ -1,0 +1,124 @@
+"""bench_report: extraction, trajectory table, regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import bench_report  # noqa: E402
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    (tmp_path / "BENCH_scale.json").write_text(
+        json.dumps(
+            {
+                "monolithic": {"rows_per_sec": 6000.0, "peak_rss_bytes": 2.0e8},
+                "segmented": {"rows_per_sec": 1300.0, "peak_rss_bytes": 1.5e8},
+            }
+        )
+    )
+    (tmp_path / "BENCH_gateway.json").write_text(
+        json.dumps(
+            {
+                "points": [
+                    {"shards": 1, "events_per_sec": 30000.0, "p99_ms": 2.5},
+                    {"shards": 2, "events_per_sec": 12000.0, "p99_ms": 2.0},
+                ]
+            }
+        )
+    )
+    (tmp_path / "BENCH_hotpath.json").write_text(
+        json.dumps({"entries": [{"label": "tick loop", "rows_per_sec": 5000.0}]})
+    )
+    return tmp_path
+
+
+class TestExtraction:
+    def test_collects_all_known_artifacts(self, bench_dir):
+        metrics = bench_report.collect_metrics(bench_dir)
+        assert metrics["scale.monolithic.rows_per_sec"] == 6000.0
+        assert metrics["gateway.shards2.p99_ms"] == 2.0
+        assert metrics["hotpath.tick_loop.rows_per_sec"] == 5000.0
+
+    def test_missing_and_damaged_files_are_tolerated(self, tmp_path, capsys):
+        assert bench_report.collect_metrics(tmp_path) == {}
+        (tmp_path / "BENCH_scale.json").write_text("{not json")
+        assert bench_report.collect_metrics(tmp_path) == {}
+        assert "skipping BENCH_scale.json" in capsys.readouterr().err
+
+
+class TestRegressionGate:
+    def test_throughput_drop_past_threshold_fails(self):
+        failures = bench_report.check_regressions(
+            current={"hotpath.x.rows_per_sec": 700.0},
+            baseline={"hotpath.x.rows_per_sec": 1000.0},
+            threshold=0.2,
+        )
+        assert len(failures) == 1 and "below baseline" in failures[0]
+
+    def test_latency_rise_past_threshold_fails(self):
+        failures = bench_report.check_regressions(
+            current={"gateway.shards1.p99_ms": 3.0},
+            baseline={"gateway.shards1.p99_ms": 2.0},
+        )
+        assert len(failures) == 1 and "above baseline" in failures[0]
+
+    def test_within_threshold_passes(self):
+        assert (
+            bench_report.check_regressions(
+                current={"hotpath.x.rows_per_sec": 900.0},
+                baseline={"hotpath.x.rows_per_sec": 1000.0},
+            )
+            == []
+        )
+
+    def test_metrics_missing_from_either_side_never_fail(self):
+        assert (
+            bench_report.check_regressions(
+                current={"hotpath.new.rows_per_sec": 1.0},
+                baseline={"hotpath.old.rows_per_sec": 1000.0},
+            )
+            == []
+        )
+
+
+class TestCli:
+    def test_check_without_baseline_passes_vacuously(self, bench_dir, capsys):
+        assert bench_report.main(["--dir", str(bench_dir), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "vacuously" in out
+        assert "scale.monolithic.rows_per_sec" in out
+
+    def test_check_against_baseline(self, bench_dir, capsys):
+        baseline = bench_dir / "baseline.json"
+        assert (
+            bench_report.main(
+                ["--dir", str(bench_dir), "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        assert (
+            bench_report.main(
+                ["--dir", str(bench_dir), "--baseline", str(baseline), "--check"]
+            )
+            == 0
+        )
+        assert "regression gate ok" in capsys.readouterr().out
+
+        # Regress the hot path past 20% and the gate must fail.
+        (bench_dir / "BENCH_hotpath.json").write_text(
+            json.dumps(
+                {"entries": [{"label": "tick loop", "rows_per_sec": 3000.0}]}
+            )
+        )
+        assert (
+            bench_report.main(
+                ["--dir", str(bench_dir), "--baseline", str(baseline), "--check"]
+            )
+            == 1
+        )
+        assert "FAIL hotpath.tick_loop.rows_per_sec" in capsys.readouterr().out

@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Aggregate BENCH_*.json artifacts into one trajectory table.
+
+Every benchmark harness in this repo (tools/../benches, the gateway
+bench, the future hot-path bench) drops a ``BENCH_<name>.json`` at the
+repo root.  Each file has its own shape, so this tool owns one small
+extractor per name and flattens everything into ``metric -> value``
+rows with a known *direction* (higher-is-better throughput vs
+lower-is-better latency/RSS).  That flat view is what the regression
+gate compares.
+
+Usage::
+
+    python tools/bench_report.py                    # print the table
+    python tools/bench_report.py --check            # + regression gate
+    python tools/bench_report.py --write-baseline   # pin current values
+
+``--check`` compares the current metrics against the committed baseline
+(``tools/bench_baseline.json``) and fails (exit 1) when any throughput
+metric regresses by more than ``--threshold`` (default 20%) or any
+latency/RSS metric inflates by more than the same factor.  Metrics
+missing from either side are reported but never fail the gate — the
+wiring must tolerate benches that have not been (re)run on this
+machine, and a baseline that predates a newly added bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Regression direction per metric suffix: ``higher`` means a drop is a
+#: regression (throughput); ``lower`` means a rise is one (latency, RSS).
+HIGHER_IS_BETTER = ("rows_per_sec", "events_per_sec")
+LOWER_IS_BETTER = ("p50_ms", "p99_ms", "peak_rss_bytes", "seconds")
+
+DEFAULT_BASELINE = "tools/bench_baseline.json"
+DEFAULT_THRESHOLD = 0.20
+
+
+def _direction(metric: str) -> str:
+    """``higher`` / ``lower`` / ``info`` for one flattened metric name."""
+    for suffix in HIGHER_IS_BETTER:
+        if metric.endswith(suffix):
+            return "higher"
+    for suffix in LOWER_IS_BETTER:
+        if metric.endswith(suffix):
+            return "lower"
+    return "info"
+
+
+# -- per-file extractors -------------------------------------------------
+
+
+def extract_scale(payload: dict) -> dict[str, float]:
+    """BENCH_scale.json: monolithic vs segmented feature-build run."""
+    metrics: dict[str, float] = {}
+    for leg in ("monolithic", "segmented"):
+        data = payload.get(leg)
+        if not isinstance(data, dict):
+            continue
+        for key in ("rows_per_sec", "peak_rss_bytes", "seconds"):
+            if key in data:
+                metrics[f"scale.{leg}.{key}"] = float(data[key])
+    return metrics
+
+
+def extract_gateway(payload: dict) -> dict[str, float]:
+    """BENCH_gateway.json: one point per shard count."""
+    metrics: dict[str, float] = {}
+    for point in payload.get("points", []):
+        if not isinstance(point, dict) or "shards" not in point:
+            continue
+        prefix = f"gateway.shards{int(point['shards'])}"
+        for key in ("events_per_sec", "p50_ms", "p99_ms"):
+            if key in point:
+                metrics[f"{prefix}.{key}"] = float(point[key])
+    return metrics
+
+
+def extract_hotpath(payload: dict) -> dict[str, float]:
+    """BENCH_hotpath.json (future): ``{"entries": [{label, rows_per_sec}]}``."""
+    metrics: dict[str, float] = {}
+    for entry in payload.get("entries", []):
+        if not isinstance(entry, dict) or "label" not in entry:
+            continue
+        label = str(entry["label"]).replace(" ", "_")
+        if "rows_per_sec" in entry:
+            metrics[f"hotpath.{label}.rows_per_sec"] = float(entry["rows_per_sec"])
+    return metrics
+
+
+EXTRACTORS = {
+    "BENCH_scale.json": extract_scale,
+    "BENCH_gateway.json": extract_gateway,
+    "BENCH_hotpath.json": extract_hotpath,
+}
+
+
+def collect_metrics(root: Path) -> dict[str, float]:
+    """Flatten every recognized ``BENCH_*.json`` under ``root``.
+
+    Missing files are skipped silently (benches are optional); damaged
+    ones are skipped with a note on stderr — the report must never fail
+    because one artifact is stale or torn.
+    """
+    metrics: dict[str, float] = {}
+    for name, extractor in sorted(EXTRACTORS.items()):
+        path = root / name
+        if not path.exists():
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench_report: skipping {name}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(payload, dict):
+            metrics.update(extractor(payload))
+    return metrics
+
+
+# -- regression gate -----------------------------------------------------
+
+
+def check_regressions(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Return one message per metric that regressed past ``threshold``.
+
+    Only metrics present on *both* sides participate; ``info`` metrics
+    (no known direction) never fail.
+    """
+    failures: list[str] = []
+    for metric in sorted(set(current) & set(baseline)):
+        base, now = baseline[metric], current[metric]
+        direction = _direction(metric)
+        if base <= 0 or direction == "info":
+            continue
+        if direction == "higher" and now < base * (1.0 - threshold):
+            failures.append(
+                f"{metric}: {now:g} is {100 * (1 - now / base):.1f}% below "
+                f"baseline {base:g} (limit {100 * threshold:.0f}%)"
+            )
+        elif direction == "lower" and now > base * (1.0 + threshold):
+            failures.append(
+                f"{metric}: {now:g} is {100 * (now / base - 1):.1f}% above "
+                f"baseline {base:g} (limit {100 * threshold:.0f}%)"
+            )
+    return failures
+
+
+def render_table(
+    current: dict[str, float], baseline: dict[str, float] | None = None
+) -> str:
+    """The trajectory table: metric, direction, baseline, current, delta."""
+    if not current:
+        return "no BENCH_*.json artifacts found"
+    baseline = baseline or {}
+    header = f"{'metric':<34}  {'dir':<6}  {'baseline':>12}  {'current':>12}  {'delta':>8}"
+    lines = [header, "-" * len(header)]
+    for metric in sorted(current):
+        now = current[metric]
+        base = baseline.get(metric)
+        if base is None or base == 0:
+            base_text, delta_text = "-", "-"
+        else:
+            base_text = f"{base:g}"
+            delta_text = f"{100 * (now - base) / base:+.1f}%"
+        lines.append(
+            f"{metric:<34}  {_direction(metric):<6}  {base_text:>12}  "
+            f"{now:>12g}  {delta_text:>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline metrics JSON (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any metric regresses past --threshold vs the baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression (default: 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="pin the current metrics as the new baseline file",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.dir)
+    current = collect_metrics(root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "tools" / "bench_baseline.json"
+    )
+    baseline: dict[str, float] = {}
+    if baseline_path.exists():
+        try:
+            baseline = {
+                str(k): float(v)
+                for k, v in json.loads(baseline_path.read_text()).items()
+            }
+        except (OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+            print(f"bench_report: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+
+    if args.write_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline ({len(current)} metrics) -> {baseline_path}")
+        return 0
+
+    print(render_table(current, baseline))
+    if not args.check:
+        return 0
+    if not baseline:
+        print("\nno baseline pinned; regression gate passes vacuously")
+        return 0
+    failures = check_regressions(current, baseline, args.threshold)
+    if failures:
+        print(f"\n{len(failures)} regression(s) past the gate:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    checked = len(set(current) & set(baseline))
+    print(f"\nregression gate ok ({checked} metric(s) within {100 * args.threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

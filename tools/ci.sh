@@ -4,7 +4,9 @@
 # golden-digest regression + parallel smoke + serve smoke legs (clean,
 # chaos, kill-and-resume) + gateway smoke (HTTP fleet, alarms,
 # zero-drop ledger) + disk-fault smoke (inject -> recover -> digest
-# parity).
+# parity) + obs digest-neutrality gate (content digests identical with
+# observability off/on/sampled; obs snapshots seed-reproducible) +
+# bench regression gate.
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -155,3 +157,68 @@ echo "== registry audit =="
 # The clean-leg registry must verify ok.  (The chaos registries may hold
 # corrupt hot-swap debris by design, which verify would rightly flag.)
 python -m repro.cli registry verify --registry "$workdir/registry"
+
+echo
+echo "== obs digest-neutrality gate =="
+# Observability must be read-only: trace and replay content digests are
+# bit-identical with recording off, on, and sampled, and two same-seed
+# runs against fresh registries produce the same snapshot digest.
+python - "$workdir" <<'PY'
+import sys
+import tempfile
+sys.path.insert(0, "tools")
+
+from check_determinism import trace_digest
+
+from repro.experiments.presets import preset_config, split_plan
+from repro.features.splits import make_paper_splits
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import serve_replay
+from repro.telemetry.simulator import simulate_trace
+
+config = preset_config("tiny")
+plan = split_plan("tiny")
+
+digests = {}
+snapshot_digests = []
+for mode in ("off", "on", "sample", "on"):
+    with use_registry(MetricsRegistry(mode=mode)) as registry:
+        trace = simulate_trace(config)
+        digests.setdefault(mode, set()).add(trace_digest(trace))
+        if mode == "on":
+            snapshot_digests.append(registry.snapshot_digest())
+(unique,) = {d for seen in digests.values() for d in seen}
+print(f"  trace digest mode-neutral ({unique[:16]}...)")
+assert snapshot_digests[0] == snapshot_digests[1], snapshot_digests
+print(f"  obs snapshot seed-stable ({snapshot_digests[0][:16]}...)")
+
+splits = make_paper_splits(
+    train_days=plan["train_days"],
+    test_days=plan["test_days"],
+    offsets_days=tuple(plan["offsets"]),
+    duration_days=trace.config.duration_days,
+)
+replay_digests = {}
+for mode in ("off", "on"):
+    with use_registry(MetricsRegistry(mode=mode)):
+        with tempfile.TemporaryDirectory() as root:
+            report = serve_replay(
+                trace, root, splits=splits, fast=True, batch_size=64
+            )
+            replay_digests[mode] = report.digest()
+assert replay_digests["off"] == replay_digests["on"], replay_digests
+print(f"  serve-replay digest mode-neutral ({replay_digests['on'][:16]}...)")
+PY
+# CLI surface: --obs-snapshot writes a loadable snapshot; report renders
+# it; diff of a snapshot against itself is empty (exit 0).
+REPRO_CACHE_DIR="$workdir/cache" python -m repro.cli --preset tiny \
+    --obs on --obs-snapshot "$workdir/obs-snap.json" \
+    simulate --out "$workdir/trace-obs"
+python -m repro.cli obs report "$workdir/obs-snap.json" > /dev/null
+python -m repro.cli obs diff "$workdir/obs-snap.json" "$workdir/obs-snap.json"
+
+echo
+echo "== bench regression gate =="
+# Trajectory table over every BENCH_*.json; fails on >20% regression
+# against the pinned baseline once one exists (vacuous pass until then).
+python tools/bench_report.py --check
