@@ -10,10 +10,13 @@ Subcommands::
     repro experiment fig10 table2 ...                  # named artifacts
     repro experiment all                               # the full sweep
     repro faults --intensities 0,0.1,0.25 --seed 7     # degradation curve
+    repro simulate --out t --scenario regime-change    # scripted cluster life
     repro serve-replay --registry runs/registry        # online-path replay
     repro serve-replay --registry r --chaos 0.25       # chaos replay
+    repro serve-replay --registry r --drift            # drift-guarded retrains
     repro resilience --intensities 0,0.25 --seed 7     # availability curve
     repro registry verify --registry runs/registry     # checksum audit
+    repro registry rollback --registry r --to 2        # re-point the head
     repro store simulate --out runs/store --segments 8 # segmented trace
     repro store verify --store runs/store              # checksum audit
     repro store recover --store runs/store             # heal bad segments
@@ -50,6 +53,7 @@ from repro.experiments.resilience_experiment import (
     run_resilience,
 )
 from repro.experiments.presets import PRESETS, preset_config
+from repro.scenarios import scenario_preset, scenario_preset_names
 from repro.obs import (
     configure as obs_configure,
     diff_snapshots,
@@ -135,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="row-shard count for the simulation (default: the --jobs "
         "value; merged output is bit-identical to a serial run)",
     )
+    sim.add_argument(
+        "--scenario",
+        default=None,
+        choices=sorted(scenario_preset_names()),
+        help="script cluster life over the trace (seasonal drift, "
+        "maintenance, SBE storms, ...); omitted = bit-identical to "
+        "today's output",
+    )
 
     sub.add_parser("characterize", help="run the characterization experiments")
 
@@ -188,6 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="periodic retrain cadence in days (off by default)",
+    )
+    sv.add_argument(
+        "--retrain-window-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="restrict every refit to rows resolved within this sliding "
+        "window (default: all rows since start)",
+    )
+    sv.add_argument(
+        "--drift",
+        action="store_true",
+        help="arm the drift detectors and the guarded-retrain governor "
+        "(holdout validation + automatic rollback)",
     )
     sv.add_argument("--seed", type=int, default=0, help="stage-2 model seed")
     sv.add_argument(
@@ -276,13 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
     rs.add_argument("--model", default="gbdt", choices=["lr", "gbdt", "svm", "nn"])
 
     rg = sub.add_parser(
-        "registry", help="inspect a model registry (checksum audit)"
+        "registry", help="inspect or repair a model registry"
     )
-    rg.add_argument("action", choices=["verify"], help="what to do")
+    rg.add_argument("action", choices=["verify", "rollback"], help="what to do")
     rg.add_argument(
         "--registry", required=True, help="model registry root directory"
     )
     rg.add_argument("--name", default="twostage", help="registered model name")
+    rg.add_argument(
+        "--to",
+        type=int,
+        default=None,
+        metavar="VERSION",
+        help="target version for 'rollback' (checksum-verified before "
+        "the head pointer moves)",
+    )
 
     st = sub.add_parser(
         "store", help="segmented trace store (out-of-core, crash-safe)"
@@ -479,8 +513,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     )
 
     if args.command == "simulate":
+        import dataclasses
+
         started = time.perf_counter()
         config = preset_config(args.preset)
+        if args.scenario is not None:
+            config = dataclasses.replace(
+                config, scenario=scenario_preset(args.scenario)
+            )
         shards = args.shards if args.shards is not None else jobs
         if shards > 1 or jobs > 1:
             from repro.parallel.simulate import simulate_trace_sharded
@@ -538,7 +578,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "serve-replay":
-        from repro.serve import serve_replay
+        from repro.serve import DriftConfig, serve_replay
         from repro.serve.resilience import ChaosPlan
 
         chaos = (
@@ -555,6 +595,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             flush_deadline_minutes=args.flush_deadline,
             retrain_every_days=args.retrain_every,
+            retrain_window_days=args.retrain_window_days,
+            drift=DriftConfig() if args.drift else None,
             random_state=args.seed,
             fast=args.fast,
             sanitize=args.sanitize,
@@ -618,6 +660,12 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "registry":
         from repro.serve import ModelRegistry
 
+        if args.action == "rollback":
+            if args.to is None:
+                raise ValidationError("registry rollback requires --to VERSION")
+            entry = ModelRegistry(args.registry).rollback(args.name, args.to)
+            print(f"{args.name}: head -> v{entry.version:04d} (verified ok)")
+            return 0
         statuses = ModelRegistry(args.registry).verify(args.name)
         if not statuses:
             print(f"{args.name}: no version directories")

@@ -1,0 +1,257 @@
+"""Drift experiment: stale vs governed vs fresh serving after a regime change.
+
+Simulates cluster life with a mid-trace maintenance event (every node's
+SBE susceptibility is redrawn — the offender population the stage-1
+filter memorised stops being the offender population), then replays the
+serving path three ways over the same trace:
+
+* **stale** — the day-0 model frozen forever: its F1 collapses after
+  the regime change (the gap under test is >= ``MIN_STALE_GAP``);
+* **governed** — drift detectors + the retrain governor: drift-triggered,
+  holdout-validated, windowed retrains recover to within
+  ``MAX_GOVERNED_GAP`` of the fresh oracle;
+* **fresh** — the oracle: a batch model trained entirely on post-change
+  data, evaluated on the same late window.
+
+A fourth leg poisons the first drift retrain (labels inverted, so the
+candidate validates cleanly against its own poisoned holdout) and
+requires the post-swap monitor to roll it back automatically.
+
+All four legs replay the *same* simulated trace; the evaluation window
+is the late tail of the serving period, far enough after the change for
+every leg to have settled.  ``repro experiment drift`` renders the
+comparison; the raw numbers (including time-to-recover) seed
+``BENCH_drift.json`` for the bench trajectory gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+
+from repro.experiments.presets import preset_config, split_plan
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.features.builder import build_features
+from repro.features.splits import DatasetSplit
+from repro.core.twostage import TwoStagePredictor
+from repro.scenarios import Maintenance, Scenario
+from repro.serve.drift import DriftConfig, positive_f1
+from repro.serve.replay import ReplayReport, serve_replay
+from repro.telemetry.simulator import simulate_trace
+from repro.utils.tables import format_table
+
+__all__ = [
+    "run_drift",
+    "drift_plan",
+    "MIN_STALE_GAP",
+    "MAX_GOVERNED_GAP",
+]
+
+MINUTES_PER_DAY = 1440.0
+
+#: A frozen model must lose at least this much F1 to the fresh oracle.
+MIN_STALE_GAP = 0.10
+#: The governed path must land within this much of the fresh oracle.
+MAX_GOVERNED_GAP = 0.05
+
+
+def drift_plan(preset: str) -> dict[str, float]:
+    """Time plan (days) for the drift trace, scaled from the preset.
+
+    With the preset's training span ``train`` and test span ``T``::
+
+        train window   [0, train)
+        serving starts  train
+        regime change   train + T
+        fresh training  [change + T/3, change + 7T/3)
+        evaluation      [change + 7T/3, change + 13T/3)  (= end of trace)
+    """
+    plan = split_plan(preset)
+    train = plan["train_days"]
+    t = plan["test_days"]
+    change = train + t
+    return {
+        "train_days": train,
+        "change_day": change,
+        "fresh_train_start": change + t / 3.0,
+        "fresh_train_end": change + 7.0 * t / 3.0,
+        "eval_start": change + 7.0 * t / 3.0,
+        "duration_days": change + 13.0 * t / 3.0,
+    }
+
+
+def drift_trace_config(preset: str):
+    """The preset's config, extended and given the regime-change scenario."""
+    plan = drift_plan(preset)
+    return dataclasses.replace(
+        preset_config(preset),
+        duration_days=plan["duration_days"],
+        scenario=Scenario(
+            events=(
+                Maintenance(day=plan["change_day"], susceptibility_scale=1.5),
+            ),
+            seed=1,
+        ),
+    )
+
+
+def drift_detector_config() -> DriftConfig:
+    """Governor tuning for the experiment's short serving horizon."""
+    return DriftConfig(
+        reference_rows=256,
+        window_rows=256,
+        f1_window=120,
+        min_labels=40,
+        check_every_minutes=180.0,
+        cooldown_minutes=1440.0,
+        min_holdout=30,
+        postswap_min_labels=60,
+    )
+
+
+def _window_f1(report: ReplayReport, y_by_key, after_minute: float) -> float:
+    """SBE-class F1 of a replay's alerts landing after ``after_minute``."""
+    tp = fp = fn = 0
+    for alert in report.alerts:
+        key = (alert.run_idx, alert.node_id)
+        if key not in y_by_key or alert.end_minute <= after_minute:
+            continue
+        actual = y_by_key[key]
+        if alert.predicted and actual:
+            tp += 1
+        elif alert.predicted and not actual:
+            fp += 1
+        elif not alert.predicted and actual:
+            fn += 1
+    if 2 * tp + fp + fn == 0:
+        return 0.0
+    return 2.0 * tp / (2 * tp + fp + fn)
+
+
+def run_drift(
+    context: ExperimentContext,
+    *,
+    seed: int = 0,
+    model: str = "gbdt",
+) -> ExperimentResult:
+    """Run the four-leg drift comparison on the context's preset scale."""
+    preset = context.preset
+    plan = drift_plan(preset)
+    trace = simulate_trace(drift_trace_config(preset))
+    change_minute = plan["change_day"] * MINUTES_PER_DAY
+    eval_after = plan["eval_start"] * MINUTES_PER_DAY
+
+    split = DatasetSplit(
+        "DRIFT",
+        0.0,
+        plan["train_days"] * MINUTES_PER_DAY,
+        plan["duration_days"] * MINUTES_PER_DAY,
+    )
+    features = build_features(trace, top_k_apps=16)
+    y_by_key = {
+        (int(r), int(n)): bool(y)
+        for r, n, y in zip(
+            features.meta["run_idx"], features.meta["node_id"], features.y
+        )
+    }
+
+    dcfg = drift_detector_config()
+    # Sliding refit window: ~2.7 test-spans, wide enough that the first
+    # post-change refit still has both classes, narrow enough that the
+    # dead regime washes out of the training set within days.
+    window_days = 8.0 * (plan["change_day"] - plan["train_days"]) / 3.0
+
+    def replay(**kwargs) -> ReplayReport:
+        with tempfile.TemporaryDirectory() as root:
+            return serve_replay(
+                trace,
+                root,
+                splits=[split],
+                split="DRIFT",
+                model=model,
+                random_state=seed,
+                fast=True,
+                **kwargs,
+            )
+
+    stale = replay()
+    governed = replay(drift=dcfg, retrain_window_days=window_days)
+    poisoned = replay(
+        drift=dcfg, retrain_window_days=window_days, poison_retrains=(0,)
+    )
+
+    # Fresh oracle: batch-trained entirely on post-change data.
+    start = features.meta["start_minute"]
+    fresh_split = DatasetSplit(
+        "FRESH",
+        plan["fresh_train_start"] * MINUTES_PER_DAY,
+        plan["fresh_train_end"] * MINUTES_PER_DAY,
+        plan["duration_days"] * MINUTES_PER_DAY,
+    )
+    fresh = TwoStagePredictor(model, random_state=seed, fast=True)
+    fresh.fit(features.rows(fresh_split.train_mask(start)))
+    fresh_f1 = positive_f1(fresh, features.rows(fresh_split.test_mask(start)))
+
+    stale_f1 = _window_f1(stale, y_by_key, eval_after)
+    governed_f1 = _window_f1(governed, y_by_key, eval_after)
+
+    # Time to recover: first governed swap published after the regime
+    # change (the windowed refit that re-learns the new offender set).
+    recovery_swaps = [
+        m for m, _ in governed.drift.get("swaps", []) if m >= change_minute
+    ]
+    time_to_recover_days = (
+        (recovery_swaps[0] - change_minute) / MINUTES_PER_DAY
+        if recovery_swaps
+        else float("inf")
+    )
+
+    poison_rollbacks = poisoned.drift.get("rollbacks", [])
+    poison_caught = poisoned.rollbacks >= 1 or poisoned.retrains_rejected >= 1
+
+    rows = [
+        ("stale (frozen day-0 model)", f"{stale_f1:.4f}", f"{fresh_f1 - stale_f1:+.4f}"),
+        ("governed (drift retrains)", f"{governed_f1:.4f}", f"{fresh_f1 - governed_f1:+.4f}"),
+        ("fresh (post-change oracle)", f"{fresh_f1:.4f}", "+0.0000"),
+    ]
+    text = format_table(["serving mode", "late-window F1", "gap to fresh"], rows)
+    text += (
+        f"\nregime change at day {plan['change_day']:g}; evaluation window "
+        f"day {plan['eval_start']:g}+\n"
+        f"governed: {governed.retrains} retrains "
+        f"({governed.drift_retrains} drift-triggered, "
+        f"{governed.retrains_rejected} rejected by holdout, "
+        f"{governed.rollbacks} rollbacks); "
+        f"time to recover {time_to_recover_days:.2f} days\n"
+        f"poisoned leg: first retrain poisoned -> "
+        f"{poisoned.rollbacks} automatic rollback(s) "
+        f"({'caught' if poison_caught else 'NOT CAUGHT'})"
+    )
+    return ExperimentResult(
+        experiment_id="drift",
+        title="Drift resilience: stale vs governed vs fresh serving",
+        text=text,
+        data={
+            "preset": preset,
+            "model": model,
+            "seed": seed,
+            "plan": plan,
+            "stale_f1": stale_f1,
+            "governed_f1": governed_f1,
+            "fresh_f1": fresh_f1,
+            "stale_gap": fresh_f1 - stale_f1,
+            "governed_gap": fresh_f1 - governed_f1,
+            "time_to_recover_days": time_to_recover_days,
+            "governed_retrains": governed.retrains,
+            "governed_drift_retrains": governed.drift_retrains,
+            "governed_rejected": governed.retrains_rejected,
+            "governed_rollbacks": governed.rollbacks,
+            "governed_triggers": governed.drift.get("triggers", []),
+            "poison_rollbacks": poisoned.rollbacks,
+            "poison_rollback_events": poison_rollbacks,
+            "poison_caught": poison_caught,
+            "min_stale_gap": MIN_STALE_GAP,
+            "max_governed_gap": MAX_GOVERNED_GAP,
+        },
+    )

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import characterization_experiments as chz
 from repro.experiments import prediction_experiments as pred
+from repro.experiments.drift_experiment import run_drift
 from repro.experiments.faults_experiment import run_faults
 from repro.experiments.gateway_experiment import run_gateway
 from repro.experiments.imbalance_experiment import run_imbalance
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult
     "faults": ("Telemetry fault-injection degradation curve", run_faults),
     "resilience": ("Serving availability vs chaos intensity", run_resilience),
     "gateway": ("Fleet gateway throughput and zero-drop accounting", run_gateway),
+    "drift": ("Drift resilience: stale vs governed vs fresh serving", run_drift),
 }
 
 

@@ -111,8 +111,24 @@ class AlarmEngine:
         if not alert.predicted:
             return None
         self.positives_seen += 1
-        minute = float(alert.scored_minute)
-        key = (int(alert.node_id), kind)
+        return self._fold(
+            int(alert.node_id), kind, float(alert.scored_minute), float(alert.score)
+        )
+
+    def signal(
+        self, *, node_id: int, kind: str, minute: float, score: float = 0.0
+    ) -> Alarm:
+        """Raise (or fold) a non-alert alarm directly — e.g. ``drift``.
+
+        Machine-level conditions like drift have no originating alert;
+        they signal with a synthetic node id (conventionally ``-1``) and
+        the detector statistic as the score, then dedup/escalate/ack
+        exactly like alert-born alarms.
+        """
+        return self._fold(int(node_id), kind, float(minute), float(score))
+
+    def _fold(self, node_id: int, kind: str, minute: float, score: float) -> Alarm:
+        key = (node_id, kind)
         at = self._latest.get(key)
         current = None if at is None else self.alarms[at]
         if (
@@ -123,7 +139,7 @@ class AlarmEngine:
             # Inside the dedup window: fold into the open alarm.
             current.count += 1
             current.last_minute = max(current.last_minute, minute)
-            current.peak_score = max(current.peak_score, float(alert.score))
+            current.peak_score = max(current.peak_score, score)
             self.deduplicated += 1
             if (
                 current.severity == SEVERITY_WARNING
@@ -136,12 +152,12 @@ class AlarmEngine:
         # Acked, expired, or first-ever: open a fresh alarm.
         alarm = Alarm(
             alarm_id=len(self.alarms) + 1,
-            node_id=int(alert.node_id),
+            node_id=node_id,
             kind=kind,
             severity=SEVERITY_WARNING,
             first_minute=minute,
             last_minute=minute,
-            peak_score=float(alert.score),
+            peak_score=score,
         )
         self.alarms.append(alarm)
         self._latest[key] = len(self.alarms) - 1

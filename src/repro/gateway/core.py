@@ -61,6 +61,7 @@ from repro.gateway.router import ConsistentHashRing
 from repro.gateway.watcher import RegistryWatcher
 from repro.serve.engine import StreamingFeatureEngine
 from repro.serve.events import JobResolved, RunCompleted, RunStarted, SbeObserved
+from repro.serve.drift import DriftConfig, DriftMonitor
 from repro.serve.registry import ModelRegistry
 from repro.serve.resilience import (
     AllNegativeFallback,
@@ -97,6 +98,12 @@ class GatewayConfig:
     alarms: AlarmConfig = field(default_factory=AlarmConfig)
     #: Registry poll cadence on the virtual clock.
     watch_interval_minutes: float = 1440.0
+    #: Streaming drift detection over the scored stream.  ``None``
+    #: (the default) disables it entirely — the monitor, its gauges,
+    #: and its ``kind="drift"`` alarms all vanish, which is what keeps
+    #: the gateway-vs-replay parity digest and the alarm counts of
+    #: drift-off runs byte-identical to before this knob existed.
+    drift: DriftConfig | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -201,6 +208,28 @@ class Gateway:
         )
         self._alarms_counter = self.registry.counter(
             "repro_gateway_alarms_total", "Alarms raised by the alarm engine."
+        )
+        self._model_version_gauge = self.registry.gauge(
+            "repro_serve_active_model_version",
+            "Registry version of the model currently serving.",
+        )
+        #: Observational drift monitor over the scored stream (no
+        #: governor: the gateway swaps models via the registry watcher,
+        #: so drift here raises alarms and gauges, it never retrains).
+        self.drift = (
+            None if self.config.drift is None else DriftMonitor(self.config.drift)
+        )
+        self.drift_alarms = 0
+        self._drift_cursors = [0] * len(workers)
+        self._drift_last_check: float | None = None
+        self._drift_last_alarm: float | None = None
+        self._drift_gauge = (
+            None
+            if self.drift is None
+            else self.registry.gauge(
+                "repro_serve_drift_statistic",
+                "Current drift-detector statistics, by detector.",
+            )
         )
         self._queues: list[asyncio.Queue] = []
         self._tasks: list[asyncio.Task] = []
@@ -363,11 +392,76 @@ class Gateway:
                     int(alert.model_version),
                 )
             )
+            self._model_version_gauge.set(int(alert.model_version))
             alarms_before = len(self.alarm_engine.alarms)
             self.alarm_engine.observe(alert)
             raised = len(self.alarm_engine.alarms) - alarms_before
             if raised:
                 self._alarms_counter.inc(raised)
+            if self.drift is not None:
+                self.drift.observe_alert(alert)
+        if self.drift is not None and alerts:
+            self._feed_drift()
+            self._check_drift(max(float(a.scored_minute) for a in alerts))
+
+    # -------------------------------------------------------------- drift
+    def _feed_drift(self) -> None:
+        """Advance per-shard cursors over emitted rows into the monitor.
+
+        Only rows inside the scoring window feed the feature-PSI
+        reference/current histograms — the same stream the model
+        actually scores.  Labels broadcast to every shard, so shard 0's
+        map is the machine-global ground truth.
+        """
+        for shard_id, worker in enumerate(self.workers):
+            rows = worker.history_rows
+            lo = None if worker.window is None else worker.window[0]
+            for row in rows[self._drift_cursors[shard_id] :]:
+                if lo is None or row.start_minute >= lo:
+                    self.drift.observe_row(row)
+            self._drift_cursors[shard_id] = len(rows)
+        self.drift.match_labels(self.workers[0].labels)
+
+    def _check_drift(self, now: float) -> None:
+        """Publish detector gauges; raise a ``drift`` alarm on trigger.
+
+        ``now`` is the event time of the newest absorbed alert, not the
+        ingest clock: a flooding client can push ``clock.now`` to the
+        end of the trace before the first batch even scores, which
+        would pin the check throttle (and the cooldown) at a single
+        instant.  Scored-stream time interleaves correctly no matter
+        how far ingestion runs ahead of scoring.
+        """
+        cfg = self.config.drift
+        if (
+            self._drift_last_check is not None
+            and now - self._drift_last_check < cfg.check_every_minutes
+        ):
+            return
+        self._drift_last_check = now
+        state = self.drift.state()
+        for detector in ("feature_psi", "score_psi", "f1_decay", "rolling_f1"):
+            self._drift_gauge.set(state[detector], detector=detector)
+        reason = self.drift.drift_reason()
+        if reason is None:
+            return
+        if (
+            self._drift_last_alarm is not None
+            and now - self._drift_last_alarm < cfg.cooldown_minutes
+        ):
+            return
+        self._drift_last_alarm = now
+        self.drift_alarms += 1
+        alarms_before = len(self.alarm_engine.alarms)
+        self.alarm_engine.signal(
+            node_id=-1,
+            kind="drift",
+            minute=now,
+            score=state.get(reason, 0.0),
+        )
+        raised = len(self.alarm_engine.alarms) - alarms_before
+        if raised:
+            self._alarms_counter.inc(raised, kind="drift")
 
     # ------------------------------------------------------------ queries
     def scored_alert_digest(self) -> str:
@@ -419,6 +513,11 @@ class Gateway:
             "latency": self.latency_percentiles(),
             "model_version": (
                 None if self.watcher is None else self.watcher.current_version
+            ),
+            "drift": (
+                None
+                if self.drift is None
+                else {**self.drift.state(), "alarms": self.drift_alarms}
             ),
         }
 

@@ -1,0 +1,41 @@
+"""Declarative, seeded cluster-lifecycle scenarios (concept drift).
+
+Public surface: the event dataclasses and :class:`Scenario` container
+(:mod:`repro.scenarios.events`), the deterministic compiler
+(:mod:`repro.scenarios.compiler`), and a few named preset scenarios for
+experiments and smokes (:mod:`repro.scenarios.presets`).
+"""
+
+from repro.scenarios.compiler import CompiledScenario, compile_scenario
+from repro.scenarios.events import (
+    EVENT_KINDS,
+    Aging,
+    CoolingDegradation,
+    Maintenance,
+    SbeStorm,
+    Scenario,
+    ScenarioEvent,
+    SeasonalDrift,
+    WorkloadShift,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.scenarios.presets import scenario_preset, scenario_preset_names
+
+__all__ = [
+    "Aging",
+    "CompiledScenario",
+    "CoolingDegradation",
+    "EVENT_KINDS",
+    "Maintenance",
+    "SbeStorm",
+    "Scenario",
+    "ScenarioEvent",
+    "SeasonalDrift",
+    "WorkloadShift",
+    "compile_scenario",
+    "scenario_from_dict",
+    "scenario_preset",
+    "scenario_preset_names",
+    "scenario_to_dict",
+]

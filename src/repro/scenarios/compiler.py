@@ -1,0 +1,235 @@
+"""Compile a :class:`~repro.scenarios.events.Scenario` into schedules.
+
+:func:`compile_scenario` turns the declarative event list into a
+:class:`CompiledScenario` — precomputed node-region masks plus cheap
+pure functions of ``minute`` that the telemetry layer queries from its
+hot loops.  A ``None`` or empty scenario compiles to ``None``, and every
+consumer gates its hook on that, so the scenario-off code path is the
+exact pre-scenario code path (bit-identical golden digests).
+
+Determinism contract: every compiled quantity is either a pure function
+of ``(config, scenario, minute)`` (thermal offsets, rate factors,
+workload factors) or drawn from a scenario-keyed whole-machine stream
+(maintenance susceptibility redraws, stream ``"scenario-maintenance"``)
+— never from the base simulation's streams and never dependent on the
+shard span — so attaching a scenario perturbs no existing draw and keeps
+``--jobs N`` bit-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.scenarios.events import (
+    Aging,
+    CoolingDegradation,
+    Maintenance,
+    Scenario,
+    SbeStorm,
+    SeasonalDrift,
+    WorkloadShift,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a config cycle
+    from repro.telemetry.config import ErrorModelConfig, TraceConfig
+    from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["CompiledScenario", "compile_scenario"]
+
+MINUTES_PER_DAY = 1440.0
+
+
+def _region_mask(num_nodes: int, lo: int, hi: int | None) -> np.ndarray:
+    """Whole-machine boolean mask for ``[lo, hi)`` (shard-independent)."""
+    mask = np.zeros(num_nodes, dtype=bool)
+    mask[lo : num_nodes if hi is None else min(hi, num_nodes)] = True
+    return mask
+
+
+class CompiledScenario:
+    """Deterministic parameter schedules for one scenario on one machine.
+
+    Only built through :func:`compile_scenario`; callers hold either a
+    ``CompiledScenario`` (scenario on) or ``None`` (scenario off) and
+    gate every hook on that distinction.
+    """
+
+    def __init__(self, scenario: Scenario, config: TraceConfig) -> None:
+        num_nodes = config.machine.num_nodes
+        self._seed = int(scenario.seed)
+        self._seasonal: list[SeasonalDrift] = []
+        self._cooling: list[tuple[CoolingDegradation, np.ndarray]] = []
+        self._storms: list[tuple[SbeStorm, np.ndarray]] = []
+        self._aging: list[tuple[Aging, np.ndarray]] = []
+        self._shifts: list[WorkloadShift] = []
+        maintenance: list[Maintenance] = []
+        for event in scenario.events:
+            if isinstance(event, SeasonalDrift):
+                self._seasonal.append(event)
+            elif isinstance(event, CoolingDegradation):
+                self._cooling.append(
+                    (event, _region_mask(num_nodes, event.node_lo, event.node_hi))
+                )
+            elif isinstance(event, SbeStorm):
+                self._storms.append(
+                    (event, _region_mask(num_nodes, event.node_lo, event.node_hi))
+                )
+            elif isinstance(event, Aging):
+                self._aging.append(
+                    (event, _region_mask(num_nodes, event.node_lo, event.node_hi))
+                )
+            elif isinstance(event, WorkloadShift):
+                self._shifts.append(event)
+            elif isinstance(event, Maintenance):
+                maintenance.append(event)
+        # Stable order for seed-stream indices: by day, ties by original
+        # position (sorted() is stable over the enumerate order).
+        self._maintenance = sorted(maintenance, key=lambda ev: ev.day)
+
+    # -- gates ----------------------------------------------------------
+    @property
+    def has_thermal(self) -> bool:
+        """Any ambient-offset event (seasonal drift / cooling loss)."""
+        return bool(self._seasonal or self._cooling)
+
+    @property
+    def has_error_factors(self) -> bool:
+        """Any multiplicative error-rate event (storm / aging)."""
+        return bool(self._storms or self._aging)
+
+    @property
+    def has_maintenance(self) -> bool:
+        """Any susceptibility-redraw event."""
+        return bool(self._maintenance)
+
+    @property
+    def has_workload(self) -> bool:
+        """Any workload-mix shift."""
+        return bool(self._shifts)
+
+    # -- thermal --------------------------------------------------------
+    def ambient_offset(
+        self, minute: float, lo: int, hi: int
+    ) -> float | np.ndarray | None:
+        """Extra ambient degrees for nodes ``[lo, hi)`` at ``minute``.
+
+        Returns ``None`` when no thermal event is active (the thermal
+        hook then stays entirely off for the tick).
+        """
+        total: float | np.ndarray | None = None
+        day = minute / MINUTES_PER_DAY
+        for event in self._seasonal:
+            if event.start_day <= day < event.end_day:
+                value = event.amplitude_celsius * math.sin(
+                    2.0
+                    * math.pi
+                    * (day - event.start_day + event.phase_days)
+                    / event.period_days
+                )
+                total = value if total is None else total + value
+        for event, mask in self._cooling:
+            if day >= event.start_day:
+                ramp = min(
+                    1.0,
+                    (day - event.start_day) / (event.end_day - event.start_day),
+                )
+                value = mask[lo:hi] * (ramp * event.celsius_at_end)
+                total = value if total is None else total + value
+        return total
+
+    # -- errors ---------------------------------------------------------
+    def error_rate_factor(
+        self, node_ids: np.ndarray, start_minute: float
+    ) -> np.ndarray:
+        """Multiplicative SBE-rate factor per node for a run starting at
+        ``start_minute`` (applied before the ``max_rate_per_hour`` cap)."""
+        day = start_minute / MINUTES_PER_DAY
+        factor = np.ones(node_ids.size)
+        for event, mask in self._storms:
+            if event.start_day <= day < event.end_day:
+                factor = factor * np.where(mask[node_ids], event.rate_factor, 1.0)
+        for event, mask in self._aging:
+            if day >= event.start_day:
+                aged_days = min(day, event.end_day) - event.start_day
+                growth = math.exp(event.growth_per_day * aged_days)
+                factor = factor * np.where(mask[node_ids], growth, 1.0)
+        return factor
+
+    def susceptibility_epochs(
+        self,
+        base: np.ndarray,
+        seeds: SeedSequenceFactory,
+        config: ErrorModelConfig,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Piecewise-constant susceptibility: ``(epoch_starts, arrays)``.
+
+        Epoch 0 is the base draw; each maintenance event appends a copy
+        with its region redrawn from the ``"scenario-maintenance"``
+        stream (keyed by scenario seed + event index, full-region draws,
+        so every shard reconstructs identical epochs).  ``epoch_starts``
+        is sorted ascending; the epoch for minute ``m`` is
+        ``searchsorted(starts, m, side="right") - 1``.
+        """
+        starts = [0.0]
+        epochs = [base]
+        for index, event in enumerate(self._maintenance):
+            rng = seeds.generator("scenario-maintenance", self._seed, index)
+            lo = event.node_lo
+            hi = base.size if event.node_hi is None else min(event.node_hi, base.size)
+            size = hi - lo
+            offender = rng.random(size) < config.offender_node_fraction
+            boost = config.offender_median_boost * np.exp(
+                rng.normal(0.0, config.offender_sigma, size)
+            )
+            redrawn = np.where(
+                offender,
+                boost * event.susceptibility_scale,
+                config.ordinary_susceptibility,
+            )
+            fresh = epochs[-1].copy()
+            fresh[lo:hi] = redrawn
+            starts.append(event.day * MINUTES_PER_DAY)
+            epochs.append(fresh)
+        return np.asarray(starts), epochs
+
+    # -- workload -------------------------------------------------------
+    def _shift_product(self, minute: float, attr: str) -> float:
+        value = 1.0
+        day = minute / MINUTES_PER_DAY
+        for event in self._shifts:
+            if event.start_day <= day < event.end_day:
+                value *= getattr(event, attr)
+        return value
+
+    def arrival_factor(self, minute: float) -> float:
+        """Job-arrival rate multiplier at ``minute``."""
+        return self._shift_product(minute, "arrival_factor")
+
+    def runtime_factor(self, minute: float) -> float:
+        """Run-duration multiplier for runs starting at ``minute``."""
+        return self._shift_product(minute, "runtime_factor")
+
+    def gpu_util_factor(self, minute: float) -> float:
+        """GPU-utilization multiplier for runs starting at ``minute``."""
+        return self._shift_product(minute, "gpu_util_factor")
+
+    def memory_factor(self, minute: float) -> float:
+        """Memory-pressure multiplier for runs starting at ``minute``."""
+        return self._shift_product(minute, "memory_factor")
+
+
+def compile_scenario(
+    scenario: Scenario | None, config: TraceConfig
+) -> CompiledScenario | None:
+    """Compile ``scenario`` against ``config``; ``None``/empty -> ``None``.
+
+    Returning ``None`` (rather than an inert object) is the neutrality
+    mechanism: every telemetry hook is gated on ``compiled is not None``,
+    so a scenario-off simulation executes exactly the pre-scenario code.
+    """
+    if scenario is None or scenario.empty:
+        return None
+    return CompiledScenario(scenario, config)

@@ -1,0 +1,296 @@
+"""Declarative cluster-lifecycle scenario events.
+
+A :class:`Scenario` is an ordered tuple of time-windowed
+:class:`ScenarioEvent` s scripting how the simulated machine *changes*
+over a trace: seasonal ambient drift, cooling degradation of cabinet
+regions, maintenance reinstalls that redraw node susceptibility,
+workload-mix shifts, SBE burst storms, and aging.  Events are plain
+frozen dataclasses — declarative parameters only, no state — and the
+whole scenario is attached to a :class:`~repro.telemetry.config.TraceConfig`
+(``scenario=``), serialized into trace sidecars and cache keys, and
+compiled into deterministic parameter schedules by
+:mod:`repro.scenarios.compiler`.
+
+Two hard rules keep the engine digest-safe:
+
+* **Neutrality** — an absent (``None``) or empty scenario compiles to
+  ``None`` and every telemetry hook is gated on that, so a scenario-off
+  simulation runs byte-for-byte the code it ran before this module
+  existed (the golden digests prove it).
+* **Shard determinism** — every event's effect is either a pure
+  function of ``(config, scenario, minute)`` or drawn from a
+  whole-machine seeded stream and sliced to the span, so ``--jobs N``
+  stays bit-identical to ``--jobs 1`` with any scenario attached.
+
+All times are in trace days (``day * 1440`` minutes); node regions are
+half-open global node-id ranges ``[node_lo, node_hi)`` with
+``node_hi=None`` meaning "to the end of the machine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "ScenarioEvent",
+    "SeasonalDrift",
+    "CoolingDegradation",
+    "Maintenance",
+    "WorkloadShift",
+    "SbeStorm",
+    "Aging",
+    "Scenario",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "EVENT_KINDS",
+]
+
+
+def _check_window(start_day: float, end_day: float) -> None:
+    if end_day <= start_day:
+        raise ConfigurationError(
+            f"scenario event window must satisfy start_day < end_day, "
+            f"got [{start_day}, {end_day})"
+        )
+
+
+def _check_region(node_lo: int, node_hi: int | None) -> None:
+    if node_lo < 0:
+        raise ConfigurationError(f"node_lo must be >= 0, got {node_lo}")
+    if node_hi is not None and node_hi <= node_lo:
+        raise ConfigurationError(
+            f"node region must satisfy node_lo < node_hi, "
+            f"got [{node_lo}, {node_hi})"
+        )
+
+
+@dataclass(frozen=True)
+class SeasonalDrift:
+    """Sinusoidal machine-wide ambient-temperature drift (season/diurnal).
+
+    Inside ``[start_day, end_day)`` the ambient target of every node is
+    offset by ``amplitude_celsius * sin(2*pi*(day - start_day + phase_days)
+    / period_days)``.
+    """
+
+    start_day: float
+    end_day: float
+    amplitude_celsius: float
+    period_days: float = 365.0
+    phase_days: float = 0.0
+
+    kind = "seasonal_drift"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_day, self.end_day)
+        if self.period_days <= 0:
+            raise ConfigurationError("period_days must be positive")
+
+
+@dataclass(frozen=True)
+class CoolingDegradation:
+    """Progressive cooling-efficiency loss of one machine region.
+
+    The ambient target of nodes in ``[node_lo, node_hi)`` ramps linearly
+    from ``0`` at ``start_day`` to ``+celsius_at_end`` at ``end_day``
+    and stays there for the rest of the trace (a failing blower is not
+    repaired by the calendar).
+    """
+
+    start_day: float
+    end_day: float
+    celsius_at_end: float
+    node_lo: int = 0
+    node_hi: int | None = None
+
+    kind = "cooling_degradation"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_day, self.end_day)
+        _check_region(self.node_lo, self.node_hi)
+
+
+@dataclass(frozen=True)
+class Maintenance:
+    """A drain + reinstall completing at ``day``: susceptibility resets.
+
+    From ``day * 1440`` minutes onward, the latent SBE susceptibility of
+    every node in ``[node_lo, node_hi)`` is *redrawn* from the offender
+    population of the error-model config (same offender fraction and
+    lognormal boost, scaled by ``susceptibility_scale``) using a
+    scenario-keyed seed stream — board swaps and reseats move the
+    offender set, which is exactly the concept drift a model trained on
+    the old offender set cannot see.
+    """
+
+    day: float
+    node_lo: int = 0
+    node_hi: int | None = None
+    #: Multiplier on the redrawn offender susceptibility.
+    susceptibility_scale: float = 1.0
+
+    kind = "maintenance"
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ConfigurationError(f"maintenance day must be >= 0, got {self.day}")
+        _check_region(self.node_lo, self.node_hi)
+        if self.susceptibility_scale <= 0:
+            raise ConfigurationError("susceptibility_scale must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadShift:
+    """A workload-mix change inside ``[start_day, end_day)``.
+
+    ``arrival_factor`` scales the batch-job arrival rate,
+    ``runtime_factor`` scales sampled run durations (DL-training-style
+    long jobs), and ``gpu_util_factor`` / ``memory_factor`` scale the
+    per-run utilization and memory-pressure draws (clipped to their
+    usual ranges).  Factors of exactly ``1.0`` are identities.
+    """
+
+    start_day: float
+    end_day: float
+    arrival_factor: float = 1.0
+    runtime_factor: float = 1.0
+    gpu_util_factor: float = 1.0
+    memory_factor: float = 1.0
+
+    kind = "workload_shift"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_day, self.end_day)
+        for name in ("arrival_factor", "runtime_factor", "gpu_util_factor", "memory_factor"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class SbeStorm:
+    """An SBE burst storm: the composed error rate is multiplied by
+    ``rate_factor`` for runs starting inside ``[start_day, end_day)``
+    on nodes in ``[node_lo, node_hi)``."""
+
+    start_day: float
+    end_day: float
+    rate_factor: float
+    node_lo: int = 0
+    node_hi: int | None = None
+
+    kind = "sbe_storm"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_day, self.end_day)
+        _check_region(self.node_lo, self.node_hi)
+        if self.rate_factor <= 0:
+            raise ConfigurationError("rate_factor must be positive")
+
+
+@dataclass(frozen=True)
+class Aging:
+    """Aging-driven susceptibility growth.
+
+    For runs starting inside ``[start_day, end_day)`` on nodes in
+    ``[node_lo, node_hi)``, the error rate grows as
+    ``exp(growth_per_day * (day - start_day))``; past ``end_day`` the
+    factor freezes at its end-of-window value (hardware does not
+    un-age).
+    """
+
+    start_day: float
+    end_day: float
+    growth_per_day: float
+    node_lo: int = 0
+    node_hi: int | None = None
+
+    kind = "aging"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_day, self.end_day)
+        _check_region(self.node_lo, self.node_hi)
+
+
+#: kind tag -> event class (the serialization registry).
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        SeasonalDrift,
+        CoolingDegradation,
+        Maintenance,
+        WorkloadShift,
+        SbeStorm,
+        Aging,
+    )
+}
+
+#: Union alias for type hints.
+ScenarioEvent = (
+    SeasonalDrift | CoolingDegradation | Maintenance | WorkloadShift | SbeStorm | Aging
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered, composable script of cluster-lifecycle events.
+
+    The event order is cosmetic — effects compose commutatively
+    (offsets add, factors multiply, maintenance epochs sort by day) —
+    but serialization preserves it so round-trips are exact.
+    """
+
+    events: tuple = ()
+    #: Extra seed entropy for scenario-keyed draws (maintenance redraws),
+    #: mixed with the trace's root seed.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if type(event) not in EVENT_KINDS.values():
+                raise ConfigurationError(
+                    f"not a scenario event: {event!r} "
+                    f"(expected one of {sorted(EVENT_KINDS)})"
+                )
+
+    @property
+    def empty(self) -> bool:
+        """True when the scenario scripts nothing (compiles to ``None``)."""
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """JSON-serializable form with per-event ``kind`` tags."""
+    return {
+        "seed": int(scenario.seed),
+        "events": [
+            {"kind": event.kind, **asdict(event)} for event in scenario.events
+        ],
+    }
+
+
+def scenario_from_dict(raw: dict) -> Scenario:
+    """Inverse of :func:`scenario_to_dict` (unknown kinds are errors)."""
+    events = []
+    for item in raw.get("events", ()):
+        payload = dict(item)
+        kind = payload.pop("kind", None)
+        cls = EVENT_KINDS.get(kind)
+        if cls is None:
+            raise ConfigurationError(
+                f"unknown scenario event kind {kind!r}; "
+                f"known: {sorted(EVENT_KINDS)}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"scenario event {kind!r} has unknown fields {sorted(unknown)}"
+            )
+        events.append(cls(**payload))
+    return Scenario(events=tuple(events), seed=int(raw.get("seed", 0)))

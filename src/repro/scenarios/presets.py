@@ -1,0 +1,102 @@
+"""Named preset scenarios for experiments, smokes, and the CLI.
+
+Each preset is a small, composable :class:`~repro.scenarios.events.Scenario`
+expressed in *relative* terms (whole-machine or fractional regions, days
+from trace start) so it attaches meaningfully to any preset config.  The
+`regime-change` preset is the canonical drift driver: a whole-machine
+maintenance reinstall mid-trace moves the offender-node set, which is
+precisely the concept drift a frozen stage-1 offender filter cannot
+survive.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.events import (
+    Aging,
+    CoolingDegradation,
+    Maintenance,
+    SbeStorm,
+    Scenario,
+    SeasonalDrift,
+    WorkloadShift,
+)
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["scenario_preset", "scenario_preset_names"]
+
+
+def _regime_change(day: float) -> Scenario:
+    return Scenario(events=(Maintenance(day=day),))
+
+
+_PRESETS = {
+    # Whole-machine reinstall at day 13: the offender set is redrawn, so
+    # models trained on days [0, 13) go stale at once.
+    "regime-change": lambda: _regime_change(13.0),
+    # Same regime change plus a burst storm shortly after the reinstall —
+    # the stress case for the drift detectors (distribution moves twice).
+    "regime-change-storm": lambda: Scenario(
+        events=(
+            Maintenance(day=13.0),
+            SbeStorm(start_day=14.0, end_day=16.0, rate_factor=6.0),
+        )
+    ),
+    # A short SBE burst storm on the lower half of the machine.
+    "storm": lambda: Scenario(
+        events=(SbeStorm(start_day=5.0, end_day=7.0, rate_factor=8.0, node_hi=48),)
+    ),
+    # Slow seasonal ambient swing across the whole trace.
+    "season": lambda: Scenario(
+        events=(
+            SeasonalDrift(
+                start_day=0.0,
+                end_day=3650.0,
+                amplitude_celsius=2.5,
+                period_days=28.0,
+            ),
+        )
+    ),
+    # Everything at once: seasonal swing, a cooling-degraded region, a
+    # mid-trace reinstall, a DL-training-style workload shift, a storm,
+    # and machine-wide aging.
+    "cluster-life": lambda: Scenario(
+        events=(
+            SeasonalDrift(
+                start_day=0.0,
+                end_day=3650.0,
+                amplitude_celsius=2.0,
+                period_days=21.0,
+            ),
+            CoolingDegradation(
+                start_day=2.0, end_day=12.0, celsius_at_end=4.0, node_lo=0, node_hi=32
+            ),
+            Maintenance(day=13.0),
+            WorkloadShift(
+                start_day=13.0,
+                end_day=3650.0,
+                runtime_factor=1.6,
+                gpu_util_factor=1.15,
+                memory_factor=1.1,
+            ),
+            SbeStorm(start_day=15.0, end_day=17.0, rate_factor=5.0),
+            Aging(start_day=0.0, end_day=3650.0, growth_per_day=0.01),
+        )
+    ),
+}
+
+
+def scenario_preset_names() -> tuple[str, ...]:
+    """Sorted names of the built-in scenarios."""
+    return tuple(sorted(_PRESETS))
+
+
+def scenario_preset(name: str) -> Scenario:
+    """Look up a built-in scenario by name."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}; "
+            f"choose from {', '.join(scenario_preset_names())}"
+        ) from None
+    return factory()

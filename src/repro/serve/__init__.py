@@ -26,9 +26,23 @@ Two robustness layers harden the service (both exact no-ops when off):
   queue with recovery replay;
 * :mod:`repro.serve.checkpoint` -- atomic, checksummed checkpoints so a
   killed replay resumes bit-identically (``serve-replay --resume``).
+
+:mod:`repro.serve.drift` adds drift resilience on top: streaming PSI /
+calibration / rolling-F1 detectors, and a retrain governor that
+triggers holdout-validated refits and rolls back a post-swap F1
+collapse to the last-good registry version.
 """
 
 from repro.serve.checkpoint import CheckpointManager
+from repro.serve.drift import (
+    DriftConfig,
+    DriftMonitor,
+    HoldoutReport,
+    RetrainGovernor,
+    RollingF1Monitor,
+    WindowedPSI,
+    fit_validated_candidate,
+)
 from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
 from repro.serve.events import (
     JobResolved,
@@ -61,6 +75,13 @@ __all__ = [
     "ResilienceCounters",
     "SupervisedScorer",
     "CheckpointManager",
+    "DriftConfig",
+    "DriftMonitor",
+    "HoldoutReport",
+    "RetrainGovernor",
+    "RollingF1Monitor",
+    "WindowedPSI",
+    "fit_validated_candidate",
     "StreamedRow",
     "StreamingFeatureEngine",
     "rows_to_matrix",

@@ -14,6 +14,16 @@ can never leave a version that :meth:`ModelRegistry.load_model` would
 silently accept: a directory without a valid manifest is simply not a
 version.
 
+A per-name ``HEAD.json`` records which committed version is *serving*.
+``save_model`` advances it; :meth:`ModelRegistry.rollback` re-points it
+at a prior version after a single-version checksum audit (the
+``registry rollback`` CLI and the serve-side retrain governor share
+this one code path).  ``latest()`` honors a valid head and falls back
+to the highest committed version — with a
+:class:`~repro.utils.errors.DegradedDataWarning` — when the head is
+missing, unreadable, or points at a version that no longer verifies as
+committed, so legacy registries without a head keep working unchanged.
+
 Every failure mode (missing version, corrupt payload, unsupported
 format, schema mismatch) raises
 :class:`~repro.utils.errors.ModelRegistryError`.
@@ -46,6 +56,7 @@ ARTIFACT_FORMAT = 1
 
 _PAYLOAD_FILE = "predictor.pkl"
 _MANIFEST_FILE = "manifest.json"
+_HEAD_FILE = "HEAD.json"
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 
 
@@ -171,13 +182,95 @@ class ModelRegistry:
         return statuses
 
     def latest(self, name: str = "twostage") -> ModelVersion:
-        """The most recent committed version of ``name``."""
+        """The *serving* version of ``name``.
+
+        This is the head-pointer target when ``HEAD.json`` exists and
+        points at a committed version (so a rollback sticks), otherwise
+        the most recent committed version.  A head that is unreadable or
+        dangling is reported with a
+        :class:`~repro.utils.errors.DegradedDataWarning` and ignored —
+        a stale pointer must degrade, never brick, the registry.
+        """
         versions = self.list_versions(name)
         if not versions:
             raise ModelRegistryError(
                 f"model {name!r} has no committed versions", path=self.root / name
             )
+        head = self.head_version(name)
+        if head is not None:
+            by_version = {entry.version: entry for entry in versions}
+            if head in by_version:
+                return by_version[head]
+            warnings.warn(
+                f"registry head of {name!r} points at uncommitted version "
+                f"v{head:04d}; falling back to newest committed version",
+                DegradedDataWarning,
+                stacklevel=2,
+            )
         return versions[-1]
+
+    def head_version(self, name: str = "twostage") -> int | None:
+        """The head-pointer target, or ``None`` (absent/unreadable head)."""
+        head_path = self.root / name / _HEAD_FILE
+        try:
+            raw = json.loads(head_path.read_text())
+            return int(raw["version"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError, KeyError):
+            warnings.warn(
+                f"registry head of {name!r} is unreadable; "
+                f"falling back to newest committed version",
+                DegradedDataWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def verify_version(self, name: str, version: int) -> str:
+        """Audit one version directory; same statuses as :meth:`verify`.
+
+        Returns ``"missing"`` when the directory does not exist at all.
+        """
+        version_dir = self.root / name / f"v{int(version):04d}"
+        if not version_dir.is_dir():
+            return "missing"
+        manifest = self._read_manifest(version_dir, strict=False)
+        if manifest is None:
+            return "bad-manifest"
+        if manifest.get("format") != ARTIFACT_FORMAT:
+            return "bad-format"
+        payload = version_dir / manifest.get("payload", _PAYLOAD_FILE)
+        try:
+            data = payload.read_bytes()
+        except OSError:
+            return "missing-payload"
+        if sha256_bytes(data) != manifest.get("checksum"):
+            return "corrupt-payload"
+        return "ok"
+
+    def rollback(self, name: str, version: int) -> ModelVersion:
+        """Atomically re-point the registry head at ``version``.
+
+        The target is checksum-audited first (:meth:`verify_version`);
+        a corrupt or missing target raises a one-line
+        :class:`~repro.utils.errors.ModelRegistryError` and leaves the
+        head untouched.  The serve-side retrain governor and the
+        ``registry rollback`` CLI both come through here.
+        """
+        status = self.verify_version(name, version)
+        if status != "ok":
+            raise ModelRegistryError(
+                f"refusing rollback of {name!r} to v{int(version):04d}: "
+                f"target is {status}",
+                path=self.root / name / f"v{int(version):04d}",
+            )
+        self._write_head(name, int(version))
+        return self._resolve(name, int(version))
+
+    def _write_head(self, name: str, version: int) -> None:
+        atomic_write_json(
+            self.root / name / _HEAD_FILE, {"version": int(version)}
+        )
 
     # ------------------------------------------------------------------
     def save_model(
@@ -215,6 +308,9 @@ class ModelRegistry:
             "metadata": metadata or {},
         }
         atomic_write_json(version_dir / _MANIFEST_FILE, manifest)
+        # A fresh save is the new serving version: advance the head so a
+        # prior rollback does not pin future saves to the old model.
+        self._write_head(name, version)
         return ModelVersion(
             name=name, version=version, path=version_dir, manifest=manifest
         )

@@ -57,6 +57,15 @@ from repro.features.builder import build_features, compute_top_apps
 from repro.features.splits import DatasetSplit
 from repro.ml.metrics import classification_report
 from repro.serve.checkpoint import CheckpointManager
+from repro.serve.drift import (
+    DriftConfig,
+    DriftMonitor,
+    RetrainGovernor,
+    fit_validated_candidate,
+    record_drift_metrics,
+    record_retrain_outcome,
+    record_rollback,
+)
 from repro.serve.engine import StreamedRow, StreamingFeatureEngine, rows_to_matrix
 from repro.serve.events import JobResolved, iter_trace_events
 from repro.serve.registry import ModelRegistry
@@ -107,6 +116,16 @@ class ReplayReport:
     max_abs_score_diff: float
     wall_seconds: float
     retrains: int = 0
+    #: Retrains triggered by the drift governor (subset of ``retrains``).
+    drift_retrains: int = 0
+    #: Retrain candidates rejected by holdout validation.
+    retrains_rejected: int = 0
+    #: Automatic rollbacks to the last-good registry version.
+    rollbacks: int = 0
+    #: Drift governor summary (detector state, triggers); ``None`` when
+    #: drift detection was off — the digest hashes it only when present,
+    #: so drift-off replays keep their pinned digests.
+    drift: dict | None = None
     notes: list[str] = field(default_factory=list)
     #: Supervision telemetry (all-zero when the replay ran without chaos).
     resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
@@ -178,6 +197,13 @@ class ReplayReport:
                 self.alerts, key=lambda a: (a.run_idx, a.node_id, a.end_minute)
             ):
                 h.update(f"src:{alert.run_idx},{alert.node_id},{alert.source};".encode())
+        if self.drift is not None:
+            h.update(
+                f"drift={self.drift_retrains},{self.retrains_rejected},"
+                f"{self.rollbacks};".encode()
+            )
+            for minute, reason in self.drift.get("triggers", []):
+                h.update(f"trig:{minute:.12g},{reason};".encode())
         return h.hexdigest()
 
     def scored_alert_digest(self) -> str:
@@ -235,6 +261,19 @@ class ReplayReport:
                     f" (retries {r.retries})",
                 ]
             )
+        if self.drift is not None:
+            state = self.drift.get("state", {})
+            lines.extend(
+                [
+                    f"  drift detectors    feature PSI {state.get('feature_psi', 0.0):.4f}"
+                    f" / score PSI {state.get('score_psi', 0.0):.4f}"
+                    f" / F1 decay {state.get('f1_decay', 0.0):.4f}",
+                    f"  drift governor     triggers {len(self.drift.get('triggers', []))}"
+                    f" / retrains {self.drift_retrains}"
+                    f" / rejected {self.retrains_rejected}"
+                    f" / rollbacks {self.rollbacks}",
+                ]
+            )
         if self.resumed_from is not None:
             lines.append(f"  resumed from       event {self.resumed_from}")
         lines.extend(f"  note: {note}" for note in self.notes)
@@ -274,6 +313,9 @@ def serve_replay(
     flush_deadline_minutes: float = 30.0,
     registry_name: str = "twostage",
     retrain_every_days: float | None = None,
+    retrain_window_days: float | None = None,
+    drift: DriftConfig | None = None,
+    poison_retrains: tuple[int, ...] = (),
     top_k_apps: int = 16,
     random_state: int | None = 0,
     fast: bool = False,
@@ -292,7 +334,21 @@ def serve_replay(
     to the registry under ``registry_root``, reloads it (checksum and
     schema verified), and scores the split's test window online.  With
     ``retrain_every_days`` set, the model is refit on resolved labels at
-    that cadence and hot-swapped through new registry versions.
+    that cadence and hot-swapped through new registry versions;
+    ``retrain_window_days`` restricts every refit to a sliding window of
+    the most recently resolved rows (default: all rows since start).
+
+    ``drift=DriftConfig(...)`` arms the drift-resilience layer: the
+    streaming detectors of :mod:`repro.serve.drift` watch the scoring
+    path, the :class:`~repro.serve.drift.RetrainGovernor` triggers
+    guarded retrains on drift (holdout-validated before publishing),
+    and a freshly swapped model whose post-swap rolling F1 collapses is
+    rolled back to the last-good registry version automatically.  With
+    ``drift=None`` the replay is bit-identical to the undecorated path.
+    ``poison_retrains`` is a test hook: the listed retrain-attempt
+    indices train on inverted labels — a consistently poisoned refit
+    validates cleanly against its own (equally poisoned) holdout, so it
+    exercises the post-swap-rollback path end to end.
 
     ``chaos`` injects pipeline faults; ``resilience`` tunes the
     supervision absorbing them.  ``checkpoint_dir`` commits resumable
@@ -383,6 +439,9 @@ def serve_replay(
                 "flush_deadline_minutes": flush_deadline_minutes,
                 "registry_name": registry_name,
                 "retrain_every_days": retrain_every_days,
+                "retrain_window_days": retrain_window_days,
+                "drift": None if drift is None else repr(drift),
+                "poison_retrains": sorted(int(i) for i in poison_retrains),
                 "top_k_apps": top_k_apps,
                 "random_state": random_state,
                 "fast": fast,
@@ -409,6 +468,10 @@ def serve_replay(
         next_retrain = state["next_retrain"]
         versions = state["versions"]
         notes = state["notes"] + notes
+        monitor: DriftMonitor | None = state["monitor"]
+        governor: RetrainGovernor | None = state["governor"]
+        rows_fed = state["rows_fed"]
+        alerts_fed = state["alerts_fed"]
         serving = worker.scorer.predictor
         notes.append(f"resumed from checkpoint at event {resumed_from}")
     else:
@@ -469,25 +532,63 @@ def serve_replay(
             if retrain_every_days is None
             else split_obj.train_end + retrain_every_days * MINUTES_PER_DAY
         )
+        monitor = None if drift is None else DriftMonitor(drift)
+        governor = None if drift is None else RetrainGovernor(drift)
+        rows_fed = 0
+        alerts_fed = 0
 
-    def maybe_retrain(now_minute: float) -> None:
-        nonlocal next_retrain, retrains, retrain_attempts, serving
-        while next_retrain is not None and now_minute >= next_retrain:
-            at = next_retrain
-            next_retrain += retrain_every_days * MINUTES_PER_DAY
-            resolved = [
-                row
-                for row in worker.history_rows
-                if row.end_minute <= at
-                and (row.job_id, row.node_id) in worker.labels
-            ]
-            if not resolved:
-                notes.append(f"retrain at minute {at:g} skipped: no resolved rows")
-                continue
-            counts = np.asarray(
-                [worker.labels[(row.job_id, row.node_id)] for row in resolved],
-                dtype=np.int64,
+    window_minutes = (
+        None if retrain_window_days is None else retrain_window_days * MINUTES_PER_DAY
+    )
+    poison_set = frozenset(int(i) for i in poison_retrains)
+
+    def run_retrain(at: float, trigger: str) -> None:
+        """One refit attempt at event-time ``at`` (periodic or drift)."""
+        nonlocal retrains, retrain_attempts, serving
+        resolved = [
+            row
+            for row in worker.history_rows
+            if row.end_minute <= at
+            and (row.job_id, row.node_id) in worker.labels
+        ]
+        if window_minutes is not None:
+            cutoff = at - window_minutes
+            resolved = [row for row in resolved if row.end_minute > cutoff]
+        if not resolved:
+            notes.append(f"retrain at minute {at:g} skipped: no resolved rows")
+            record_retrain_outcome("skipped", trigger=trigger)
+            return
+        counts = np.asarray(
+            [worker.labels[(row.job_id, row.node_id)] for row in resolved],
+            dtype=np.int64,
+        )
+        if retrain_attempts in poison_set:
+            # Test hook: a uniformly inverted label set poisons the train
+            # split and its own holdout alike, so the candidate validates
+            # cleanly — only post-swap monitoring can catch it.
+            counts = np.where(counts > 0, 0, 1).astype(np.int64)
+            notes.append(
+                f"retrain attempt {retrain_attempts} at minute {at:g} "
+                "poisoned (labels inverted)"
             )
+        holdout = None
+        if governor is not None:
+            candidate, holdout = fit_validated_candidate(
+                model=model,
+                rows=resolved,
+                counts=counts,
+                schema=worker.engine.schema,
+                serving=serving,
+                config=drift,
+                random_state=random_state,
+                fast=fast,
+            )
+            if candidate is None:
+                governor.retrains_rejected += 1
+                record_retrain_outcome("rejected", trigger=trigger)
+                notes.append(f"retrain at minute {at:g} rejected: {holdout.reason}")
+                return
+        else:
             candidate = TwoStagePredictor(
                 model, random_state=random_state, fast=fast
             )
@@ -497,54 +598,145 @@ def serve_replay(
                 )
             except ValidationError as exc:
                 notes.append(f"retrain at minute {at:g} skipped: {exc}")
-                continue
-            attempt = retrain_attempts
-            retrain_attempts += 1
-            new_entry = registry.save_model(
-                candidate,
-                name=registry_name,
-                metadata={"retrained_at_minute": at, "n_rows": len(resolved)},
+                record_retrain_outcome("failed", trigger=trigger)
+                return
+        attempt = retrain_attempts
+        retrain_attempts += 1
+        new_entry = registry.save_model(
+            candidate,
+            name=registry_name,
+            metadata={
+                "retrained_at_minute": at,
+                "n_rows": len(resolved),
+                "trigger": trigger,
+            },
+        )
+        if injector is not None and injector.swap_corrupts(attempt):
+            # Chaos: flip one payload byte after commit, before the
+            # pre-swap verification load — a torn/bit-rotted artifact.
+            payload_path = new_entry.path / new_entry.manifest["payload"]
+            blob = bytearray(payload_path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            payload_path.write_bytes(bytes(blob))
+        try:
+            stall = (
+                0.0
+                if injector is None
+                else injector.registry_load_stall_seconds(attempt)
             )
-            if injector is not None and injector.swap_corrupts(attempt):
-                # Chaos: flip one payload byte after commit, before the
-                # pre-swap verification load — a torn/bit-rotted artifact.
-                payload_path = new_entry.path / new_entry.manifest["payload"]
-                blob = bytearray(payload_path.read_bytes())
-                blob[len(blob) // 2] ^= 0xFF
-                payload_path.write_bytes(bytes(blob))
-            try:
-                stall = (
-                    0.0
-                    if injector is None
-                    else injector.registry_load_stall_seconds(attempt)
-                )
-                worker.scorer.resilience.registry_load_stall_seconds += stall
-                registry.load_model(
-                    registry_name,
-                    new_entry.version,
-                    expect_feature_names=serving.feature_names,
-                )
-            except ModelRegistryError as exc:
-                # The previous model stays active; a bad artifact must
-                # never take the serving path down mid-replay.
-                worker.scorer.resilience.swap_failures += 1
-                notes.append(
-                    f"hot swap to v{new_entry.version:04d} failed "
-                    f"(previous model kept): {exc}"
-                )
-                continue
-            # Swap in the in-memory candidate (the load above is
-            # verification only): bit-identical to the pre-supervision
-            # behavior, which never round-tripped the swap through disk.
-            worker.scorer.swap_model(candidate, new_entry.version)
-            serving = candidate
-            versions.append(new_entry.version)
-            retrains += 1
+            worker.scorer.resilience.registry_load_stall_seconds += stall
+            registry.load_model(
+                registry_name,
+                new_entry.version,
+                expect_feature_names=serving.feature_names,
+            )
+        except ModelRegistryError as exc:
+            # The previous model stays active; a bad artifact must
+            # never take the serving path down mid-replay.
+            worker.scorer.resilience.swap_failures += 1
+            notes.append(
+                f"hot swap to v{new_entry.version:04d} failed "
+                f"(previous model kept): {exc}"
+            )
+            record_retrain_outcome("failed", trigger=trigger)
+            return
+        # Swap in the in-memory candidate (the load above is
+        # verification only): bit-identical to the pre-supervision
+        # behavior, which never round-tripped the swap through disk.
+        previous_serving = serving
+        previous_version = versions[-1]
+        worker.scorer.swap_model(candidate, new_entry.version)
+        serving = candidate
+        versions.append(new_entry.version)
+        retrains += 1
+        record_retrain_outcome("published", trigger=trigger)
+        if governor is not None:
+            if trigger != "periodic":
+                governor.retrains_drift += 1
+            governor.record_swap(
+                version=new_entry.version,
+                previous_version=previous_version,
+                previous_predictor=previous_serving,
+                holdout_f1=holdout.candidate_f1,
+                previous_holdout_f1=governor.serving_holdout_f1,
+                pre_swap_rolling_f1=(
+                    monitor.f1.f1() if monitor.f1.ready else None
+                ),
+                at_minute=at,
+            )
+            monitor.reset_after_swap()
+            record_drift_metrics(monitor, active_version=new_entry.version)
+
+    def roll_back(now_minute: float) -> None:
+        """Swap the last-good model back in and re-point the registry."""
+        nonlocal serving
+        target_version, target_predictor = governor.record_rollback(now_minute)
+        try:
+            registry.rollback(registry_name, target_version)
+        except ModelRegistryError as exc:
+            # The in-memory swap below still restores serving quality;
+            # only the on-disk head pointer could not be re-pointed.
+            notes.append(
+                f"registry rollback to v{target_version:04d} refused: {exc}"
+            )
+        worker.scorer.swap_model(target_predictor, target_version)
+        serving = target_predictor
+        versions.append(target_version)
+        notes.append(
+            f"post-swap F1 collapse at minute {now_minute:g}: rolled back "
+            f"to v{target_version:04d}"
+        )
+        monitor.reset_after_swap()
+        record_rollback()
+        record_drift_metrics(monitor, active_version=target_version)
+
+    def maybe_retrain(now_minute: float) -> None:
+        nonlocal next_retrain
+        while next_retrain is not None and now_minute >= next_retrain:
+            at = next_retrain
+            next_retrain += retrain_every_days * MINUTES_PER_DAY
+            run_retrain(at, "periodic")
+
+    serve_start = split_obj.train_end
+
+    def between_events(now_minute: float) -> None:
+        nonlocal rows_fed, alerts_fed
+        if monitor is not None:
+            # The PSI reference must capture the distribution the model
+            # serves *at serving start*, not the trace's cold-start
+            # transient — rows before the test window only feed retrain
+            # history, never the detectors; the governor likewise stays
+            # inert until the model is actually serving.
+            history = worker.history_rows
+            while rows_fed < len(history):
+                row = history[rows_fed]
+                if row.end_minute >= serve_start:
+                    monitor.observe_row(row)
+                rows_fed += 1
+            while alerts_fed < len(alerts):
+                monitor.observe_alert(alerts[alerts_fed])
+                alerts_fed += 1
+            monitor.match_labels(worker.labels)
+            if now_minute >= serve_start:
+                if governor.should_rollback(monitor):
+                    roll_back(now_minute)
+                if governor.should_check(now_minute):
+                    record_drift_metrics(
+                        monitor, active_version=versions[-1] if versions else None
+                    )
+                    reason = governor.drift_trigger(now_minute, monitor)
+                    if reason is not None:
+                        notes.append(
+                            f"drift detected at minute {now_minute:g} ({reason}); "
+                            "triggering guarded retrain"
+                        )
+                        run_retrain(now_minute, "drift")
+        maybe_retrain(now_minute)
 
     for index, event in enumerate(iter_trace_events(trace)):
         if resumed_from is not None and index < resumed_from:
             continue
-        alerts.extend(worker.handle_event(event, between=maybe_retrain))
+        alerts.extend(worker.handle_event(event, between=between_events))
         if (
             checkpoints is not None
             and worker.num_events % int(checkpoint_every_events) == 0
@@ -559,6 +751,10 @@ def serve_replay(
                     "next_retrain": next_retrain,
                     "versions": versions,
                     "notes": list(notes),
+                    "monitor": monitor,
+                    "governor": governor,
+                    "rows_fed": rows_fed,
+                    "alerts_fed": alerts_fed,
                 },
                 key=config_key,
             )
@@ -585,6 +781,18 @@ def serve_replay(
     online_pred = np.asarray([by_key[key].predicted for key in test_keys], dtype=int)
     online_scores = np.asarray([by_key[key].score for key in test_keys], dtype=float)
 
+    drift_summary = None
+    if monitor is not None:
+        drift_summary = {
+            "state": monitor.state(),
+            "triggers": [(float(m), r) for m, r in governor.triggers],
+            "swaps": [(float(m), int(v)) for m, v in governor.swaps],
+            "rollbacks": [(float(m), int(v)) for m, v in governor.rollback_events],
+        }
+        record_drift_metrics(
+            monitor, active_version=versions[-1] if versions else None
+        )
+
     return ReplayReport(
         split=split,
         model=model,
@@ -601,6 +809,10 @@ def serve_replay(
         max_abs_score_diff=float(np.max(np.abs(online_scores - batch_scores))),
         wall_seconds=time.perf_counter() - started,
         retrains=retrains,
+        drift_retrains=0 if governor is None else governor.retrains_drift,
+        retrains_rejected=0 if governor is None else governor.retrains_rejected,
+        rollbacks=0 if governor is None else governor.rollbacks,
+        drift=drift_summary,
         notes=notes,
         resilience=worker.scorer.resilience,
         chaos_digest=None if chaos is None else chaos.digest(),

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.scenarios.events import Scenario
 from repro.topology.machine import MachineConfig
 from repro.utils.errors import ConfigurationError
 
@@ -201,10 +202,20 @@ class TraceConfig:
     seed: int = 2018
     #: Node ids whose full telemetry series are recorded (for Fig. 8).
     record_nodes: tuple[int, ...] = ()
+    #: Optional cluster-lifecycle scenario (drift, storms, maintenance…).
+    #: ``None`` and an empty :class:`~repro.scenarios.events.Scenario` are
+    #: both exact no-ops: they compile to nothing, serialize to nothing,
+    #: and leave every digest bit-identical.
+    scenario: Scenario | None = None
 
     def __post_init__(self) -> None:
         if self.duration_days <= 0:
             raise ConfigurationError("duration_days must be positive")
+        if self.scenario is not None and not isinstance(self.scenario, Scenario):
+            raise ConfigurationError(
+                f"scenario must be a repro.scenarios Scenario or None, "
+                f"got {type(self.scenario).__name__}"
+            )
         if self.tick_minutes <= 0:
             raise ConfigurationError("tick_minutes must be positive")
         if self.tick_minutes > 60:

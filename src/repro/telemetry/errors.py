@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.scenarios.compiler import CompiledScenario
 from repro.telemetry.config import ErrorModelConfig
 from repro.topology.machine import Machine
 from repro.utils.rng import SeedSequenceFactory
@@ -40,6 +41,7 @@ class SbeErrorModel:
         seeds: SeedSequenceFactory,
         *,
         num_days: int,
+        scenario: CompiledScenario | None = None,
     ) -> None:
         self._config = config
         self._machine = machine
@@ -47,6 +49,18 @@ class SbeErrorModel:
         self._node_susceptibility = self._draw_node_susceptibility(
             seeds.generator("node-susceptibility")
         )
+        # Scenario hooks, both exact no-ops when off.  Maintenance events
+        # turn susceptibility into piecewise-constant epochs (redraws come
+        # from the "scenario-maintenance" stream, full-region draws, so
+        # every shard reconstructs identical epochs); storms and aging
+        # multiply the composed rate before the cap.
+        self._scenario = scenario
+        self._epoch_starts: np.ndarray | None = None
+        self._sus_epochs: list[np.ndarray] | None = None
+        if scenario is not None and scenario.has_maintenance:
+            self._epoch_starts, self._sus_epochs = scenario.susceptibility_epochs(
+                self._node_susceptibility, seeds, config
+            )
         # Per-(node, day) episode modulation: each node suffers occasional
         # multi-day degradation *episodes* during which its rate spikes;
         # outside episodes the rate is strongly suppressed.  Episodes make
@@ -147,14 +161,23 @@ class SbeErrorModel:
             1.0 + cfg.interaction_boost,
             1.0,
         )
+        if self._sus_epochs is None:
+            susceptibility = self._node_susceptibility[node_ids]
+        else:
+            epoch = int(
+                np.searchsorted(self._epoch_starts, start_minute, side="right") - 1
+            )
+            susceptibility = self._sus_epochs[epoch][node_ids]
         hourly = (
             cfg.base_rate_per_hour
-            * self._node_susceptibility[node_ids]
+            * susceptibility
             * app_susceptibility
             * thermal
             * memory
             * interaction
         )
+        if self._scenario is not None and self._scenario.has_error_factors:
+            hourly = hourly * self._scenario.error_rate_factor(node_ids, start_minute)
         hourly = np.minimum(hourly, cfg.max_rate_per_hour)
         return hourly * self._day_factors[node_ids, day] * hours
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.scenarios.compiler import CompiledScenario
 from repro.telemetry.applications import ApplicationCatalog, ApplicationSpec
 from repro.telemetry.config import TraceConfig
 from repro.topology.machine import Machine
@@ -54,11 +55,16 @@ class WorkloadScheduler:
         catalog: ApplicationCatalog,
         machine: Machine,
         seeds: SeedSequenceFactory,
+        scenario: CompiledScenario | None = None,
     ) -> None:
         self._config = config
         self._catalog = catalog
         self._machine = machine
         self._rng = seeds.generator("scheduler")
+        # Workload-shift hooks scale interarrival gaps and durations as
+        # pure functions of time — the draw sequence itself is untouched,
+        # so the scheduler stays deterministic and shard-independent.
+        self._scenario = scenario if scenario is not None and scenario.has_workload else None
 
     def build_schedule(self) -> list[ScheduledRun]:
         """Return all runs of the trace, sorted by start time."""
@@ -86,7 +92,7 @@ class WorkloadScheduler:
         runs: list[ScheduledRun] = []
         run_id = 0
         job_id = 0
-        t = float(rng.exponential(1.0 / jobs_per_minute))
+        t = self._next_arrival(0.0, jobs_per_minute, rng)
         horizon = cfg.duration_minutes
         while t < horizon:
             app = self._catalog.sample_app(rng)
@@ -95,7 +101,7 @@ class WorkloadScheduler:
             node_ids = self._allocate(app, free_at, cab_x, cab_y, grid_x, rng)
             start = max(t, float(free_at[node_ids].max()))
             for _ in range(n_apruns):
-                duration = self._sample_duration(app, rng)
+                duration = self._sample_duration(app, rng, start)
                 end = start + duration
                 if start >= horizon:
                     break
@@ -114,16 +120,26 @@ class WorkloadScheduler:
                 start = end
             free_at[node_ids] = start
             job_id += 1
-            t += float(rng.exponential(1.0 / jobs_per_minute))
+            t = self._next_arrival(t, jobs_per_minute, rng)
         runs.sort(key=lambda r: r.start_minute)
         return runs
 
     # ------------------------------------------------------------------
+    def _next_arrival(
+        self, t: float, jobs_per_minute: float, rng: np.random.Generator
+    ) -> float:
+        gap = float(rng.exponential(1.0 / jobs_per_minute))
+        if self._scenario is not None:
+            gap /= self._scenario.arrival_factor(t)
+        return t + gap
+
     def _sample_duration(
-        self, app: ApplicationSpec, rng: np.random.Generator
+        self, app: ApplicationSpec, rng: np.random.Generator, start_minute: float
     ) -> float:
         sigma = self._config.workload.runtime_sigma
         duration = app.median_runtime_minutes * rng.lognormal(0.0, sigma)
+        if self._scenario is not None:
+            duration *= self._scenario.runtime_factor(start_minute)
         # At least two sampler ticks so every run has an in-run profile.
         return max(duration, 2.0 * self._config.tick_minutes)
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import SpanTracer, get_registry
+from repro.scenarios.compiler import compile_scenario
 from repro.telemetry.applications import ApplicationCatalog
 from repro.telemetry.config import TraceConfig
 from repro.telemetry.errors import SbeErrorModel
@@ -143,6 +144,10 @@ class TraceSimulator:
         self._span = span or full_span(config.machine)
         validate_span(self._span, config.machine)
         self._seeds = SeedSequenceFactory(config.seed)
+        # None when no scenario is attached (or it is empty): every hook
+        # below gates on that, so the scenario-off path is the exact
+        # pre-scenario code (golden digests unchanged).
+        self._scenario = compile_scenario(config.scenario, config)
         self._catalog = ApplicationCatalog(
             config.workload,
             config.machine,
@@ -150,7 +155,7 @@ class TraceSimulator:
             app_sigma=config.errors.app_sigma,
         )
         self._scheduler = WorkloadScheduler(
-            config, self._catalog, self._machine, self._seeds
+            config, self._catalog, self._machine, self._seeds, self._scenario
         )
         self._power = PowerModel(config.power, self._machine, self._seeds, self._span)
         self._thermal = ThermalModel(
@@ -161,6 +166,7 @@ class TraceSimulator:
             self._machine,
             self._seeds,
             num_days=int(math.ceil(config.duration_days)),
+            scenario=self._scenario,
         )
         self._smi = NvidiaSmiEmulator(self._span.num_nodes)
 
@@ -271,15 +277,20 @@ class TraceSimulator:
                 # Per-run substream: every shard that sees this run draws
                 # the same utilization/memory regardless of draw order.
                 run_rng = self._seeds.generator("per-run-noise", run.run_id)
-                util = float(
-                    np.clip(
-                        app.gpu_utilization * run_rng.lognormal(0.0, 0.12), 0.03, 1.0
+                base_util = app.gpu_utilization
+                base_mem = app.memory_fraction
+                if self._scenario is not None and self._scenario.has_workload:
+                    base_util = base_util * self._scenario.gpu_util_factor(
+                        run.start_minute
                     )
+                    base_mem = base_mem * self._scenario.memory_factor(
+                        run.start_minute
+                    )
+                util = float(
+                    np.clip(base_util * run_rng.lognormal(0.0, 0.12), 0.03, 1.0)
                 )
                 mem = float(
-                    np.clip(
-                        app.memory_fraction * run_rng.lognormal(0.0, 0.18), 0.02, 1.0
-                    )
+                    np.clip(base_mem * run_rng.lognormal(0.0, 0.18), 0.02, 1.0)
                 )
                 local, global_ids = local_subset[run.run_id]
                 pre_stats = np.hstack(
@@ -324,6 +335,10 @@ class TraceSimulator:
 
             # --- 3. physics --------------------------------------------
             watts = self._power.sample(gpu_util)
+            if self._scenario is not None and self._scenario.has_thermal:
+                self._thermal.extra_offset = self._scenario.ambient_offset(
+                    minute, lo, hi
+                )
             self._thermal.step(watts, cpu_util, dt)
             gpu_temp = self._thermal.gpu_temp
             cpu_temp = self._thermal.cpu_temp

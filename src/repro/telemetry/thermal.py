@@ -78,6 +78,13 @@ class ThermalModel:
         ambient = config.ambient_celsius + self._cabinet_offset + self._node_offset
         self.gpu_temp = ambient.copy()
         self.cpu_temp = ambient.copy()
+        #: Scenario hook: extra ambient degrees (scalar or per-node array
+        #: over the span) added to both GPU and CPU steady-state targets.
+        #: ``None`` keeps the step math byte-identical to the pre-scenario
+        #: model; the simulator refreshes it every tick from the compiled
+        #: scenario.  Offsets act from the first step (initial temperatures
+        #: stay at the unperturbed ambient).
+        self.extra_offset: float | np.ndarray | None = None
 
     @property
     def cabinet_offset(self) -> np.ndarray:
@@ -109,6 +116,8 @@ class ThermalModel:
         """Advance both temperature fields by ``dt_minutes``."""
         cfg = self._config
         target = self.steady_state(power_watts)
+        if self.extra_offset is not None:
+            target = target + self.extra_offset
         # First-order relaxation, exact for the step size (exp integrator),
         # so large sampler ticks stay stable.
         alpha = 1.0 - np.exp(-dt_minutes / cfg.time_constant_minutes)
@@ -125,6 +134,8 @@ class ThermalModel:
             + self._node_offset
             + cfg.cpu_degrees_per_util * cpu_utilization
         )
+        if self.extra_offset is not None:
+            cpu_target = cpu_target + self.extra_offset
         cpu_alpha = 1.0 - np.exp(-dt_minutes / cfg.cpu_time_constant_minutes)
         self.cpu_temp += cpu_alpha * (cpu_target - self.cpu_temp)
         self.cpu_temp += self._noise.normal(cfg.noise_celsius * np.sqrt(dt_minutes))

@@ -242,12 +242,22 @@ def config_to_dict(config: TraceConfig) -> dict:
     """
     from dataclasses import asdict
 
+    from repro.scenarios.events import scenario_to_dict
+
     raw = asdict(config)
     raw["record_nodes"] = list(config.record_nodes)
+    # asdict() recurses into the scenario but loses the event types; emit
+    # the kind-tagged form instead — and only when the scenario actually
+    # scripts something, so scenario=None and an empty Scenario() produce
+    # byte-identical sidecars and cache keys (the neutrality invariant).
+    raw.pop("scenario", None)
+    if config.scenario is not None and not config.scenario.empty:
+        raw["scenario"] = scenario_to_dict(config.scenario)
     return raw
 
 
 def config_from_dict(raw: dict) -> TraceConfig:
+    from repro.scenarios.events import scenario_from_dict
     from repro.telemetry.config import (
         ErrorModelConfig,
         PowerConfig,
@@ -255,6 +265,7 @@ def config_from_dict(raw: dict) -> TraceConfig:
         WorkloadConfig,
     )
 
+    scenario_raw = raw.get("scenario")
     return TraceConfig(
         machine=MachineConfig(**raw["machine"]),
         workload=WorkloadConfig(**raw["workload"]),
@@ -265,4 +276,5 @@ def config_from_dict(raw: dict) -> TraceConfig:
         tick_minutes=raw["tick_minutes"],
         seed=raw["seed"],
         record_nodes=tuple(raw.get("record_nodes", ())),
+        scenario=None if scenario_raw is None else scenario_from_dict(scenario_raw),
     )

@@ -59,6 +59,40 @@ class TestDedupWindow:
         assert engine.alarms == []
 
 
+class TestDirectSignals:
+    def test_signal_opens_a_kinded_alarm(self, engine):
+        alarm = engine.signal(node_id=-1, kind="drift", minute=10.0, score=0.4)
+        assert alarm.kind == "drift"
+        assert alarm.node_id == -1
+        assert engine.positives_seen == 0  # not an alert positive
+
+    def test_signal_folds_per_kind_not_across_kinds(self, engine):
+        drift = engine.signal(node_id=-1, kind="drift", minute=0.0)
+        again = engine.signal(node_id=-1, kind="drift", minute=50.0)
+        other = engine.signal(node_id=-1, kind="latency", minute=50.0)
+        assert again is drift and drift.count == 2
+        assert other is not drift
+
+    def test_signal_shares_dedup_with_alert_stream_on_same_key(self, engine):
+        opened = engine.observe(alert(7, 0.0))
+        folded = engine.signal(node_id=7, kind="sbe_risk", minute=10.0)
+        assert folded is opened and opened.count == 2
+
+    def test_signal_kind_is_part_of_the_digest(self, engine):
+        other = AlarmEngine(
+            AlarmConfig(dedup_window_minutes=100.0, escalate_after=3)
+        )
+        engine.signal(node_id=-1, kind="drift", minute=5.0, score=0.3)
+        other.signal(node_id=-1, kind="latency", minute=5.0, score=0.3)
+        assert engine.digest() != other.digest()
+
+    def test_signal_alarms_are_acknowledgeable(self, engine):
+        alarm = engine.signal(node_id=-1, kind="drift", minute=5.0)
+        engine.acknowledge(alarm.alarm_id)
+        fresh = engine.signal(node_id=-1, kind="drift", minute=6.0)
+        assert fresh is not alarm
+
+
 class TestAcknowledgement:
     def test_ack_clears_and_next_positive_opens_fresh(self, engine):
         first = engine.observe(alert(5, 0.0))

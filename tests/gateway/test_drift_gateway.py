@@ -1,0 +1,127 @@
+"""Gateway-side drift: observational monitor, alarms, and /metrics.
+
+The gateway never retrains — its model lifecycle is the registry
+watcher — so drift here is purely observational: detector gauges, a
+``kind="drift"`` alarm through the shared :class:`AlarmEngine` fold
+machinery, and Prometheus exposition.  The detector config below is
+deliberately hair-trigger (tiny windows, near-zero PSI thresholds): the
+tiny trace has no regime change, and these tests assert the *wiring*
+fires, not that the production thresholds would.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import (
+    GatewayConfig,
+    GatewayHTTPServer,
+    build_gateway,
+    http_request,
+    run_fleet,
+)
+from repro.obs import MetricsRegistry, set_registry
+from repro.serve.drift import DriftConfig
+
+SENSITIVE = DriftConfig(
+    reference_rows=32,
+    window_rows=32,
+    bins=5,
+    psi_top_k=3,
+    psi_threshold=0.005,
+    calibration_threshold=0.005,
+    f1_window=40,
+    min_labels=10,
+    check_every_minutes=60.0,
+    cooldown_minutes=720.0,
+)
+
+
+@pytest.fixture(scope="module")
+def drift_session(tiny_trace, tiny_context, tmp_path_factory):
+    """A 2-shard gateway with the hair-trigger monitor, plus a scrape.
+
+    Runs against a private obs registry: the ``/metrics`` scrape below
+    must not advance the process-global scrape counter other modules
+    assert exact values on.
+    """
+
+    async def go():
+        gateway = build_gateway(
+            tiny_trace,
+            tmp_path_factory.mktemp("gw-drift"),
+            splits=tiny_context.preset_splits(),
+            config=GatewayConfig(shards=2, batch_size=64, drift=SENSITIVE),
+            fast=True,
+        )
+        await gateway.start()
+        server = GatewayHTTPServer(gateway)
+        await server.start()
+        await run_fleet(gateway, tiny_trace, clients=1)
+        await gateway.drain()
+        _, metrics = await http_request(
+            server.host, server.port, "GET", "/metrics"
+        )
+        _, stats = await http_request(server.host, server.port, "GET", "/stats")
+        await gateway.close()
+        await server.close()
+        return gateway, metrics, stats
+
+    previous = set_registry(MetricsRegistry())
+    try:
+        return asyncio.run(go())
+    finally:
+        set_registry(previous)
+
+
+class TestGatewayDrift:
+    def test_monitor_fed_and_alarm_raised(self, drift_session):
+        gateway, _, _ = drift_session
+        assert gateway.drift is not None
+        state = gateway.drift.state()
+        assert state["labels_observed"] > 0
+        assert gateway.drift_alarms >= 1
+
+    def test_drift_alarms_carry_kind_and_sentinel_node(self, drift_session):
+        gateway, _, _ = drift_session
+        drift_alarms = [
+            a for a in gateway.alarm_engine.alarms if a.kind == "drift"
+        ]
+        assert drift_alarms
+        assert all(a.node_id == -1 for a in drift_alarms)
+
+    def test_snapshot_exposes_drift_section(self, drift_session):
+        _, _, stats = drift_session
+        drift = stats["drift"]
+        assert drift is not None
+        assert drift["alarms"] >= 1
+        assert {"feature_psi", "score_psi", "rolling_f1"} <= set(drift)
+
+    def test_metrics_expose_drift_gauges_and_model_version(self, drift_session):
+        gateway, metrics, _ = drift_session
+        assert 'repro_serve_drift_statistic{detector="feature_psi"}' in metrics
+        assert 'repro_serve_drift_statistic{detector="score_psi"}' in metrics
+        version = gateway.watcher.current_version
+        assert f"repro_serve_active_model_version {version}" in metrics
+        assert 'repro_gateway_alarms_total{kind="drift"}' in metrics
+
+
+class TestGatewayDriftOff:
+    def test_default_gateway_has_no_drift_surface(
+        self, tiny_trace, tiny_context, tmp_path_factory
+    ):
+        async def go():
+            gateway = build_gateway(
+                tiny_trace,
+                tmp_path_factory.mktemp("gw-plain"),
+                splits=tiny_context.preset_splits(),
+                config=GatewayConfig(batch_size=64),
+                fast=True,
+            )
+            await gateway.start()
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(go())
+        assert gateway.drift is None
+        assert gateway.snapshot()["drift"] is None

@@ -1,0 +1,100 @@
+"""Scenario neutrality and shard determinism against the pinned goldens.
+
+The scenario engine's hard invariant: a simulation with ``scenario=None``
+or an *empty* ``Scenario()`` must be byte-for-byte the simulation this
+repo produced before the engine existed.  Rather than comparing two
+fresh runs to each other (which would also pass if both drifted), the
+empty-scenario trace is hashed against the **pinned** golden ``simulate``
+digests for every golden seed — any neutrality leak re-keys the digest
+and fails here by name.
+
+The second invariant is shard determinism *with* a scenario attached:
+every event's effect is either a pure function of ``(config, scenario,
+minute)`` or a whole-machine scenario-keyed draw, so a sharded
+simulation merges to the exact serial trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    Aging,
+    CoolingDegradation,
+    Maintenance,
+    SbeStorm,
+    Scenario,
+    SeasonalDrift,
+    WorkloadShift,
+)
+from repro.telemetry.simulator import TraceSimulator, merge_shard_results
+from repro.topology.sharding import plan_shards
+
+from tests.golden.canonical import GOLDEN_SEEDS, canonical_config, trace_digest
+
+GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
+
+#: One of each event kind, all active inside the canonical 8-day trace.
+EVENTS = {
+    "seasonal_drift": SeasonalDrift(
+        start_day=0.0, end_day=8.0, amplitude_celsius=2.0, period_days=3.0
+    ),
+    "cooling_degradation": CoolingDegradation(
+        start_day=1.0, end_day=5.0, celsius_at_end=4.0, node_lo=0, node_hi=64
+    ),
+    "maintenance": Maintenance(day=4.0, susceptibility_scale=1.5),
+    "workload_shift": WorkloadShift(
+        start_day=3.0, end_day=8.0, arrival_factor=1.4, runtime_factor=1.3
+    ),
+    "sbe_storm": SbeStorm(start_day=2.0, end_day=4.0, rate_factor=6.0, node_hi=48),
+    "aging": Aging(start_day=0.0, end_day=8.0, growth_per_day=0.05),
+}
+
+
+def pinned_simulate_digest(seed: int) -> str:
+    return json.loads(GOLDEN_PATH.read_text())[str(seed)]["simulate"]
+
+
+class TestEmptyScenarioIsGolden:
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    def test_empty_scenario_matches_pinned_golden(self, seed):
+        config = dataclasses.replace(canonical_config(seed), scenario=Scenario())
+        assert trace_digest(TraceSimulator(config).run()) == pinned_simulate_digest(
+            seed
+        ), (
+            f"empty Scenario() changed the seed-{seed} trace digest: "
+            f"a telemetry hook is not gated on `compiled is not None`"
+        )
+
+
+class TestScenarioShardDeterminism:
+    @pytest.mark.parametrize("kind", sorted(EVENTS))
+    def test_single_event_two_shards_match_serial(self, kind):
+        config = dataclasses.replace(
+            canonical_config(GOLDEN_SEEDS[0]),
+            duration_days=4.0,
+            scenario=Scenario(events=(EVENTS[kind],), seed=3),
+        )
+        serial = trace_digest(TraceSimulator(config).run())
+        spans = plan_shards(config.machine, 2)
+        merged = merge_shard_results(
+            config, [TraceSimulator(config, span).run_span() for span in spans]
+        )
+        assert trace_digest(merged) == serial, (
+            f"scenario event {kind!r} broke shard determinism "
+            f"(2-shard merge != serial)"
+        )
+
+    def test_scenario_changes_the_trace_at_all(self):
+        """Guard against an engine that compiles but never applies."""
+        config = canonical_config(GOLDEN_SEEDS[0])
+        on = dataclasses.replace(
+            config, scenario=Scenario(events=(EVENTS["sbe_storm"],))
+        )
+        assert trace_digest(TraceSimulator(on).run()) != pinned_simulate_digest(
+            GOLDEN_SEEDS[0]
+        )

@@ -1,0 +1,224 @@
+"""Units for the scenario DSL, its compiler, and the built-in presets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.presets import preset_config
+from repro.scenarios import (
+    Aging,
+    CoolingDegradation,
+    Maintenance,
+    SbeStorm,
+    Scenario,
+    SeasonalDrift,
+    WorkloadShift,
+    compile_scenario,
+    scenario_from_dict,
+    scenario_preset,
+    scenario_preset_names,
+    scenario_to_dict,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedSequenceFactory
+
+DAY = 1440.0
+
+
+@pytest.fixture(scope="module")
+def config():
+    return preset_config("tiny")  # 96 nodes; never simulated here
+
+
+def compiled(config, *events, seed=0):
+    return compile_scenario(Scenario(events=tuple(events), seed=seed), config)
+
+
+class TestEventValidation:
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="start_day < end_day"):
+            SeasonalDrift(start_day=5.0, end_day=5.0, amplitude_celsius=1.0)
+
+    def test_inverted_region_rejected(self):
+        with pytest.raises(ConfigurationError, match="node_lo < node_hi"):
+            SbeStorm(start_day=0.0, end_day=1.0, rate_factor=2.0, node_lo=8, node_hi=8)
+
+    def test_nonpositive_factors_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate_factor"):
+            SbeStorm(start_day=0.0, end_day=1.0, rate_factor=0.0)
+        with pytest.raises(ConfigurationError, match="runtime_factor"):
+            WorkloadShift(start_day=0.0, end_day=1.0, runtime_factor=-1.0)
+        with pytest.raises(ConfigurationError, match="susceptibility_scale"):
+            Maintenance(day=1.0, susceptibility_scale=0.0)
+
+    def test_scenario_rejects_non_events(self):
+        with pytest.raises(ConfigurationError, match="not a scenario event"):
+            Scenario(events=("maintenance",))
+
+
+class TestSerialization:
+    def test_round_trip_preserves_events_and_seed(self):
+        scenario = scenario_preset("cluster-life")
+        again = scenario_from_dict(scenario_to_dict(scenario))
+        assert again == scenario
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario event kind"):
+            scenario_from_dict({"events": [{"kind": "earthquake"}]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            scenario_from_dict(
+                {"events": [{"kind": "maintenance", "day": 1.0, "hammer": True}]}
+            )
+
+
+class TestCompileNeutrality:
+    def test_none_and_empty_compile_to_none(self, config):
+        assert compile_scenario(None, config) is None
+        assert compile_scenario(Scenario(), config) is None
+        assert Scenario().empty
+
+    def test_gates_reflect_event_mix(self, config):
+        storm = compiled(
+            config, SbeStorm(start_day=1.0, end_day=2.0, rate_factor=4.0)
+        )
+        assert storm.has_error_factors
+        assert not (storm.has_thermal or storm.has_maintenance or storm.has_workload)
+        season = compiled(
+            config, SeasonalDrift(start_day=0.0, end_day=9.0, amplitude_celsius=1.0)
+        )
+        assert season.has_thermal and not season.has_error_factors
+
+
+class TestThermalSchedule:
+    def test_seasonal_sine_inside_window_only(self, config):
+        c = compiled(
+            config,
+            SeasonalDrift(
+                start_day=2.0, end_day=6.0, amplitude_celsius=3.0, period_days=4.0
+            ),
+        )
+        assert c.ambient_offset(0.0, 0, 96) is None  # before the window
+        assert c.ambient_offset(6.0 * DAY, 0, 96) is None  # half-open end
+        quarter = c.ambient_offset(3.0 * DAY, 0, 96)  # sin(2*pi*1/4) = 1
+        assert quarter == pytest.approx(3.0)
+
+    def test_cooling_ramps_then_freezes_per_region(self, config):
+        c = compiled(
+            config,
+            CoolingDegradation(
+                start_day=0.0, end_day=4.0, celsius_at_end=4.0, node_lo=0, node_hi=48
+            ),
+        )
+        half = c.ambient_offset(2.0 * DAY, 0, 96)
+        np.testing.assert_allclose(half[:48], 2.0)
+        np.testing.assert_allclose(half[48:], 0.0)
+        # Past end_day the loss freezes at its final value: not repaired.
+        late = c.ambient_offset(10.0 * DAY, 0, 96)
+        np.testing.assert_allclose(late[:48], 4.0)
+
+    def test_offsets_compose_additively(self, config):
+        c = compiled(
+            config,
+            SeasonalDrift(
+                start_day=0.0, end_day=9.0, amplitude_celsius=2.0, period_days=4.0
+            ),
+            CoolingDegradation(
+                start_day=0.0, end_day=2.0, celsius_at_end=1.0, node_lo=0, node_hi=96
+            ),
+        )
+        total = c.ambient_offset(1.0 * DAY, 0, 96)  # sin peak (2) + ramp (0.5)
+        np.testing.assert_allclose(total, 2.5)
+
+
+class TestErrorFactors:
+    def test_storm_multiplies_inside_window_and_region(self, config):
+        c = compiled(
+            config,
+            SbeStorm(start_day=1.0, end_day=2.0, rate_factor=6.0, node_lo=0, node_hi=4),
+        )
+        nodes = np.array([0, 3, 4, 95])
+        np.testing.assert_allclose(
+            c.error_rate_factor(nodes, 1.5 * DAY), [6.0, 6.0, 1.0, 1.0]
+        )
+        np.testing.assert_allclose(c.error_rate_factor(nodes, 2.5 * DAY), 1.0)
+
+    def test_aging_grows_then_freezes(self, config):
+        c = compiled(
+            config, Aging(start_day=0.0, end_day=10.0, growth_per_day=0.1)
+        )
+        nodes = np.array([5])
+        assert c.error_rate_factor(nodes, 5.0 * DAY)[0] == pytest.approx(
+            math.exp(0.5)
+        )
+        # Hardware does not un-age: past end_day the factor freezes.
+        assert c.error_rate_factor(nodes, 50.0 * DAY)[0] == pytest.approx(
+            math.exp(1.0)
+        )
+
+
+class TestMaintenanceEpochs:
+    def make_epochs(self, config, *, seed=0, root_seed=2018):
+        c = compiled(
+            config,
+            Maintenance(day=4.0, node_lo=0, node_hi=32, susceptibility_scale=2.0),
+            seed=seed,
+        )
+        base = np.full(96, 0.5)
+        return c.susceptibility_epochs(
+            base, SeedSequenceFactory(root_seed), config.errors
+        )
+
+    def test_epochs_redraw_only_the_region(self, config):
+        starts, epochs = self.make_epochs(config)
+        np.testing.assert_array_equal(starts, [0.0, 4.0 * DAY])
+        assert len(epochs) == 2
+        np.testing.assert_allclose(epochs[0], 0.5)  # base epoch untouched
+        assert not np.allclose(epochs[1][:32], 0.5)  # region redrawn
+        np.testing.assert_allclose(epochs[1][32:], 0.5)  # rest carried over
+
+    def test_redraw_is_keyed_by_scenario_seed(self, config):
+        _, first = self.make_epochs(config, seed=0)
+        _, again = self.make_epochs(config, seed=0)
+        _, other = self.make_epochs(config, seed=1)
+        np.testing.assert_array_equal(first[1], again[1])
+        assert not np.array_equal(first[1], other[1])
+
+    def test_epoch_lookup_is_half_open(self, config):
+        starts, _ = self.make_epochs(config)
+        lookup = lambda m: int(np.searchsorted(starts, m, side="right") - 1)
+        assert lookup(4.0 * DAY - 1.0) == 0
+        assert lookup(4.0 * DAY) == 1
+
+
+class TestWorkloadFactors:
+    def test_factors_compose_multiplicatively(self, config):
+        c = compiled(
+            config,
+            WorkloadShift(start_day=0.0, end_day=4.0, arrival_factor=2.0),
+            WorkloadShift(
+                start_day=2.0, end_day=6.0, arrival_factor=3.0, runtime_factor=1.5
+            ),
+        )
+        assert c.arrival_factor(1.0 * DAY) == 2.0
+        assert c.arrival_factor(3.0 * DAY) == 6.0
+        assert c.arrival_factor(5.0 * DAY) == 3.0
+        assert c.runtime_factor(1.0 * DAY) == 1.0
+        assert c.runtime_factor(3.0 * DAY) == 1.5
+
+
+class TestPresets:
+    def test_names_are_sorted_and_stable(self):
+        names = scenario_preset_names()
+        assert names == tuple(sorted(names))
+        assert "regime-change" in names and "cluster-life" in names
+
+    def test_every_preset_compiles(self, config):
+        for name in scenario_preset_names():
+            assert compile_scenario(scenario_preset(name), config) is not None
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario preset"):
+            scenario_preset("apocalypse")

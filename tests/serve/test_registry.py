@@ -163,7 +163,10 @@ class TestFailureModes:
         (torn.path / "predictor.pkl").unlink()
         with pytest.warns(DegradedDataWarning, match="payload missing"):
             assert [v.version for v in registry.list_versions()] == [1]
-        assert registry.latest().version == 1
+        # The head still points at the torn v2: latest() degrades to the
+        # newest committed version with a dangling-head warning.
+        with pytest.warns(DegradedDataWarning, match="uncommitted version"):
+            assert registry.latest().version == 1
 
     def test_next_version_follows_max_existing(self, fitted, tmp_path):
         predictor, _, _ = fitted
@@ -251,4 +254,101 @@ class TestVerify:
         captured = capsys.readouterr()
         assert code == 1
         assert captured.err.startswith("repro: error:")
+        assert "Traceback" not in captured.err
+
+
+class TestRollback:
+    def test_head_follows_saves_and_rollback_pins_it(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        registry.save_model(predictor)
+        assert registry.head_version() == 2
+        entry = registry.rollback("twostage", 1)
+        assert entry.version == 1
+        assert registry.head_version() == 1
+        assert registry.latest().version == 1  # rollback sticks
+
+    def test_next_save_advances_head_past_a_rollback(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        registry.save_model(predictor)
+        registry.rollback("twostage", 1)
+        assert registry.save_model(predictor).version == 3
+        assert registry.head_version() == 3
+        assert registry.latest().version == 3
+
+    def test_rollback_refuses_corrupt_target_in_one_line(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        target = registry.save_model(predictor)
+        registry.save_model(predictor)
+        data = bytearray((target.path / "predictor.pkl").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (target.path / "predictor.pkl").write_bytes(bytes(data))
+        with pytest.raises(
+            ModelRegistryError, match="refusing rollback.*corrupt-payload"
+        ):
+            registry.rollback("twostage", 1)
+        assert registry.head_version() == 2  # head untouched
+
+    def test_rollback_refuses_missing_target(self, fitted, tmp_path):
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        with pytest.raises(ModelRegistryError, match="target is missing"):
+            registry.rollback("twostage", 42)
+
+    def test_dangling_head_degrades_with_warning(self, fitted, tmp_path):
+        import shutil
+
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        v2 = registry.save_model(predictor)
+        registry.rollback("twostage", 2)
+        registry.save_model(predictor)  # v3; head -> 3
+        registry.rollback("twostage", 2)
+        shutil.rmtree(v2.path)
+        with pytest.warns(DegradedDataWarning, match="uncommitted version"):
+            assert registry.latest().version == 3
+
+    def test_cli_registry_rollback(self, fitted, tmp_path, capsys):
+        from repro.cli import main
+
+        predictor, _, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor)
+        registry.save_model(predictor)
+        code = main(
+            ["registry", "rollback", "--registry", str(tmp_path), "--to", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "head -> v0001" in out
+        assert registry.head_version() == 1
+
+    def test_cli_registry_rollback_requires_to(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["registry", "rollback", "--registry", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "requires --to" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_cli_registry_rollback_refusal_is_one_line(
+        self, fitted, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        predictor, _, _ = fitted
+        ModelRegistry(tmp_path).save_model(predictor)
+        code = main(
+            ["registry", "rollback", "--registry", str(tmp_path), "--to", "9"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "refusing rollback" in captured.err
         assert "Traceback" not in captured.err

@@ -34,7 +34,7 @@ from pathlib import Path
 #: Regression direction per metric suffix: ``higher`` means a drop is a
 #: regression (throughput); ``lower`` means a rise is one (latency, RSS).
 HIGHER_IS_BETTER = ("rows_per_sec", "events_per_sec")
-LOWER_IS_BETTER = ("p50_ms", "p99_ms", "peak_rss_bytes", "seconds")
+LOWER_IS_BETTER = ("p50_ms", "p99_ms", "peak_rss_bytes", "seconds", "time_to_recover_days")
 
 DEFAULT_BASELINE = "tools/bench_baseline.json"
 DEFAULT_THRESHOLD = 0.20
@@ -92,10 +92,31 @@ def extract_hotpath(payload: dict) -> dict[str, float]:
     return metrics
 
 
+def extract_drift(payload: dict) -> dict[str, float]:
+    """BENCH_drift.json: drift-experiment recovery and lifecycle counts."""
+    metrics: dict[str, float] = {}
+    for key in (
+        "time_to_recover_days",
+        "retrains",
+        "drift_retrains",
+        "rejected",
+        "rollbacks",
+        "poison_rollbacks",
+        "stale_f1",
+        "governed_f1",
+        "fresh_f1",
+        "governed_gap",
+    ):
+        if key in payload:
+            metrics[f"drift.{key}"] = float(payload[key])
+    return metrics
+
+
 EXTRACTORS = {
     "BENCH_scale.json": extract_scale,
     "BENCH_gateway.json": extract_gateway,
     "BENCH_hotpath.json": extract_hotpath,
+    "BENCH_drift.json": extract_drift,
 }
 
 

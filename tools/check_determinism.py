@@ -3,8 +3,11 @@
 
 Runs the tiny-preset simulation twice with one seed, the sharded
 simulation (2 row-shards on 2 worker processes) twice — which must be
-bit-identical not just to itself but to the *serial* trace — the fault
-injector stack twice on top, and the online serve-replay path twice
+bit-identical not just to itself but to the *serial* trace — the
+scenario engine both ways (an empty scenario must be a bit-exact no-op
+against the plain trace, and a scripted regime change must shard to the
+serial bits), the fault injector stack twice on top, and the online
+serve-replay path twice
 (each against a fresh registry root), then compares content hashes of
 the trace arrays, the fault logs, and the replay reports.  The same replay is then
 repeated under a chaos plan (retries, fallbacks, dead-letter replay must
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import hashlib
 import shutil
 import sys
@@ -38,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments.presets import PRESETS, preset_config, split_plan
+from repro.scenarios import Scenario, scenario_preset
 from repro.faults import FaultSpec, inject_faults
 from repro.features.splits import make_paper_splits
 from repro.gateway import GatewayConfig, build_gateway, run_fleet
@@ -110,6 +115,41 @@ def main(argv: list[str] | None = None) -> int:
         failures += 1
     else:
         print(f"  sharded ok (bit-identical to serial, {sharded_digests[0][:16]}...)")
+
+    print("scenario engine: off-neutrality + sharded determinism ...", flush=True)
+    # An *empty* scenario must be a bit-exact no-op against the plain
+    # trace, and a scenario-on simulation must shard to the serial bits.
+    empty_digest = trace_digest(
+        simulate_trace(
+            dataclasses.replace(preset_config(args.preset), scenario=Scenario())
+        )
+    )
+    if empty_digest == digest_a:
+        print("  empty scenario ok (bit-identical to no scenario)")
+    else:
+        print(f"  EMPTY SCENARIO MISMATCH: {empty_digest[:16]} != {digest_a[:16]}")
+        failures += 1
+    scenario_config = dataclasses.replace(
+        preset_config(args.preset), scenario=scenario_preset("regime-change")
+    )
+    scenario_serial = trace_digest(simulate_trace(scenario_config))
+    scenario_sharded = trace_digest(
+        simulate_trace_sharded(scenario_config, shards=2, jobs=2)
+    )
+    if scenario_serial == digest_a:
+        print("  SCENARIO IS A NO-OP: 'regime-change' left the trace unchanged")
+        failures += 1
+    elif scenario_sharded != scenario_serial:
+        print(
+            f"  SCENARIO SHARD MISMATCH: {scenario_sharded[:16]} != "
+            f"{scenario_serial[:16]}"
+        )
+        failures += 1
+    else:
+        print(
+            f"  scenario sharding ok ('regime-change' 2-shard == serial, "
+            f"{scenario_serial[:16]}...)"
+        )
 
     print(
         f"injecting faults (intensity={args.intensity}, "

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Single CI entry point: determinism gate (incl. the sharded --jobs 2,
-# segmented-store, and gateway-parity legs) + tier-1 tests +
-# golden-digest regression + parallel smoke + serve smoke legs (clean,
-# chaos, kill-and-resume) + gateway smoke (HTTP fleet, alarms,
+# scenario-neutrality, segmented-store, and gateway-parity legs) +
+# tier-1 tests + golden-digest regression + parallel smoke + serve
+# smoke legs (clean, chaos, kill-and-resume) + drift smoke (regime
+# change -> detector fires -> guarded retrain recovers F1; poisoned
+# refit rolled back; rollback CLI) + gateway smoke (HTTP fleet, alarms,
 # zero-drop ledger) + disk-fault smoke (inject -> recover -> digest
 # parity) + obs digest-neutrality gate (content digests identical with
 # observability off/on/sampled; obs snapshots seed-reproducible) +
@@ -37,6 +39,8 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 python -m repro.cli --preset tiny --jobs 2 simulate \
     --out "$workdir/trace-sharded" --shards 2
+python -m repro.cli --preset tiny --jobs 2 simulate \
+    --out "$workdir/trace-scenario" --shards 2 --scenario regime-change
 REPRO_CACHE_DIR="$workdir/cache" python -m repro.cli --preset tiny --jobs 2 \
     experiment fig1 fig3
 
@@ -66,6 +70,74 @@ python -m repro.cli --preset tiny serve-replay \
     --registry "$workdir/registry-resume" --fast --batch-size 64 \
     --chaos 0.25 --chaos-seed 7 \
     --checkpoint-dir "$workdir/ckpt" --resume
+
+echo
+echo "== drift smoke =="
+# Regime-change trace through the governed serving path: the detectors
+# must fire, the windowed drift retrains must recover late-window F1 to
+# within the experiment gate of the fresh post-change oracle, and a
+# poisoned refit (validates cleanly against its own poisoned holdout)
+# must be rolled back automatically by the post-swap monitor.  The
+# governed registry is kept so the rollback CLI can be exercised on a
+# registry with real retrain history.
+python - "$workdir" <<'PY'
+import sys
+from pathlib import Path
+
+from repro.experiments.drift_experiment import (
+    drift_detector_config,
+    drift_plan,
+    drift_trace_config,
+    run_drift,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.features.splits import DatasetSplit
+from repro.serve import serve_replay
+from repro.telemetry.simulator import simulate_trace
+
+workdir = Path(sys.argv[1])
+d = run_drift(ExperimentContext("tiny", use_disk_cache=False)).data
+assert d["governed_drift_retrains"] >= 1, d
+assert d["stale_gap"] >= d["min_stale_gap"], d
+assert d["governed_gap"] <= d["max_governed_gap"], d
+assert d["poison_caught"] and d["poison_rollbacks"] >= 1, d
+print(
+    f"drift smoke ok (stale gap {d['stale_gap']:+.4f}, governed gap "
+    f"{d['governed_gap']:+.4f} within {d['max_governed_gap']:.2f}, "
+    f"{d['governed_drift_retrains']} drift retrains, recovery in "
+    f"{d['time_to_recover_days']:.2f} days, "
+    f"{d['poison_rollbacks']} poisoned-leg rollback(s))"
+)
+
+# One more governed replay into a kept registry for the CLI legs below.
+plan = drift_plan("tiny")
+trace = simulate_trace(drift_trace_config("tiny"))
+split = DatasetSplit(
+    "DRIFT", 0.0, plan["train_days"] * 1440.0, plan["duration_days"] * 1440.0
+)
+report = serve_replay(
+    trace,
+    workdir / "registry-drift",
+    splits=[split],
+    split="DRIFT",
+    model="gbdt",
+    random_state=0,
+    fast=True,
+    drift=drift_detector_config(),
+    retrain_window_days=8.0,
+)
+assert len(report.registry_versions) >= 2, report.registry_versions
+PY
+# Rollback CLI: pin the head back to v1, verify the registry, and
+# require a one-line refusal (nonzero exit) on a missing target.
+python -m repro.cli registry rollback \
+    --registry "$workdir/registry-drift" --to 1
+python -m repro.cli registry verify --registry "$workdir/registry-drift"
+if python -m repro.cli registry rollback \
+    --registry "$workdir/registry-drift" --to 999 2>/dev/null; then
+    echo "expected rollback to refuse a missing target version" >&2
+    exit 1
+fi
 
 echo
 echo "== gateway smoke =="
