@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Hot-path scoring benchmark: per-tree loop vs flattened kernels.
+
+Measures single-core GBDT batch-scoring throughput three ways and seeds
+``BENCH_hotpath.json`` for the CI regression gate:
+
+* **kernel legs** — raw margin computation (binned codes in, scores
+  out) at the serving micro-batch sizes (32, 256) and in bulk, for the
+  legacy per-tree loop (the pre-kernel ``benchmarks/bench_serve.py``
+  scoring path) against the flattened numpy kernel, plus numba when
+  installed;
+* **microbatch leg** — the end-to-end serve path
+  (:class:`~repro.serve.scorer.MicroBatchScorer`: queue + fused row
+  assembly + TwoStage prediction) under both scoring paths;
+* **row-fusion leg** — :func:`~repro.serve.engine.rows_to_matrix`
+  batch assembly throughput.
+
+Every leg scores identical inputs on both paths and asserts bit-equal
+outputs before timing — a benchmark that drifts from the exactness
+contract must fail, not report a meaningless speedup.  Absolute rows/sec
+are machine-specific; the committed regression baseline therefore pins
+the machine-relative ``speedup`` ratios, which CI re-measures with
+``--quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        [--preset tiny] [--quick] [--bulk-rows N] [--out BENCH_hotpath.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Serving micro-batch sizes: the gateway/replay test batch and the
+#: replay default (``ScorerConfig.max_batch_size``).
+MICRO_BATCH_SIZES = (32, 256)
+
+
+def _best_seconds(fn, *, repeats: int, min_rows: int, batch_rows: int) -> float:
+    """Best-of-``repeats`` per-call seconds, looping small batches."""
+    calls = max(1, min_rows // batch_rows)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, (time.perf_counter() - start) / calls)
+    return best
+
+
+def bench_kernel_legs(gb, X, *, bulk_rows: int, repeats: int) -> list[dict]:
+    """Per-tree loop vs flat kernels on the raw scoring hot path."""
+    from repro.ml.kernels import numba_available, predict_raw
+
+    entries = []
+    for batch_rows in (*MICRO_BATCH_SIZES, bulk_rows):
+        tiles = batch_rows // X.shape[0] + 1
+        Xb = np.tile(X, (tiles, 1))[:batch_rows] if tiles > 1 else X[:batch_rows]
+        binned = gb._binner.transform(Xb)
+        tag = "bulk" if batch_rows == bulk_rows else f"batch{batch_rows}"
+
+        def pertree():
+            raw = np.full(binned.shape[0], gb._base_score)
+            for tree in gb._trees:
+                raw += gb.learning_rate * tree.predict_binned(binned)
+            return raw
+
+        def flat(backend="numpy"):
+            return predict_raw(
+                gb._flat,
+                binned,
+                base_score=gb._base_score,
+                learning_rate=gb.learning_rate,
+                backend=backend,
+            )
+
+        assert np.array_equal(pertree(), flat()), "kernel broke bit-identity"
+        min_rows = max(bulk_rows, 4 * batch_rows)
+        seconds_pertree = _best_seconds(
+            pertree, repeats=repeats, min_rows=min_rows, batch_rows=batch_rows
+        )
+        rate_pertree = batch_rows / seconds_pertree
+        entries.append(
+            {"label": f"pertree_{tag}", "rows_per_sec": round(rate_pertree, 1)}
+        )
+        backends = ["numpy"] + (["numba"] if numba_available() else [])
+        for backend in backends:
+            if backend == "numba":
+                assert np.array_equal(flat("numba"), flat()), (
+                    "numba kernel broke bit-identity"
+                )
+            seconds = _best_seconds(
+                lambda: flat(backend),
+                repeats=repeats,
+                min_rows=min_rows,
+                batch_rows=batch_rows,
+            )
+            entries.append(
+                {
+                    "label": f"{backend}_{tag}",
+                    "rows_per_sec": round(batch_rows / seconds, 1),
+                    "speedup": round(seconds_pertree / seconds, 2),
+                }
+            )
+    return entries
+
+
+def bench_microbatch_leg(predictor, schema, rows, *, repeats: int) -> list[dict]:
+    """End-to-end micro-batch serve path under both scoring paths."""
+    from repro.serve import MicroBatchScorer, ScorerConfig
+
+    gb = predictor._model
+
+    def score_all() -> float:
+        scorer = MicroBatchScorer(
+            predictor, schema, ScorerConfig(max_batch_size=MICRO_BATCH_SIZES[0])
+        )
+        scorer.submit(rows, now_minute=0.0)
+        scorer.flush()
+        return scorer.counters.rows_per_second
+
+    entries = []
+    rates = {}
+    for label, patched in (("microbatch_pertree", True), ("microbatch_numpy", False)):
+        if patched:
+            # Instance-level patch: exactly the pre-kernel scoring path.
+            gb._decision_function = gb._decision_function_pertree
+        else:
+            gb.__dict__.pop("_decision_function", None)
+        rates[label] = max(score_all() for _ in range(repeats))
+        entries.append({"label": label, "rows_per_sec": round(rates[label], 1)})
+    entries[-1]["speedup"] = round(
+        rates["microbatch_numpy"] / rates["microbatch_pertree"], 2
+    )
+    return entries
+
+
+def bench_row_fusion_leg(schema, rows, *, repeats: int) -> dict:
+    """Fused StreamedRow -> FeatureMatrix batch assembly."""
+    from repro.serve.engine import rows_to_matrix
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rows_to_matrix(rows, schema)
+        best = min(best, time.perf_counter() - start)
+    return {"label": "row_fusion", "rows_per_sec": round(len(rows) / best, 1)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="tiny")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: fast-caps model, smaller bulk batch, fewer repeats",
+    )
+    parser.add_argument("--bulk-rows", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_hotpath.json"))
+    args = parser.parse_args()
+
+    bulk_rows = args.bulk_rows or (20_000 if args.quick else 100_000)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    from repro.core.twostage import TwoStagePredictor
+    from repro.experiments.presets import preset_config, split_plan
+    from repro.features.builder import compute_top_apps
+    from repro.features.splits import make_paper_splits
+    from repro.core.pipeline import PredictionPipeline
+    from repro.features.builder import build_features
+    from repro.ml.gbdt import GradientBoostingClassifier
+    from repro.serve import StreamingFeatureEngine, iter_trace_events
+    from repro.telemetry.simulator import simulate_trace
+
+    trace = simulate_trace(preset_config(args.preset))
+    features = build_features(trace)
+    plan = split_plan(args.preset)
+    splits = make_paper_splits(
+        train_days=plan["train_days"],
+        test_days=plan["test_days"],
+        offsets_days=tuple(plan["offsets"]),
+        duration_days=trace.config.duration_days,
+    )
+    pipeline = PredictionPipeline(features, splits)
+    train, _ = pipeline.train_test("DS1")
+
+    caps = {"n_estimators": 40, "max_depth": 3} if args.quick else {}
+    gb = GradientBoostingClassifier(random_state=0, **caps)
+    gb.fit(train.X, train.y)
+    print(
+        f"model: {gb.n_estimators_} trees, {gb._flat.n_nodes} nodes "
+        f"({'quick' if args.quick else 'full'} caps)"
+    )
+
+    entries = bench_kernel_legs(gb, features.X, bulk_rows=bulk_rows, repeats=repeats)
+
+    predictor = TwoStagePredictor("gbdt", random_state=0, fast=args.quick)
+    predictor.fit(train)
+    engine = StreamingFeatureEngine(
+        trace.machine,
+        compute_top_apps(np.asarray(trace.samples["app_id"], dtype=int), 16),
+    )
+    rows = list(engine.stream(iter_trace_events(trace)))
+    entries.extend(bench_microbatch_leg(predictor, engine.schema, rows, repeats=repeats))
+    entries.append(bench_row_fusion_leg(engine.schema, rows, repeats=repeats))
+
+    for entry in entries:
+        speedup = entry.get("speedup")
+        suffix = f"  ({speedup:.2f}x vs per-tree)" if speedup is not None else ""
+        print(f"{entry['label']:>20}: {entry['rows_per_sec']:12,.0f} rows/s{suffix}")
+
+    headline = next(e for e in entries if e["label"] == "numpy_batch32")
+    floor = 2.0 if args.quick else 5.0
+    if headline["speedup"] < floor:
+        print(
+            f"FAIL: numpy kernel speedup {headline['speedup']:.2f}x at the serve "
+            f"micro-batch size is below the {floor:.0f}x floor"
+        )
+        return 1
+
+    report = {
+        "benchmark": "bench_hotpath",
+        "preset": args.preset,
+        "quick": args.quick,
+        "bulk_rows": bulk_rows,
+        "n_trees": int(gb.n_estimators_),
+        "n_nodes": int(gb._flat.n_nodes),
+        "entries": entries,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out} (headline: {headline['speedup']:.2f}x at batch 32)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseClassifier, sigmoid
+from repro.ml.kernels import FlatForest, flatten_ensemble, predict_raw
 from repro.ml.tree import FeatureBinner, GradHessTree
 from repro.utils.rng import child_rng
 from repro.utils.validation import check_fraction, check_positive
@@ -88,10 +89,12 @@ class GradientBoostingClassifier(BaseClassifier):
         self.random_state = random_state
         self._binner: FeatureBinner | None = None
         self._trees: list[GradHessTree] = []
+        self._flat: FlatForest | None = None
         self._base_score: float = 0.0
         self.n_estimators_: int = 0
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._flat = None  # invalidate any previous fit's flat cache
         rng = child_rng(self.random_state)
         self._binner = FeatureBinner(self.n_bins)
         binned = self._binner.fit_transform(X)
@@ -155,8 +158,44 @@ class GradientBoostingClassifier(BaseClassifier):
                     if rounds_since_best >= self.early_stopping_rounds:
                         break
         self.n_estimators_ = len(self._trees)
+        # Flatten once here: every subsequent predict call traverses the
+        # contiguous ensemble arrays instead of re-walking tree objects.
+        self._flat = flatten_ensemble(self._trees)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The flat cache is derived data; drop it so registry payloads
+        # and checkpoints stay lean and format-stable.
+        state.pop("_flat", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Rebuild the cache on unpickle (also upgrades pre-kernel
+        # payloads that never carried ``_flat``).
+        self._flat = flatten_ensemble(self.__dict__.get("_trees", []))
 
     def _decision_function(self, X: np.ndarray) -> np.ndarray:
+        assert self._binner is not None
+        binned = self._binner.transform(X)
+        if self._flat is None and self._trees:
+            # Trees installed without going through _fit/__setstate__
+            # (hand-assembled ensembles in tests): flatten once, lazily.
+            self._flat = flatten_ensemble(self._trees)
+        return predict_raw(
+            self._flat,
+            binned,
+            base_score=self._base_score,
+            learning_rate=self.learning_rate,
+        )
+
+    def _decision_function_pertree(self, X: np.ndarray) -> np.ndarray:
+        """Legacy per-tree scoring loop, kept as the kernel digest oracle.
+
+        Tests and ``benchmarks/bench_hotpath.py`` compare the flattened
+        kernels against this path; it must stay bit-identical to the
+        pre-kernel implementation.
+        """
         assert self._binner is not None
         binned = self._binner.transform(X)
         raw = np.full(binned.shape[0], self._base_score)

@@ -1,0 +1,370 @@
+"""Hot-path scoring kernels: flattened GBDT ensembles + backend dispatch.
+
+The from-scratch :class:`~repro.ml.gbdt.GradientBoostingClassifier`
+historically scored with a Python loop over its trees, each tree doing a
+vectorized frontier walk — O(n_trees * depth) small numpy kernel
+launches per batch.  This module flattens a fitted ensemble into one set
+of contiguous ensemble-level arrays (:class:`FlatForest`) and traverses
+*all* trees level-synchronously in O(depth) large numpy ops, which is
+where the serving tier's ≥5x single-core micro-batch scoring speedup
+comes from (``benchmarks/bench_hotpath.py``).  Bulk batches (at or above
+:data:`TREE_MAJOR_MIN_ROWS` rows) instead sweep the same flat arrays
+tree-major, where the level-synchronous temporaries would outgrow cache;
+the two sweeps are bit-identical by construction.
+
+Exactness contract (enforced by tests and the determinism gate):
+
+* The traversal is pure integer comparison on quantized bin codes, so
+  every sample lands on exactly the node the per-tree walk would reach.
+* Scores accumulate in boosting order with the same per-element float64
+  operations the per-tree loop performed (``raw += lr * leaf_value``),
+  so flattened scores are **bit-identical** to the legacy path — pinned
+  replay/gateway/golden digests must not move.
+* The optional numba backend runs the same scalar recurrence per row
+  (no fastmath, no reassociation), so it is bit-identical to numpy too.
+  Where a future backend cannot claim exactness it must document its
+  tolerance in DESIGN.md §15 instead of silently drifting.
+
+Backend selection is process-global (:func:`set_backend` /
+:func:`get_backend`, CLI ``--backend {numpy,numba}``).  Requesting
+``numba`` on a machine without numba falls back to numpy with a
+one-line :class:`KernelBackendWarning` — the numpy path is always the
+digest oracle, so the fallback changes nothing but speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KernelBackendWarning",
+    "FlatForest",
+    "flatten_ensemble",
+    "predict_raw",
+    "traverse",
+    "numba_available",
+    "set_backend",
+    "get_backend",
+    "use_backend",
+]
+
+#: Selectable scoring backends, in fallback order.
+KERNEL_BACKENDS = ("numpy", "numba")
+
+#: Rows per traversal chunk: bounds the (n_trees, chunk) temporaries so
+#: huge benchmark batches cannot balloon memory.  Chunking is invisible
+#: to results — rows are independent.
+CHUNK_ROWS = 16384
+
+#: At or above this many rows the numpy kernel sweeps tree-major instead
+#: of level-synchronously: the (n_trees, n_rows) per-level temporaries of
+#: the all-trees pass outgrow cache on bulk batches, while micro-batches
+#: (the serving hot path) are dominated by per-tree Python overhead that
+#: the level-synchronous pass eliminates.  Both sweeps select identical
+#: leaves and accumulate in identical order, so the switch can never
+#: change a score bit.
+TREE_MAJOR_MIN_ROWS = 4096
+
+
+class KernelBackendWarning(RuntimeWarning):
+    """A requested scoring backend is unavailable; numpy is used instead."""
+
+
+_BACKEND = "numpy"
+_NUMBA_OK: bool | None = None
+_NUMBA_KERNEL = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be imported (cached)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except Exception:  # pragma: no cover - depends on environment
+            _NUMBA_OK = False
+    return _NUMBA_OK
+
+
+def set_backend(name: str) -> str:
+    """Select the process-wide scoring backend; returns the effective one.
+
+    Unknown names raise :class:`~repro.utils.errors.ValidationError`.
+    Requesting ``numba`` without numba installed warns once
+    (:class:`KernelBackendWarning`) and keeps numpy — scores are
+    bit-identical either way, so the fallback is purely a speed choice.
+    """
+    global _BACKEND
+    if name not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"unknown scoring backend: {name!r}; options: {KERNEL_BACKENDS}"
+        )
+    if name == "numba" and not numba_available():
+        warnings.warn(
+            "scoring backend 'numba' unavailable (numba is not importable); "
+            "falling back to the bit-identical 'numpy' kernel",
+            KernelBackendWarning,
+            stacklevel=2,
+        )
+        name = "numpy"
+    _BACKEND = name
+    return _BACKEND
+
+
+def get_backend() -> str:
+    """The currently selected scoring backend name."""
+    return _BACKEND
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily select a backend (tests, determinism parity legs)."""
+    previous = _BACKEND
+    try:
+        yield set_backend(name)
+    finally:
+        set_backend(previous)
+
+
+@dataclass(frozen=True)
+class FlatForest:
+    """A fitted GBDT ensemble flattened into contiguous node arrays.
+
+    Node ``k`` of tree ``t`` lives at global index ``offsets[t] + k``;
+    ``left``/``right`` already hold *global* child indices, so one
+    traversal loop serves every tree.  Leaves have ``feature == -1``.
+    """
+
+    #: Split feature per node (int32; -1 marks a leaf).
+    feature: np.ndarray
+    #: Inclusive bin-code threshold per node (go left when code <= it).
+    bin_threshold: np.ndarray
+    #: Global left/right child index per node (int32; -1 at leaves).
+    left: np.ndarray
+    right: np.ndarray
+    #: Leaf/node value per node (float64; exactly the per-tree values).
+    value: np.ndarray
+    #: Per-tree node offsets, length ``n_trees + 1`` (int32).
+    offsets: np.ndarray
+    #: Upper bound on any tree's depth (traversal pass count).
+    max_depth: int
+
+    @property
+    def n_trees(self) -> int:
+        """Number of trees in the flattened ensemble."""
+        return self.offsets.shape[0] - 1
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count across every tree."""
+        return self.feature.shape[0]
+
+
+def flatten_ensemble(trees) -> FlatForest | None:
+    """Flatten fitted :class:`~repro.ml.tree.GradHessTree`s into arrays.
+
+    Returns ``None`` for an empty ensemble (every tree degenerated during
+    boosting); callers then score the base value alone, exactly as the
+    per-tree loop did.
+    """
+    if not trees:
+        return None
+    feature_parts: list[np.ndarray] = []
+    threshold_parts: list[np.ndarray] = []
+    left_parts: list[np.ndarray] = []
+    right_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    offsets = np.zeros(len(trees) + 1, dtype=np.int32)
+    max_depth = 0
+    for t, tree in enumerate(trees):
+        arrays = tree.arrays
+        feature, threshold, left, right, value = arrays.as_numpy()
+        shift = offsets[t]
+        feature_parts.append(feature)
+        threshold_parts.append(threshold)
+        # Shift child pointers to global indices; keep -1 sentinels.
+        left_parts.append(np.where(left >= 0, left + shift, left))
+        right_parts.append(np.where(right >= 0, right + shift, right))
+        value_parts.append(value)
+        offsets[t + 1] = shift + feature.shape[0]
+        max_depth = max(max_depth, int(tree.max_depth))
+    return FlatForest(
+        feature=np.ascontiguousarray(np.concatenate(feature_parts)),
+        bin_threshold=np.ascontiguousarray(np.concatenate(threshold_parts)),
+        left=np.ascontiguousarray(np.concatenate(left_parts)),
+        right=np.ascontiguousarray(np.concatenate(right_parts)),
+        value=np.ascontiguousarray(np.concatenate(value_parts)),
+        offsets=offsets,
+        max_depth=max_depth,
+    )
+
+
+def traverse(forest: FlatForest, binned: np.ndarray) -> np.ndarray:
+    """Leaf index per (tree, row): one level-synchronous pass per depth.
+
+    Returns an int32 array of shape ``(n_trees, n_rows)`` of *global*
+    node indices.  Every sample advances one level per pass across all
+    trees simultaneously; a tree's depth bounds its passes, so rows
+    already at a leaf simply hold position.
+    """
+    if binned.dtype != np.uint8:
+        raise ValidationError("binned matrix must be uint8 bin codes")
+    n_rows = binned.shape[0]
+    positions = np.empty((forest.n_trees, n_rows), dtype=np.int32)
+    for start in range(0, n_rows, CHUNK_ROWS):
+        stop = min(start + CHUNK_ROWS, n_rows)
+        positions[:, start:stop] = _traverse_chunk(forest, binned[start:stop])
+    return positions
+
+
+def _traverse_chunk(forest: FlatForest, binned: np.ndarray) -> np.ndarray:
+    n_rows = binned.shape[0]
+    pos = np.repeat(
+        forest.offsets[:-1].astype(np.intp)[:, None], n_rows, axis=1
+    )
+    rows = np.arange(n_rows)[None, :]
+    for _ in range(forest.max_depth + 1):
+        feat = forest.feature[pos]
+        internal = feat >= 0
+        if not internal.any():
+            break
+        # Leaf positions gather feature 0 harmlessly; the np.where below
+        # discards their (meaningless) step.
+        codes = binned[rows, np.where(internal, feat, 0)]
+        go_left = codes <= forest.bin_threshold[pos]
+        step = np.where(go_left, forest.left[pos], forest.right[pos])
+        pos = np.where(internal, step, pos)
+    return pos
+
+
+def _traverse_tree(forest: FlatForest, binned: np.ndarray, t: int) -> np.ndarray:
+    """Leaf index per row for one tree: a frontier walk over flat arrays.
+
+    Rows that reach a leaf drop out of later passes (the ``nonzero``
+    compaction), so each level only touches still-descending rows —
+    the same access pattern ``GradHessTree.predict_binned`` uses, minus
+    its per-call list-to-array conversions.
+    """
+    # intp positions: numpy re-casts any other index dtype on every
+    # gather, which would dominate the bulk path.
+    pos = np.full(binned.shape[0], forest.offsets[t], dtype=np.intp)
+    for _ in range(forest.max_depth + 1):
+        internal = forest.feature[pos] >= 0
+        if not internal.any():
+            break
+        idx = np.nonzero(internal)[0]
+        at = pos[idx]
+        codes = binned[idx, forest.feature[at]]
+        go_left = codes <= forest.bin_threshold[at]
+        pos[idx] = np.where(go_left, forest.left[at], forest.right[at])
+    return pos
+
+
+def _predict_raw_numpy(
+    forest: FlatForest,
+    binned: np.ndarray,
+    *,
+    base_score: float,
+    learning_rate: float,
+) -> np.ndarray:
+    if binned.dtype != np.uint8:
+        raise ValidationError("binned matrix must be uint8 bin codes")
+    raw = np.full(binned.shape[0], base_score)
+    # Accumulate in boosting order with the identical per-element float64
+    # op the per-tree loop used — this is what makes scores bit-exact.
+    if binned.shape[0] >= TREE_MAJOR_MIN_ROWS:
+        for t in range(forest.n_trees):
+            raw += learning_rate * forest.value[_traverse_tree(forest, binned, t)]
+        return raw
+    positions = traverse(forest, binned)
+    for t in range(forest.n_trees):
+        raw += learning_rate * forest.value[positions[t]]
+    return raw
+
+
+def _numba_kernel():  # pragma: no cover - requires numba
+    """Compile (once) the scalar per-row traversal kernel."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+        from numba import njit
+
+        @njit(cache=False)
+        def kernel(feature, threshold, left, right, value, roots, binned, base, lr, out):
+            n_rows = binned.shape[0]
+            n_trees = roots.shape[0]
+            for i in range(n_rows):
+                acc = base
+                for t in range(n_trees):
+                    node = roots[t]
+                    while feature[node] >= 0:
+                        if binned[i, feature[node]] <= threshold[node]:
+                            node = left[node]
+                        else:
+                            node = right[node]
+                    # Same op order as the numpy path: acc += lr * value.
+                    acc = acc + lr * value[node]
+                out[i] = acc
+
+        _NUMBA_KERNEL = kernel
+    return _NUMBA_KERNEL
+
+
+def _predict_raw_numba(
+    forest: FlatForest,
+    binned: np.ndarray,
+    *,
+    base_score: float,
+    learning_rate: float,
+) -> np.ndarray:  # pragma: no cover - requires numba
+    out = np.empty(binned.shape[0], dtype=np.float64)
+    _numba_kernel()(
+        forest.feature,
+        forest.bin_threshold,
+        forest.left,
+        forest.right,
+        forest.value,
+        np.ascontiguousarray(forest.offsets[:-1]),
+        np.ascontiguousarray(binned),
+        float(base_score),
+        float(learning_rate),
+        out,
+    )
+    return out
+
+
+def predict_raw(
+    forest: FlatForest | None,
+    binned: np.ndarray,
+    *,
+    base_score: float,
+    learning_rate: float,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Raw ensemble margin per row: ``base + lr * sum(leaf values)``.
+
+    ``backend=None`` uses the process-wide selection; scores are
+    bit-identical across backends (the numpy path is the oracle).
+    """
+    if forest is None:
+        return np.full(binned.shape[0], base_score)
+    chosen = backend if backend is not None else _BACKEND
+    if chosen not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"unknown scoring backend: {chosen!r}; options: {KERNEL_BACKENDS}"
+        )
+    if chosen == "numba" and numba_available():  # pragma: no cover
+        return _predict_raw_numba(
+            forest, binned, base_score=base_score, learning_rate=learning_rate
+        )
+    return _predict_raw_numpy(
+        forest, binned, base_score=base_score, learning_rate=learning_rate
+    )

@@ -100,6 +100,23 @@ class _TreeArrays:
         self.value.append(0.0)
         return len(self.feature) - 1
 
+    def as_numpy(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Export node lists as typed arrays for ensemble flattening.
+
+        Returns ``(feature, bin_threshold, left, right, value)`` with
+        int32 structure arrays and float64 values — the dtypes
+        :mod:`repro.ml.kernels` traverses.
+        """
+        return (
+            np.asarray(self.feature, dtype=np.int32),
+            np.asarray(self.bin_threshold, dtype=np.int32),
+            np.asarray(self.left, dtype=np.int32),
+            np.asarray(self.right, dtype=np.int32),
+            np.asarray(self.value, dtype=np.float64),
+        )
+
 
 class GradHessTree:
     """One regression tree fit to gradients/hessians on binned features."""
@@ -125,6 +142,13 @@ class GradHessTree:
         if self._arrays is None:
             raise NotFittedError("tree is not fitted")
         return len(self._arrays.feature)
+
+    @property
+    def arrays(self) -> _TreeArrays:
+        """The fitted node arrays (for ensemble flattening)."""
+        if self._arrays is None:
+            raise NotFittedError("tree is not fitted")
+        return self._arrays
 
     def fit(
         self,

@@ -316,31 +316,54 @@ def rows_to_matrix(
     :class:`~repro.core.twostage.TwoStagePredictor` fit/predict API as
     the batch path.
     """
-    if not rows:
+    n = len(rows)
+    if n == 0:
         raise ValidationError("cannot build a feature matrix from zero rows")
     if sbe_counts is None:
-        sbe_counts = np.zeros(len(rows), dtype=np.int64)
+        sbe_counts = np.zeros(n, dtype=np.int64)
     sbe_counts = np.asarray(sbe_counts, dtype=np.int64)
-    if sbe_counts.shape[0] != len(rows):
+    if sbe_counts.shape[0] != n:
         raise ValidationError("sbe_counts and rows disagree on sample count")
+    # Fused single-pass fill: preallocate the matrix and every meta array
+    # once and populate them in one walk over the rows (the micro-batch
+    # hot path used to make ~10 separate list-comprehension passes plus a
+    # vstack here).  Values and dtypes are unchanged, so this is
+    # bit-identical to the old assembly.
+    X = np.empty((n, len(schema)), dtype=float)
+    run_idx = np.empty(n, dtype=int)
+    job_id = np.empty(n, dtype=int)
+    node_id = np.empty(n, dtype=int)
+    app_id = np.empty(n, dtype=int)
+    start_minute = np.empty(n, dtype=float)
+    end_minute = np.empty(n, dtype=float)
+    duration_minutes = np.empty(n, dtype=float)
+    n_nodes = np.empty(n, dtype=int)
+    gpu_core_hours = np.empty(n, dtype=float)
+    for i, row in enumerate(rows):
+        X[i] = row.features
+        run_idx[i] = row.run_idx
+        job_id[i] = row.job_id
+        node_id[i] = row.node_id
+        app_id[i] = row.app_id
+        start_minute[i] = row.start_minute
+        end_minute[i] = row.end_minute
+        duration_minutes[i] = row.duration_minutes
+        n_nodes[i] = row.n_nodes
+        gpu_core_hours[i] = row.gpu_core_hours
     meta = {
-        "run_idx": np.asarray([row.run_idx for row in rows], dtype=int),
-        "job_id": np.asarray([row.job_id for row in rows], dtype=int),
-        "node_id": np.asarray([row.node_id for row in rows], dtype=int),
-        "app_id": np.asarray([row.app_id for row in rows], dtype=int),
-        "start_minute": np.asarray([row.start_minute for row in rows], dtype=float),
-        "end_minute": np.asarray([row.end_minute for row in rows], dtype=float),
-        "duration_minutes": np.asarray(
-            [row.duration_minutes for row in rows], dtype=float
-        ),
-        "n_nodes": np.asarray([row.n_nodes for row in rows], dtype=int),
-        "gpu_core_hours": np.asarray(
-            [row.gpu_core_hours for row in rows], dtype=float
-        ),
+        "run_idx": run_idx,
+        "job_id": job_id,
+        "node_id": node_id,
+        "app_id": app_id,
+        "start_minute": start_minute,
+        "end_minute": end_minute,
+        "duration_minutes": duration_minutes,
+        "n_nodes": n_nodes,
+        "gpu_core_hours": gpu_core_hours,
         "sbe_count": sbe_counts,
     }
     return FeatureMatrix(
-        X=np.vstack([row.features for row in rows]),
+        X=X,
         y=(sbe_counts > 0).astype(int),
         schema=schema,
         meta=meta,

@@ -1,0 +1,96 @@
+"""Golden guard: ensemble flattening changes no pinned digest.
+
+Three oracles must agree on the canonical evaluation, byte for byte:
+
+1. the legacy per-tree scoring loop (``_decision_function_pertree``),
+2. the flattened numpy batch kernel (the default path), and
+3. the numba kernel, when numba is installed (skips cleanly otherwise).
+
+All three are pinned against the committed golden ``predict`` digest, so
+a kernel change that perturbs even one score bit fails here with the
+backend named.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.features.builder import build_features
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.kernels import numba_available, use_backend
+from repro.telemetry.simulator import TraceSimulator
+
+from tests.golden.canonical import (
+    GOLDEN_SEEDS,
+    canonical_config,
+    evaluate_canonical,
+    metrics_digest,
+)
+from tests.golden.test_golden_digests import load_goldens
+
+
+@lru_cache(maxsize=None)
+def _canonical_features():
+    """Trace + features for the first golden seed (built once)."""
+    config = canonical_config(GOLDEN_SEEDS[0])
+    trace = TraceSimulator(config).run()
+    return build_features(trace), config.duration_days
+
+
+def _pinned_predict_digest() -> str:
+    return load_goldens()[str(GOLDEN_SEEDS[0])]["predict"]
+
+
+def test_flat_kernel_hits_pinned_predict_digest():
+    features, duration_days = _canonical_features()
+    with use_backend("numpy"):
+        result = evaluate_canonical(features, duration_days)
+    assert metrics_digest(result) == _pinned_predict_digest()
+
+
+def test_pertree_oracle_hits_pinned_predict_digest(monkeypatch):
+    """The pre-flattening scoring loop still reproduces the golden."""
+    features, duration_days = _canonical_features()
+    monkeypatch.setattr(
+        GradientBoostingClassifier,
+        "_decision_function",
+        GradientBoostingClassifier._decision_function_pertree,
+    )
+    result = evaluate_canonical(features, duration_days)
+    assert metrics_digest(result) == _pinned_predict_digest()
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+def test_numba_kernel_hits_pinned_predict_digest():
+    features, duration_days = _canonical_features()
+    with use_backend("numba"):
+        result = evaluate_canonical(features, duration_days)
+    assert metrics_digest(result) == _pinned_predict_digest()
+
+
+def test_flat_scores_equal_pertree_scores_on_canonical_model():
+    """Score-level bit identity on the canonical fitted model itself."""
+    features, duration_days = _canonical_features()
+    # Reuse the canonical split windows: train on the first 5 days.
+    from repro.core.pipeline import PredictionPipeline
+    from repro.features.splits import make_paper_splits
+
+    splits = make_paper_splits(
+        train_days=5.0,
+        test_days=2.0,
+        offsets_days=(0.0,),
+        duration_days=duration_days,
+    )
+    pipeline = PredictionPipeline(features, splits)
+    train, test = pipeline.train_test("DS1")
+    gb = GradientBoostingClassifier(random_state=0)
+    gb.fit(train.X, train.y)
+    flat = gb.decision_function(test.X)
+    pertree = gb._decision_function_pertree(test.X)
+    assert np.array_equal(flat, pertree)
+    if numba_available():
+        with use_backend("numba"):
+            assert np.array_equal(gb.decision_function(test.X), pertree)

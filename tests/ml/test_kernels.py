@@ -1,0 +1,319 @@
+"""Property and regression tests for the flattened scoring kernels.
+
+The core contract: the level-synchronous batch traversal over a
+flattened ensemble (:mod:`repro.ml.kernels`) is **bit-identical** to a
+node-by-node walk of the per-tree ``_TreeArrays`` — for random tree
+topologies (random depths, degenerate single-leaf trees) and for
+constant all-NaN-imputed-style rows — and the numba backend matches the
+numpy oracle exactly on every drawn ensemble.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import kernels
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.kernels import (
+    KernelBackendWarning,
+    flatten_ensemble,
+    get_backend,
+    numba_available,
+    predict_raw,
+    set_backend,
+    traverse,
+    use_backend,
+)
+from repro.ml.tree import GradHessTree, _TreeArrays
+from repro.utils.errors import ValidationError
+
+N_BINS = 64
+
+
+def _random_trees(rng, n_trees, max_depth, n_features, split_p):
+    """Random tree topologies (including single-leaf stumps at split_p=0)."""
+    trees = []
+    for _ in range(n_trees):
+        arrays = _TreeArrays()
+
+        def grow(depth):
+            node = arrays.add_node()
+            arrays.value[node] = float(rng.normal())
+            if depth < max_depth and rng.random() < split_p:
+                left = grow(depth + 1)
+                right = grow(depth + 1)
+                arrays.feature[node] = int(rng.integers(n_features))
+                arrays.bin_threshold[node] = int(rng.integers(N_BINS))
+                arrays.left[node] = left
+                arrays.right[node] = right
+            return node
+
+        grow(0)
+        tree = GradHessTree(max_depth=max_depth)
+        tree._arrays = arrays
+        trees.append(tree)
+    return trees
+
+
+def _oracle_walk(arrays: _TreeArrays, codes: np.ndarray) -> int:
+    """Node-by-node reference walk of one tree for one row."""
+    node = 0
+    while arrays.feature[node] >= 0:
+        if codes[arrays.feature[node]] <= arrays.bin_threshold[node]:
+            node = arrays.left[node]
+        else:
+            node = arrays.right[node]
+    return node
+
+
+ensembles = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**32 - 1),
+        "n_trees": st.integers(1, 5),
+        "max_depth": st.integers(1, 5),
+        "n_features": st.integers(1, 4),
+        "n_rows": st.integers(1, 40),
+        "split_p": st.floats(0.0, 1.0),
+    }
+)
+
+
+class TestTraversalProperties:
+    @given(params=ensembles)
+    def test_flat_traversal_matches_node_by_node_walk(self, params):
+        rng = np.random.default_rng(params["seed"])
+        trees = _random_trees(
+            rng,
+            params["n_trees"],
+            params["max_depth"],
+            params["n_features"],
+            params["split_p"],
+        )
+        forest = flatten_ensemble(trees)
+        binned = rng.integers(
+            0, 256, size=(params["n_rows"], params["n_features"])
+        ).astype(np.uint8)
+        positions = traverse(forest, binned)
+        for t, tree in enumerate(trees):
+            offset = int(forest.offsets[t])
+            for i in range(params["n_rows"]):
+                expected = offset + _oracle_walk(tree.arrays, binned[i])
+                assert positions[t, i] == expected
+
+    @given(params=ensembles)
+    def test_predict_raw_bit_identical_to_pertree_loop(self, params):
+        rng = np.random.default_rng(params["seed"])
+        trees = _random_trees(
+            rng,
+            params["n_trees"],
+            params["max_depth"],
+            params["n_features"],
+            params["split_p"],
+        )
+        base = float(rng.normal())
+        lr = float(rng.uniform(0.01, 0.5))
+        forest = flatten_ensemble(trees)
+        binned = rng.integers(
+            0, 256, size=(params["n_rows"], params["n_features"])
+        ).astype(np.uint8)
+        expected = np.full(binned.shape[0], base)
+        for tree in trees:
+            expected += lr * tree.predict_binned(binned)
+        got = predict_raw(forest, binned, base_score=base, learning_rate=lr)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, expected)
+        if numba_available():
+            via_numba = predict_raw(
+                forest, binned, base_score=base, learning_rate=lr, backend="numba"
+            )
+            assert np.array_equal(via_numba, expected)
+
+    @pytest.mark.parametrize("code", [0, 63, 255])
+    def test_constant_imputed_rows(self, code):
+        """All-NaN-imputed rows surface as constant codes; still exact."""
+        rng = np.random.default_rng(code)
+        trees = _random_trees(rng, 3, 4, 3, 0.8)
+        forest = flatten_ensemble(trees)
+        binned = np.full((17, 3), code, dtype=np.uint8)
+        expected = np.full(17, 0.25)
+        for tree in trees:
+            expected += 0.1 * tree.predict_binned(binned)
+        got = predict_raw(forest, binned, base_score=0.25, learning_rate=0.1)
+        assert np.array_equal(got, expected)
+        # Constant input -> one shared leaf per tree -> constant output.
+        assert np.unique(got).size == 1
+
+    def test_single_leaf_trees(self):
+        rng = np.random.default_rng(5)
+        trees = _random_trees(rng, 4, 3, 2, 0.0)  # split_p=0: all stumps
+        forest = flatten_ensemble(trees)
+        assert forest.n_nodes == 4
+        binned = rng.integers(0, 256, size=(9, 2)).astype(np.uint8)
+        got = predict_raw(forest, binned, base_score=1.0, learning_rate=0.5)
+        expected = np.full(9, 1.0)
+        for tree in trees:
+            expected += 0.5 * tree.predict_binned(binned)
+        assert np.array_equal(got, expected)
+
+    def test_empty_ensemble_scores_base_only(self):
+        assert flatten_ensemble([]) is None
+        got = predict_raw(
+            None, np.zeros((6, 2), dtype=np.uint8), base_score=-1.5, learning_rate=0.1
+        )
+        assert np.array_equal(got, np.full(6, -1.5))
+
+    def test_traverse_rejects_non_uint8(self):
+        trees = _random_trees(np.random.default_rng(0), 1, 2, 2, 1.0)
+        forest = flatten_ensemble(trees)
+        with pytest.raises(ValidationError, match="uint8"):
+            traverse(forest, np.zeros((3, 2), dtype=np.int64))
+
+    def test_tree_major_bulk_path_bit_identical(self, monkeypatch):
+        """Bulk batches take the tree-major sweep; same bits either way."""
+        rng = np.random.default_rng(3)
+        trees = _random_trees(rng, 5, 4, 3, 0.8)
+        forest = flatten_ensemble(trees)
+        n_rows = kernels.TREE_MAJOR_MIN_ROWS + 7
+        binned = rng.integers(0, 256, size=(n_rows, 3)).astype(np.uint8)
+        bulk = predict_raw(forest, binned, base_score=0.5, learning_rate=0.1)
+        monkeypatch.setattr(kernels, "TREE_MAJOR_MIN_ROWS", n_rows + 1)
+        level_sync = predict_raw(forest, binned, base_score=0.5, learning_rate=0.1)
+        assert np.array_equal(bulk, level_sync)
+        expected = np.full(n_rows, 0.5)
+        for tree in trees:
+            expected += 0.1 * tree.predict_binned(binned)
+        assert np.array_equal(bulk, expected)
+
+    def test_chunked_traversal_matches_unchunked(self, monkeypatch):
+        rng = np.random.default_rng(11)
+        trees = _random_trees(rng, 3, 4, 3, 0.8)
+        forest = flatten_ensemble(trees)
+        binned = rng.integers(0, 256, size=(103, 3)).astype(np.uint8)
+        whole = traverse(forest, binned)
+        monkeypatch.setattr(kernels, "CHUNK_ROWS", 16)
+        assert np.array_equal(traverse(forest, binned), whole)
+
+
+class TestFittedModelParity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_fitted_gbdt_flat_matches_pertree_oracle(self, binary_dataset, seed):
+        X, y = binary_dataset
+        gb = GradientBoostingClassifier(
+            n_estimators=30, max_depth=3, random_state=seed
+        )
+        gb.fit(X, y)
+        assert gb._flat is not None
+        assert gb._flat.n_trees == gb.n_estimators_
+        flat = gb.decision_function(X)
+        pertree = gb._decision_function_pertree(X)
+        assert np.array_equal(flat, pertree)
+        if numba_available():
+            with use_backend("numba"):
+                assert np.array_equal(gb.decision_function(X), pertree)
+
+    def test_refit_invalidates_flat_cache(self, binary_dataset):
+        X, y = binary_dataset
+        gb = GradientBoostingClassifier(n_estimators=8, max_depth=2, random_state=0)
+        gb.fit(X[:800], y[:800])
+        first = gb._flat
+        gb.fit(X[800:1600], y[800:1600])
+        assert gb._flat is not first
+        assert np.array_equal(
+            gb.decision_function(X[:100]), gb._decision_function_pertree(X[:100])
+        )
+
+    def test_predict_does_not_reflatten(self, binary_dataset, monkeypatch):
+        """Regression: scoring must reuse the fit-time flat cache."""
+        X, y = binary_dataset
+        calls = []
+        real = kernels.flatten_ensemble
+
+        def counting(trees):
+            calls.append(len(trees))
+            return real(trees)
+
+        monkeypatch.setattr("repro.ml.gbdt.flatten_ensemble", counting)
+        gb = GradientBoostingClassifier(n_estimators=8, max_depth=2, random_state=0)
+        gb.fit(X[:800], y[:800])
+        assert len(calls) == 1  # flattened exactly once, at fit time
+        gb.decision_scores(X[800:900])
+        gb.decision_scores(X[900:1000])
+        gb.predict_proba(X[:50])
+        assert len(calls) == 1  # no re-flattening on any predict path
+
+    def test_unpickle_rebuilds_flat_cache(self, binary_dataset):
+        import pickle
+
+        X, y = binary_dataset
+        gb = GradientBoostingClassifier(n_estimators=8, max_depth=2, random_state=0)
+        gb.fit(X[:800], y[:800])
+        blob = pickle.dumps(gb)
+        clone = pickle.loads(blob)
+        assert clone._flat is not None
+        assert np.array_equal(
+            clone.decision_function(X[:100]), gb.decision_function(X[:100])
+        )
+
+    def test_unpickle_of_pre_kernel_payload(self, binary_dataset):
+        """Old pickles never carried ``_flat``; __setstate__ upgrades them."""
+        X, y = binary_dataset
+        gb = GradientBoostingClassifier(n_estimators=6, max_depth=2, random_state=0)
+        gb.fit(X[:600], y[:600])
+        state = gb.__getstate__()
+        assert "_flat" not in state  # derived data never pickles
+        fresh = GradientBoostingClassifier.__new__(GradientBoostingClassifier)
+        fresh.__setstate__(state)
+        assert fresh._flat is not None
+        assert np.array_equal(
+            fresh.decision_function(X[:100]), gb.decision_function(X[:100])
+        )
+
+
+class TestBackendSelection:
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        previous = get_backend()
+        yield
+        set_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scoring backend"):
+            set_backend("cython")
+        assert get_backend() in kernels.KERNEL_BACKENDS
+
+    def test_predict_raw_rejects_unknown_backend(self):
+        trees = _random_trees(np.random.default_rng(0), 1, 2, 2, 1.0)
+        forest = flatten_ensemble(trees)
+        with pytest.raises(ValidationError, match="unknown scoring backend"):
+            predict_raw(
+                forest,
+                np.zeros((2, 2), dtype=np.uint8),
+                base_score=0.0,
+                learning_rate=0.1,
+                backend="fortran",
+            )
+
+    def test_numba_fallback_warns_and_uses_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_NUMBA_OK", False)
+        with pytest.warns(KernelBackendWarning, match="falling back"):
+            effective = set_backend("numba")
+        assert effective == "numpy"
+        assert get_backend() == "numpy"
+
+    def test_use_backend_restores_previous(self):
+        assert get_backend() == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelBackendWarning)
+            with use_backend("numba"):
+                assert get_backend() in kernels.KERNEL_BACKENDS
+        assert get_backend() == "numpy"
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_backend_selectable_when_available(self):
+        with use_backend("numba") as effective:
+            assert effective == "numba"
+            assert get_backend() == "numba"

@@ -1,0 +1,173 @@
+"""Backend-selection plumbing: CLI flag, registry round-trips, resume.
+
+The scoring-kernel backend is execution configuration, never run
+content: whichever backend scores a batch, every digest — replay,
+gateway parity, golden — must come out byte-identical.  These tests pin
+the plumbing that keeps it that way: the ``--backend`` CLI flag's
+validation and one-line error path, registry-loaded models scoring
+identically under both backends, and checkpoint/resume carrying a
+backend choice without changing digests (the backend is deliberately
+excluded from the checkpoint compatibility key).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.twostage import TwoStagePredictor
+from repro.ml import kernels
+from repro.ml.kernels import (
+    KernelBackendWarning,
+    get_backend,
+    numba_available,
+    set_backend,
+    use_backend,
+)
+from repro.serve import serve_replay
+from repro.serve.registry import ModelRegistry
+from repro.utils.errors import SimulatedCrashError
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = get_backend()
+    yield
+    set_backend(previous)
+
+
+class TestCLIBackendFlag:
+    def test_unknown_backend_is_one_line_error(self, tmp_path, capsys):
+        code = main(
+            ["--backend", "cython", "registry", "verify", "--registry", str(tmp_path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: error: unknown scoring backend")
+        assert "cython" in lines[0]
+
+    def test_numpy_backend_accepted(self, tmp_path, capsys):
+        (tmp_path / "twostage").mkdir()
+        code = main(
+            ["--backend", "numpy", "registry", "verify", "--registry", str(tmp_path)]
+        )
+        assert code == 0
+        assert "no version directories" in capsys.readouterr().out
+        assert get_backend() == "numpy"
+
+    def test_numba_backend_falls_back_without_numba(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(kernels, "_NUMBA_OK", False)
+        (tmp_path / "twostage").mkdir()
+        with pytest.warns(KernelBackendWarning, match="falling back"):
+            code = main(
+                [
+                    "--backend",
+                    "numba",
+                    "registry",
+                    "verify",
+                    "--registry",
+                    str(tmp_path),
+                ]
+            )
+        assert code == 0
+        assert get_backend() == "numpy"  # degraded to the exact oracle
+
+
+class TestRegistryBackendParity:
+    @pytest.fixture(scope="class")
+    def fitted_gbdt(self, tiny_context):
+        train, test = tiny_context.pipeline.train_test("DS1")
+        predictor = TwoStagePredictor("gbdt", random_state=0, fast=True)
+        predictor.fit(train)
+        return predictor, test
+
+    def test_registry_loaded_model_scores_identically_under_both_backends(
+        self, fitted_gbdt, tmp_path
+    ):
+        predictor, test = fitted_gbdt
+        registry = ModelRegistry(tmp_path)
+        registry.save_model(predictor, metadata={"split": "DS1"})
+        loaded, _ = registry.load_model()
+        with use_backend("numpy"):
+            via_numpy = loaded.decision_scores(test)
+        np.testing.assert_array_equal(via_numpy, predictor.decision_scores(test))
+        if numba_available():
+            with use_backend("numba"):
+                via_numba = loaded.decision_scores(test)
+        else:
+            # Without numba the request degrades (with a warning) to the
+            # numpy oracle — scores must still be byte-identical.
+            with pytest.warns(KernelBackendWarning):
+                with use_backend("numba"):
+                    via_numba = loaded.decision_scores(test)
+        assert np.array_equal(via_numba, via_numpy)
+
+    def test_kernel_stats_reports_flattened_ensemble(self, fitted_gbdt):
+        predictor, _ = fitted_gbdt
+        stats = predictor.kernel_stats()
+        assert stats["flattened"] is True
+        assert stats["backend"] == get_backend()
+        assert stats["n_trees"] > 0
+        assert stats["n_nodes"] >= stats["n_trees"]
+
+
+def _replay(trace, context, root, **kwargs):
+    return serve_replay(
+        trace,
+        root,
+        splits=context.preset_splits(),
+        split="DS1",
+        model="gbdt",
+        batch_size=64,
+        fast=True,
+        **kwargs,
+    )
+
+
+class TestReplayBackendPlumbing:
+    def test_backend_note_recorded_and_digest_unchanged(
+        self, tiny_trace, tiny_context, tmp_path
+    ):
+        baseline = _replay(tiny_trace, tiny_context, tmp_path / "r1")
+        explicit = _replay(
+            tiny_trace, tiny_context, tmp_path / "r2", backend="numpy"
+        )
+        assert "scoring backend: numpy" in explicit.notes
+        assert explicit.digest() == baseline.digest()
+
+    def test_resume_carries_backend_choice_without_digest_change(
+        self, tiny_trace, tiny_context, tmp_path
+    ):
+        baseline = _replay(tiny_trace, tiny_context, tmp_path / "r1")
+        with pytest.raises(SimulatedCrashError):
+            _replay(
+                tiny_trace,
+                tiny_context,
+                tmp_path / "r2",
+                backend="numpy",
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_events=150,
+                crash_after_events=700,
+            )
+        # The backend is execution config: resuming under a *different*
+        # backend must accept the checkpoint and reproduce the digest.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelBackendWarning)
+            resumed = _replay(
+                tiny_trace,
+                tiny_context,
+                tmp_path / "r2",
+                backend="numba",
+                checkpoint_dir=tmp_path / "ckpt",
+                resume=True,
+            )
+        assert resumed.resumed_from == 600
+        assert resumed.digest() == baseline.digest()
+        assert any(
+            note.startswith("scoring backend:") for note in resumed.notes
+        )

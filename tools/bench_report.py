@@ -2,7 +2,7 @@
 """Aggregate BENCH_*.json artifacts into one trajectory table.
 
 Every benchmark harness in this repo (tools/../benches, the gateway
-bench, the future hot-path bench) drops a ``BENCH_<name>.json`` at the
+bench, the hot-path kernel bench) drops a ``BENCH_<name>.json`` at the
 repo root.  Each file has its own shape, so this tool owns one small
 extractor per name and flattens everything into ``metric -> value``
 rows with a known *direction* (higher-is-better throughput vs
@@ -33,7 +33,7 @@ from pathlib import Path
 
 #: Regression direction per metric suffix: ``higher`` means a drop is a
 #: regression (throughput); ``lower`` means a rise is one (latency, RSS).
-HIGHER_IS_BETTER = ("rows_per_sec", "events_per_sec")
+HIGHER_IS_BETTER = ("rows_per_sec", "events_per_sec", "speedup")
 LOWER_IS_BETTER = ("p50_ms", "p99_ms", "peak_rss_bytes", "seconds", "time_to_recover_days")
 
 DEFAULT_BASELINE = "tools/bench_baseline.json"
@@ -81,7 +81,13 @@ def extract_gateway(payload: dict) -> dict[str, float]:
 
 
 def extract_hotpath(payload: dict) -> dict[str, float]:
-    """BENCH_hotpath.json (future): ``{"entries": [{label, rows_per_sec}]}``."""
+    """BENCH_hotpath.json: ``{"entries": [{label, rows_per_sec, speedup?}]}``.
+
+    The ``speedup`` ratios (flat kernel vs the legacy per-tree loop on
+    the same machine) are what the committed baseline pins — absolute
+    rows/sec are machine-specific, and CI re-measures this bench with
+    ``--quick`` on whatever box it lands on.
+    """
     metrics: dict[str, float] = {}
     for entry in payload.get("entries", []):
         if not isinstance(entry, dict) or "label" not in entry:
@@ -89,6 +95,8 @@ def extract_hotpath(payload: dict) -> dict[str, float]:
         label = str(entry["label"]).replace(" ", "_")
         if "rows_per_sec" in entry:
             metrics[f"hotpath.{label}.rows_per_sec"] = float(entry["rows_per_sec"])
+        if "speedup" in entry:
+            metrics[f"hotpath.{label}.speedup"] = float(entry["speedup"])
     return metrics
 
 

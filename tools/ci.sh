@@ -290,6 +290,16 @@ python -m repro.cli obs report "$workdir/obs-snap.json" > /dev/null
 python -m repro.cli obs diff "$workdir/obs-snap.json" "$workdir/obs-snap.json"
 
 echo
+echo "== hot-path kernel bench (quick) =="
+# Re-measures GBDT batch scoring on this machine with the fast model
+# caps and refreshes BENCH_hotpath.json.  The script itself asserts
+# bit-identical scores across paths and a minimum micro-batch speedup;
+# the regression gate below then compares the machine-relative speedup
+# ratios against tools/bench_baseline.json (absolute rows/sec are
+# deliberately not pinned — they vary by machine).
+python benchmarks/bench_hotpath.py --quick
+
+echo
 echo "== bench regression gate =="
 # Trajectory table over every BENCH_*.json; fails on >20% regression
 # against the pinned baseline once one exists (vacuous pass until then).
